@@ -1,0 +1,325 @@
+//! Trend-retention comparison between two diagnoses.
+//!
+//! The paper's most important evaluation criterion asks whether an analyst
+//! looking at the reduced trace's diagnosis would come to the same
+//! conclusions as with the full trace (Section 4.3.4).  The paper applies a
+//! fixed set of guidelines by hand; this module encodes equivalent
+//! guidelines so every method is judged by the same rules:
+//!
+//! 1. every significant wait-state finding of the full trace must still be
+//!    significant in the reduced trace, with a total severity of the same
+//!    sign and comparable magnitude;
+//! 2. the *rank pattern* of each significant finding must be preserved (the
+//!    ranks that dominate the severity must still dominate);
+//! 3. the reduced trace must not introduce new significant findings (or
+//!    significant negative severities) that the full trace does not show;
+//! 4. strongly imbalanced execution-time distributions (e.g. `do_work` in
+//!    `dyn_load_balance`) must keep their imbalance direction.
+
+use crate::metrics::MetricKind;
+use crate::severity::{Diagnosis, SeverityEntry};
+
+/// Tunable thresholds for the trend comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComparisonConfig {
+    /// A wait-state finding is *significant* when its total magnitude
+    /// exceeds this fraction of total execution time.
+    pub significance_fraction: f64,
+    /// Allowed relative deviation of a significant finding's total severity.
+    pub magnitude_tolerance: f64,
+    /// Maximum allowed mean absolute difference between the normalized
+    /// per-rank severity patterns of a finding.
+    pub pattern_tolerance: f64,
+    /// A new finding (absent from the full trace) is only an error when its
+    /// magnitude exceeds this fraction of total execution time.
+    pub spurious_fraction: f64,
+}
+
+impl Default for ComparisonConfig {
+    fn default() -> Self {
+        ComparisonConfig {
+            significance_fraction: 0.02,
+            magnitude_tolerance: 0.5,
+            pattern_tolerance: 0.25,
+            spurious_fraction: 0.05,
+        }
+    }
+}
+
+/// One discrepancy between the reference and candidate diagnoses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Discrepancy {
+    /// The metric and code location concerned.
+    pub metric: MetricKind,
+    /// Code location (region name).
+    pub region: String,
+    /// Human-readable description of what differs.
+    pub description: String,
+}
+
+/// The outcome of comparing a candidate (reduced/reconstructed) diagnosis to
+/// the reference (full-trace) diagnosis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrendComparison {
+    /// True when an analyst would reach the same conclusions.
+    pub retained: bool,
+    /// A score in `[0, 1]`: the fraction of checks that passed.
+    pub score: f64,
+    /// Everything that differed beyond tolerance.
+    pub discrepancies: Vec<Discrepancy>,
+}
+
+fn pattern_distance(a: &SeverityEntry, b: &SeverityEntry) -> f64 {
+    let na = a.normalized();
+    let nb = b.normalized();
+    if na.is_empty() {
+        return 0.0;
+    }
+    na.iter()
+        .zip(&nb)
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / na.len() as f64
+}
+
+/// Compares a candidate diagnosis against the reference diagnosis.
+pub fn compare_diagnoses(
+    reference: &Diagnosis,
+    candidate: &Diagnosis,
+    config: &ComparisonConfig,
+) -> TrendComparison {
+    let mut checks = 0usize;
+    let mut passed = 0usize;
+    let mut discrepancies = Vec::new();
+    let total_time = reference.total_time_ms().max(1e-9);
+
+    // 1 & 2: every significant reference finding must be retained with the
+    // same sign, comparable magnitude, and a similar rank pattern.
+    for entry in reference.significant_wait_states(config.significance_fraction) {
+        let candidate_entry = candidate.entry(entry.metric, &entry.region);
+        // Sign and magnitude.
+        checks += 1;
+        let ref_total = entry.total_ms();
+        let cand_total = candidate_entry.map(SeverityEntry::total_ms).unwrap_or(0.0);
+        let magnitude_ok = cand_total.signum() == ref_total.signum()
+            && (cand_total - ref_total).abs()
+                <= config.magnitude_tolerance * ref_total.abs()
+                    + config.significance_fraction * total_time;
+        if magnitude_ok {
+            passed += 1;
+        } else {
+            discrepancies.push(Discrepancy {
+                metric: entry.metric,
+                region: entry.region.clone(),
+                description: format!(
+                    "total severity changed from {ref_total:.2}ms to {cand_total:.2}ms"
+                ),
+            });
+        }
+        // Rank pattern.
+        checks += 1;
+        match candidate_entry {
+            Some(cand) => {
+                let distance = pattern_distance(entry, cand);
+                if distance <= config.pattern_tolerance {
+                    passed += 1;
+                } else {
+                    discrepancies.push(Discrepancy {
+                        metric: entry.metric,
+                        region: entry.region.clone(),
+                        description: format!(
+                            "per-rank severity pattern changed (mean abs diff {distance:.2})"
+                        ),
+                    });
+                }
+            }
+            None => discrepancies.push(Discrepancy {
+                metric: entry.metric,
+                region: entry.region.clone(),
+                description: "finding disappeared from the reduced trace".into(),
+            }),
+        }
+    }
+
+    // 3: no significant spurious findings (including large negative ones).
+    for entry in candidate.significant_wait_states(config.spurious_fraction) {
+        let in_reference = reference
+            .significant_wait_states(config.significance_fraction)
+            .iter()
+            .any(|r| r.metric == entry.metric && r.region == entry.region);
+        checks += 1;
+        if in_reference {
+            passed += 1;
+        } else {
+            discrepancies.push(Discrepancy {
+                metric: entry.metric,
+                region: entry.region.clone(),
+                description: format!(
+                    "spurious finding with total severity {:.2}ms not present in the full trace",
+                    entry.total_ms()
+                ),
+            });
+        }
+    }
+
+    // 4: strongly imbalanced execution-time distributions keep their shape.
+    for ((metric, region), entry) in &reference.entries {
+        if *metric != MetricKind::ExecutionTime {
+            continue;
+        }
+        let max = entry.per_rank_ms.iter().copied().fold(f64::MIN, f64::max);
+        let min = entry.per_rank_ms.iter().copied().fold(f64::MAX, f64::min);
+        let imbalanced = max > 1.5 * min.max(1e-9) && max > 0.05 * total_time;
+        if !imbalanced {
+            continue;
+        }
+        checks += 1;
+        match candidate.entry(*metric, region) {
+            Some(cand) => {
+                let distance = pattern_distance(entry, cand);
+                if distance <= config.pattern_tolerance {
+                    passed += 1;
+                } else {
+                    discrepancies.push(Discrepancy {
+                        metric: *metric,
+                        region: region.clone(),
+                        description: format!(
+                            "execution-time imbalance pattern changed (mean abs diff {distance:.2})"
+                        ),
+                    });
+                }
+            }
+            None => discrepancies.push(Discrepancy {
+                metric: *metric,
+                region: region.clone(),
+                description: "code location disappeared from the reduced trace".into(),
+            }),
+        }
+    }
+
+    let score = if checks == 0 {
+        1.0
+    } else {
+        passed as f64 / checks as f64
+    };
+    TrendComparison {
+        retained: discrepancies.is_empty(),
+        score,
+        discrepancies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Diagnosis {
+        let mut d = Diagnosis::new("ref", 4);
+        for rank in 0..4 {
+            d.add(MetricKind::ExecutionTime, "do_work", rank, 100.0);
+        }
+        d.add(MetricKind::WaitAtNxN, "MPI_Alltoall", 0, 40.0);
+        d.add(MetricKind::WaitAtNxN, "MPI_Alltoall", 1, 30.0);
+        d.add(MetricKind::WaitAtNxN, "MPI_Alltoall", 2, 5.0);
+        d.add(MetricKind::WaitAtNxN, "MPI_Alltoall", 3, 1.0);
+        d
+    }
+
+    #[test]
+    fn identical_diagnoses_are_retained() {
+        let r = reference();
+        let cmp = compare_diagnoses(&r, &r.clone(), &ComparisonConfig::default());
+        assert!(cmp.retained);
+        assert_eq!(cmp.score, 1.0);
+        assert!(cmp.discrepancies.is_empty());
+    }
+
+    #[test]
+    fn small_perturbations_are_tolerated() {
+        let r = reference();
+        let mut c = r.clone();
+        c.add(MetricKind::WaitAtNxN, "MPI_Alltoall", 0, 5.0);
+        c.add(MetricKind::WaitAtNxN, "MPI_Alltoall", 3, 2.0);
+        let cmp = compare_diagnoses(&r, &c, &ComparisonConfig::default());
+        assert!(cmp.retained, "{:?}", cmp.discrepancies);
+    }
+
+    #[test]
+    fn lost_finding_is_detected() {
+        let r = reference();
+        let mut c = Diagnosis::new("cand", 4);
+        for rank in 0..4 {
+            c.add(MetricKind::ExecutionTime, "do_work", rank, 100.0);
+        }
+        let cmp = compare_diagnoses(&r, &c, &ComparisonConfig::default());
+        assert!(!cmp.retained);
+        assert!(cmp.score < 1.0);
+        assert!(cmp
+            .discrepancies
+            .iter()
+            .any(|d| d.description.contains("disappeared") || d.description.contains("changed")));
+    }
+
+    #[test]
+    fn flipped_rank_pattern_is_detected() {
+        let r = reference();
+        let mut c = reference();
+        // Swap the waiting ranks: now ranks 2 and 3 wait instead of 0 and 1.
+        let entry = c
+            .entries
+            .get_mut(&(MetricKind::WaitAtNxN, "MPI_Alltoall".to_owned()))
+            .unwrap();
+        entry.per_rank_ms = vec![1.0, 5.0, 30.0, 40.0];
+        let cmp = compare_diagnoses(&r, &c, &ComparisonConfig::default());
+        assert!(!cmp.retained);
+    }
+
+    #[test]
+    fn spurious_negative_finding_is_detected() {
+        let r = reference();
+        let mut c = reference();
+        c.add(MetricKind::LateSender, "MPI_Recv", 2, -60.0);
+        let cmp = compare_diagnoses(&r, &c, &ComparisonConfig::default());
+        assert!(!cmp.retained);
+        assert!(cmp
+            .discrepancies
+            .iter()
+            .any(|d| d.metric == MetricKind::LateSender));
+    }
+
+    #[test]
+    fn sign_flip_of_a_finding_is_detected() {
+        let r = reference();
+        let mut c = reference();
+        let entry = c
+            .entries
+            .get_mut(&(MetricKind::WaitAtNxN, "MPI_Alltoall".to_owned()))
+            .unwrap();
+        entry.per_rank_ms = vec![-40.0, -30.0, -5.0, -1.0];
+        let cmp = compare_diagnoses(&r, &c, &ComparisonConfig::default());
+        assert!(!cmp.retained);
+    }
+
+    #[test]
+    fn lost_execution_time_imbalance_is_detected() {
+        let mut r = reference();
+        // Make do_work strongly imbalanced in the reference.
+        let entry = r
+            .entries
+            .get_mut(&(MetricKind::ExecutionTime, "do_work".to_owned()))
+            .unwrap();
+        entry.per_rank_ms = vec![50.0, 50.0, 200.0, 200.0];
+        let mut c = r.clone();
+        let centry = c
+            .entries
+            .get_mut(&(MetricKind::ExecutionTime, "do_work".to_owned()))
+            .unwrap();
+        centry.per_rank_ms = vec![125.0, 125.0, 125.0, 125.0];
+        let cmp = compare_diagnoses(&r, &c, &ComparisonConfig::default());
+        assert!(!cmp.retained);
+        assert!(cmp
+            .discrepancies
+            .iter()
+            .any(|d| d.metric == MetricKind::ExecutionTime));
+    }
+}

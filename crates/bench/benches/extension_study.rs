@@ -1,0 +1,57 @@
+//! Extension study (beyond the paper): similarity-based reduction versus
+//! trace sampling, periodicity-based reduction and inter-process clustering,
+//! plus the extended similarity-method catalogue.
+//!
+//! The full comparison table is printed once (size it with
+//! `TRACE_REPRO_PRESET=paper|small|tiny`); the Criterion measurement then
+//! times one complete technique evaluation per technique on a representative
+//! workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trace_bench::preset_from_env;
+use trace_eval::{
+    evaluate_technique, extension_study, extension_summary_table, extension_table,
+    ExtensionTechnique,
+};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+fn representative_kinds() -> Vec<WorkloadKind> {
+    vec![
+        WorkloadKind::LateSender,
+        WorkloadKind::by_name("NtoN_32").expect("interference workload exists"),
+        WorkloadKind::DynLoadBalance,
+        WorkloadKind::Sweep3d8p,
+    ]
+}
+
+fn regenerate_tables() {
+    let preset = preset_from_env(SizePreset::Small);
+    eprintln!("[extension] generating representative workloads at {preset:?} preset...");
+    let traces: Vec<_> = representative_kinds()
+        .into_iter()
+        .map(|kind| Workload::new(kind, preset).generate())
+        .collect();
+    let evaluations = extension_study(&traces);
+    println!("{}", extension_table(&evaluations).render());
+    println!("{}", extension_summary_table(&evaluations).render());
+}
+
+fn bench_technique_evaluation(c: &mut Criterion) {
+    regenerate_tables();
+
+    let full = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Small).generate();
+    let mut group = c.benchmark_group("extension/evaluate_technique");
+    group.sample_size(10);
+    for technique in ExtensionTechnique::default_catalogue() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(technique.label()),
+            &technique,
+            |b, &technique| b.iter(|| evaluate_technique(&full, technique)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_technique_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Appendix Figures 9–16: file size and approximation distance versus
+//! threshold for every method, over the 16 benchmark workloads
+//! (Figure 9 relDiff, 10 absDiff, 11 Manhattan, 12 Euclidean, 13 Chebyshev,
+//! 14 iter_k, 15 avgWave, 16 haarWave).
+//!
+//! The sweep tables are printed once (default preset: tiny, override with
+//! `TRACE_REPRO_PRESET`); the Criterion measurement times the reduction of
+//! one benchmark workload at each threshold of one representative method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trace_bench::{benchmark_workloads, preset_from_env};
+use trace_eval::threshold::{threshold_figure_table, threshold_study_for_method};
+use trace_reduce::{Method, MethodConfig, Reducer};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+/// The appendix figure number for each swept method.
+const FIGURES: [(u32, Method); 8] = [
+    (9, Method::RelDiff),
+    (10, Method::AbsDiff),
+    (11, Method::Manhattan),
+    (12, Method::Euclidean),
+    (13, Method::Chebyshev),
+    (14, Method::IterK),
+    (15, Method::AvgWave),
+    (16, Method::HaarWave),
+];
+
+fn regenerate_figures() {
+    let preset = preset_from_env(SizePreset::Tiny);
+    eprintln!("[fig9-16] generating the 16 benchmark workloads at {preset:?} preset...");
+    let traces = benchmark_workloads(preset);
+    for (figure, method) in FIGURES {
+        let points = threshold_study_for_method(&traces, method);
+        println!("Figure {figure}:");
+        println!("{}", threshold_figure_table(method, &points).render());
+    }
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    regenerate_figures();
+
+    let full = Workload::new(WorkloadKind::LateSender, SizePreset::Small).generate();
+    let mut group = c.benchmark_group("fig09_16/reduce_late_sender_euclidean");
+    group.sample_size(10);
+    for threshold in Method::Euclidean.threshold_grid() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &threshold| {
+                let reducer = Reducer::new(MethodConfig::new(Method::Euclidean, threshold));
+                b.iter(|| reducer.reduce_app(&full))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold_sweep);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Appendix Figures 17–19: file size and approximation distance versus
+//! threshold for the Sweep3D runs (Figure 17: relDiff, absDiff, Manhattan;
+//! Figure 18: Euclidean, Chebyshev, iter_k; Figure 19: the wavelets).
+//!
+//! The sweep tables are printed once; the Criterion measurement times the
+//! reduction of the sweep3d_8p trace with each method at its default
+//! threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trace_bench::{preset_from_env, sweep3d_workloads};
+use trace_eval::threshold::{threshold_figure_table, threshold_study_for_method};
+use trace_reduce::{Method, Reducer};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+const FIGURES: [(u32, &[Method]); 3] = [
+    (17, &[Method::RelDiff, Method::AbsDiff, Method::Manhattan]),
+    (18, &[Method::Euclidean, Method::Chebyshev, Method::IterK]),
+    (19, &[Method::AvgWave, Method::HaarWave]),
+];
+
+fn regenerate_figures() {
+    let preset = preset_from_env(SizePreset::Tiny);
+    eprintln!("[fig17-19] generating the sweep3d workloads at {preset:?} preset...");
+    let traces = sweep3d_workloads(preset);
+    for (figure, methods) in FIGURES {
+        println!("Figure {figure}:");
+        for &method in methods {
+            let points = threshold_study_for_method(&traces, method);
+            println!("{}", threshold_figure_table(method, &points).render());
+        }
+    }
+}
+
+fn bench_sweep3d_reduction(c: &mut Criterion) {
+    regenerate_figures();
+
+    let full = Workload::new(WorkloadKind::Sweep3d8p, SizePreset::Small).generate();
+    let mut group = c.benchmark_group("fig17_19/reduce_sweep3d_8p");
+    group.sample_size(10);
+    for method in Method::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &method| {
+                let reducer = Reducer::with_default_threshold(method);
+                b.iter(|| reducer.reduce_app(&full))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep3d_reduction);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figures 5 and 6 + the Section 5.2 summary: the comparative study of all
+//! nine methods at their default thresholds over all 18 workloads.
+//!
+//! The full data series is printed once (size it with
+//! `TRACE_REPRO_PRESET=paper|small|tiny`); the Criterion measurement then
+//! times one complete method evaluation (reduce + encode + reconstruct +
+//! analyse) per method on a representative workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trace_bench::{all_workloads, preset_from_env};
+use trace_eval::comparative::comparative_study;
+use trace_eval::evaluation::evaluate_method;
+use trace_reduce::{Method, MethodConfig};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+fn regenerate_figures() {
+    let preset = preset_from_env(SizePreset::Small);
+    eprintln!("[fig5/fig6] generating all 18 workloads at {preset:?} preset...");
+    let traces = all_workloads(preset);
+    let study = comparative_study(&traces);
+    println!("{}", study.figure5_table().render());
+    println!("{}", study.figure6_table().render());
+    println!("{}", study.trend_retention_table().render());
+    println!("{}", study.summary_table().render());
+    println!("Average file-size ranking (smallest first):");
+    for (method, size) in study.average_file_size_ranking() {
+        println!("  {:<10} {:>7.2}%", method.name(), size);
+    }
+    println!("Correct diagnoses per method (out of {}):", study.workloads().len());
+    for (method, count) in study.correct_diagnosis_counts() {
+        println!("  {:<10} {}", method.name(), count);
+    }
+}
+
+fn bench_method_evaluation(c: &mut Criterion) {
+    regenerate_figures();
+
+    // Criterion measurement: one full evaluation per method on the
+    // dyn_load_balance workload (medium size, exercises every criterion).
+    let full = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Small).generate();
+    let mut group = c.benchmark_group("fig5_fig6/evaluate_method");
+    group.sample_size(10);
+    for method in Method::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &method| {
+                b.iter(|| evaluate_method(&full, MethodConfig::with_default_threshold(method)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_method_evaluation);
+criterion_main!(benches);

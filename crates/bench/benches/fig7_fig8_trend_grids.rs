@@ -1,0 +1,41 @@
+//! Figures 7 and 8 (and the Figure 4 representation): KOJAK-style
+//! performance-trend charts for `dyn_load_balance` and `1to1r_1024`, full
+//! trace versus every method's reconstruction at the default thresholds.
+//!
+//! The charts are printed once; the Criterion measurement times the
+//! wait-state analysis itself (the EXPERT-equivalent pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trace_analysis::diagnose;
+use trace_bench::preset_from_env;
+use trace_eval::comparative::trend_grids;
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+fn regenerate_figures() -> Vec<trace_model::AppTrace> {
+    let preset = preset_from_env(SizePreset::Small);
+    let workloads = ["dyn_load_balance", "1to1r_1024"];
+    let mut traces = Vec::new();
+    for name in workloads {
+        let kind = WorkloadKind::by_name(name).expect("paper workload");
+        let full = Workload::new(kind, preset).generate();
+        println!("{}", trend_grids(&full));
+        traces.push(full);
+    }
+    traces
+}
+
+fn bench_diagnosis(c: &mut Criterion) {
+    let traces = regenerate_figures();
+    let mut group = c.benchmark_group("fig7_fig8/diagnose");
+    group.sample_size(10);
+    for trace in &traces {
+        group.bench_with_input(BenchmarkId::from_parameter(&trace.name), trace, |b, trace| {
+            b.iter(|| diagnose(trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diagnosis);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Appendix Tables 1–18: retention of performance trends with varying
+//! thresholds, one table per workload (Table 1 dyn_load_balance, 2
+//! early_gather, 3 imbalance_at_mpi_barrier, 4 late_broadcast, 5
+//! late_receiver, 6 late_sender, 7–16 the interference benchmarks, 17–18
+//! the Sweep3D runs).
+//!
+//! The tables are printed once (default preset: tiny); the Criterion
+//! measurement times the trend-retention check (analysis of the full and
+//! the reconstructed trace plus the comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trace_bench::preset_from_env;
+use trace_eval::criteria::trends_retained;
+use trace_eval::threshold::{threshold_study_for_method, trend_retention_by_threshold_table};
+use trace_reduce::{Method, Reducer};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+/// Table numbers in the paper's appendix, keyed by workload name.
+const TABLE_ORDER: [(u32, &str); 18] = [
+    (1, "dyn_load_balance"),
+    (2, "early_gather"),
+    (3, "imbalance_at_mpi_barrier"),
+    (4, "late_broadcast"),
+    (5, "late_receiver"),
+    (6, "late_sender"),
+    (7, "Nto1_32"),
+    (8, "NtoN_32"),
+    (9, "1toN_32"),
+    (10, "1to1r_32"),
+    (11, "1to1s_32"),
+    (12, "Nto1_1024"),
+    (13, "NtoN_1024"),
+    (14, "1toN_1024"),
+    (15, "1to1r_1024"),
+    (16, "1to1s_1024"),
+    (17, "sweep3d_8p"),
+    (18, "sweep3d_32p"),
+];
+
+fn regenerate_tables() {
+    let preset = preset_from_env(SizePreset::Tiny);
+    eprintln!("[tables 1-18] generating all 18 workloads at {preset:?} preset...");
+    for (table, workload_name) in TABLE_ORDER {
+        let kind = WorkloadKind::by_name(workload_name).expect("paper workload");
+        let trace = vec![Workload::new(kind, preset).generate()];
+        println!("Table {table}: {workload_name}");
+        for method in Method::ALL {
+            let points = threshold_study_for_method(&trace, method);
+            println!(
+                "{}",
+                trend_retention_by_threshold_table(workload_name, &points).render()
+            );
+        }
+    }
+}
+
+fn bench_trend_retention(c: &mut Criterion) {
+    regenerate_tables();
+
+    let full = Workload::new(WorkloadKind::ImbalanceAtMpiBarrier, SizePreset::Small).generate();
+    let mut group = c.benchmark_group("tables/trend_retention_check");
+    group.sample_size(10);
+    for method in [Method::RelDiff, Method::AvgWave, Method::IterAvg] {
+        let approx = Reducer::with_default_threshold(method)
+            .reduce_app(&full)
+            .reconstruct();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &approx,
+            |b, approx| b.iter(|| trends_retained(&full, approx)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trend_retention);
+criterion_main!(benches);

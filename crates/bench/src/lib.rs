@@ -1,0 +1,66 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates the data series of one (or one group of)
+//! paper figure/table and prints it before running a Criterion measurement
+//! of the underlying operation.  The workload scale is controlled with the
+//! `TRACE_REPRO_PRESET` environment variable (`paper`, `small`, `tiny`), so
+//! `cargo bench` stays fast by default while
+//! `TRACE_REPRO_PRESET=paper cargo bench` reproduces the full-scale numbers
+//! recorded in EXPERIMENTS.md.
+
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+/// Resolves the workload size preset from `TRACE_REPRO_PRESET`, using
+/// `default` when the variable is unset or unrecognized.
+pub fn preset_from_env(default: SizePreset) -> SizePreset {
+    match std::env::var("TRACE_REPRO_PRESET").as_deref() {
+        Ok("paper") => SizePreset::Paper,
+        Ok("small") => SizePreset::Small,
+        Ok("tiny") => SizePreset::Tiny,
+        _ => default,
+    }
+}
+
+/// Generates all 18 paper workloads at the given preset.
+pub fn all_workloads(preset: SizePreset) -> Vec<trace_model::AppTrace> {
+    Workload::all(preset).iter().map(Workload::generate).collect()
+}
+
+/// Generates the 16 benchmark workloads (everything except Sweep3D).
+pub fn benchmark_workloads(preset: SizePreset) -> Vec<trace_model::AppTrace> {
+    WorkloadKind::benchmarks()
+        .into_iter()
+        .map(|kind| Workload::new(kind, preset).generate())
+        .collect()
+}
+
+/// Generates the two Sweep3D workloads.
+pub fn sweep3d_workloads(preset: SizePreset) -> Vec<trace_model::AppTrace> {
+    [WorkloadKind::Sweep3d8p, WorkloadKind::Sweep3d32p]
+        .into_iter()
+        .map(|kind| Workload::new(kind, preset).generate())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_parsing_defaults_and_overrides() {
+        // Unset or unknown values fall back to the provided default.
+        std::env::remove_var("TRACE_REPRO_PRESET");
+        assert_eq!(preset_from_env(SizePreset::Tiny), SizePreset::Tiny);
+        std::env::set_var("TRACE_REPRO_PRESET", "bogus");
+        assert_eq!(preset_from_env(SizePreset::Small), SizePreset::Small);
+        std::env::set_var("TRACE_REPRO_PRESET", "paper");
+        assert_eq!(preset_from_env(SizePreset::Tiny), SizePreset::Paper);
+        std::env::remove_var("TRACE_REPRO_PRESET");
+    }
+
+    #[test]
+    fn workload_groups_have_expected_sizes() {
+        assert_eq!(benchmark_workloads(SizePreset::Tiny).len(), 16);
+        assert_eq!(sweep3d_workloads(SizePreset::Tiny).len(), 2);
+    }
+}

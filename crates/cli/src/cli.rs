@@ -1,0 +1,142 @@
+//! Minimal argument parsing for `trace-tools`.
+//!
+//! The grammar is deliberately simple — `trace-tools <subcommand>
+//! [--flag value]…` — so no external argument-parsing dependency is needed.
+
+use std::collections::BTreeMap;
+
+/// A parsed invocation: the subcommand plus its `--flag value` options.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Invocation {
+    /// The subcommand name (e.g. `generate`).
+    pub command: String,
+    /// Flag values keyed by flag name (without the leading `--`).
+    pub options: BTreeMap<String, String>,
+}
+
+impl Invocation {
+    /// Creates an invocation (used by tests and the examples).
+    pub fn new(command: &str, options: &[(&str, &str)]) -> Self {
+        Invocation {
+            command: command.to_string(),
+            options: options
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Returns a required option or a descriptive error.
+    pub fn require(&self, flag: &str) -> Result<&str, String> {
+        self.options
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{flag} for `{}`", self.command))
+    }
+
+    /// Returns an optional option.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.options.get(flag).map(String::as_str)
+    }
+
+    /// Returns an optional option parsed as `f64`.
+    pub fn get_f64(&self, flag: &str) -> Result<Option<f64>, String> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|_| format!("option --{flag} expects a number, got {raw:?}")),
+        }
+    }
+
+    /// Returns an optional option parsed as `usize`.
+    pub fn get_usize(&self, flag: &str) -> Result<Option<usize>, String> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| format!("option --{flag} expects an integer, got {raw:?}")),
+        }
+    }
+}
+
+/// Parses raw command-line arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let mut iter = args.iter();
+    let command = iter
+        .next()
+        .ok_or_else(|| "no subcommand given".to_string())?
+        .clone();
+    if command.starts_with("--") {
+        return Err(format!("expected a subcommand, found flag {command:?}"));
+    }
+    let mut options = BTreeMap::new();
+    while let Some(flag) = iter.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, found {flag:?}"))?;
+        if name.is_empty() {
+            return Err("empty flag name".to_string());
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} is missing its value"))?;
+        if options.insert(name.to_string(), value.clone()).is_some() {
+            return Err(format!("flag --{name} was given more than once"));
+        }
+    }
+    Ok(Invocation { command, options })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let inv = parse_args(&strings(&[
+            "reduce",
+            "--method",
+            "avgWave",
+            "--threshold",
+            "0.2",
+        ]))
+        .unwrap();
+        assert_eq!(inv.command, "reduce");
+        assert_eq!(inv.require("method").unwrap(), "avgWave");
+        assert_eq!(inv.get_f64("threshold").unwrap(), Some(0.2));
+        assert_eq!(inv.get("missing"), None);
+        assert_eq!(inv.get_f64("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_missing_subcommand_and_values() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&strings(&["--method", "x"])).is_err());
+        assert!(parse_args(&strings(&["reduce", "--method"])).is_err());
+        assert!(parse_args(&strings(&["reduce", "method", "x"])).is_err());
+        assert!(parse_args(&strings(&["reduce", "--", "x"])).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_flags_and_bad_numbers() {
+        assert!(parse_args(&strings(&["x", "--a", "1", "--a", "2"])).is_err());
+        let inv = parse_args(&strings(&["x", "--k", "abc"])).unwrap();
+        assert!(inv.get_f64("k").is_err());
+        assert!(inv.get_usize("k").is_err());
+    }
+
+    #[test]
+    fn require_reports_the_subcommand() {
+        let inv = Invocation::new("generate", &[]);
+        let err = inv.require("workload").unwrap_err();
+        assert!(err.contains("--workload"));
+        assert!(err.contains("generate"));
+    }
+}

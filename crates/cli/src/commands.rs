@@ -1,0 +1,563 @@
+//! Subcommand implementations for `trace-tools`.
+
+use std::path::Path;
+
+use trace_analysis::diagnose;
+use trace_eval::{evaluate_method, file_size_percent};
+use trace_model::codec::encode_app_trace;
+use trace_reduce::{ExtendedConfig, ExtendedMethod, ExtendedReducer, MethodConfig};
+use trace_sampling::{sample_app, AdaptiveConfig, SamplingPolicy};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+use crate::cli::Invocation;
+use crate::io::{load_app_trace, load_reduced_trace, store_app_trace, store_reduced_trace};
+
+/// The usage text printed by `trace-tools help` and after errors.
+pub fn usage() -> String {
+    "\
+trace-tools <subcommand> [--flag value]...
+
+subcommands:
+  list                                   list workloads, methods and sampling policies
+  generate   --workload W --out FILE     generate a benchmark/application trace
+             [--preset tiny|small|paper]
+  reduce     --in FILE --out FILE        similarity-based reduction
+             --method M [--threshold T]
+  sample     --in FILE --out FILE        sampling-based reduction
+             --policy every:N|random:F|adaptive:E [--seed S]
+  reconstruct --in REDUCED --out FILE    rebuild an approximate full trace
+  convert    --in FILE --out FILE        convert between binary (.trc) and text (.txt)
+  analyze    --in FILE                   KOJAK-style wait-state diagnosis
+  evaluate   --workload W --method M     run the paper's four criteria
+             [--threshold T] [--preset P]
+  cluster    --in FILE --k N             inter-process clustering of the ranks
+             [--algorithm kmeans|single|complete|average] [--out FILE]
+  extension-study --workload W           compare similarity, sampling and
+             [--preset P]                clustering on one workload
+
+file formats are chosen by extension: .txt/.trctxt = text, anything else = binary"
+        .to_string()
+}
+
+fn parse_preset(raw: Option<&str>) -> Result<SizePreset, String> {
+    match raw.unwrap_or("small") {
+        "tiny" => Ok(SizePreset::Tiny),
+        "small" => Ok(SizePreset::Small),
+        "paper" => Ok(SizePreset::Paper),
+        other => Err(format!("unknown preset {other:?} (expected tiny, small or paper)")),
+    }
+}
+
+fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
+    WorkloadKind::by_name(name).ok_or_else(|| {
+        let known: Vec<String> = WorkloadKind::all_paper().iter().map(|k| k.name()).collect();
+        format!("unknown workload {name:?}; known workloads: {}", known.join(", "))
+    })
+}
+
+fn parse_method(invocation: &Invocation) -> Result<ExtendedConfig, String> {
+    let name = invocation.require("method")?;
+    let method = ExtendedMethod::by_name(name).ok_or_else(|| {
+        let known: Vec<&str> = ExtendedMethod::all().iter().map(|m| m.name()).collect();
+        format!("unknown method {name:?}; known methods: {}", known.join(", "))
+    })?;
+    let threshold = invocation
+        .get_f64("threshold")?
+        .unwrap_or_else(|| method.default_threshold());
+    Ok(ExtendedConfig::new(method, threshold))
+}
+
+fn parse_policy(invocation: &Invocation) -> Result<SamplingPolicy, String> {
+    let raw = invocation.require("policy")?;
+    let seed = invocation.get_usize("seed")?.unwrap_or(0x5eed) as u64;
+    let (kind, value) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("policy {raw:?} must look like every:10, random:0.25 or adaptive:0.05"))?;
+    match kind {
+        "every" => value
+            .parse::<usize>()
+            .map(SamplingPolicy::EveryNth)
+            .map_err(|_| format!("every:{value:?} expects an integer")),
+        "random" => value
+            .parse::<f64>()
+            .map(|fraction| SamplingPolicy::Random { fraction, seed })
+            .map_err(|_| format!("random:{value:?} expects a fraction")),
+        "adaptive" => value
+            .parse::<f64>()
+            .map(|err| SamplingPolicy::Adaptive(AdaptiveConfig::with_relative_error(err)))
+            .map_err(|_| format!("adaptive:{value:?} expects a relative error")),
+        other => Err(format!("unknown sampling policy kind {other:?}")),
+    }
+}
+
+fn cmd_list() -> String {
+    let workloads: Vec<String> = WorkloadKind::all_paper().iter().map(|k| k.name()).collect();
+    let methods: Vec<&str> = ExtendedMethod::all().iter().map(|m| m.name()).collect();
+    format!(
+        "workloads ({}):\n  {}\n\nsimilarity methods ({}):\n  {}\n\nsampling policies:\n  every:<n>  random:<fraction>  adaptive:<relative error>",
+        workloads.len(),
+        workloads.join("\n  "),
+        methods.len(),
+        methods.join("\n  ")
+    )
+}
+
+fn cmd_generate(invocation: &Invocation) -> Result<String, String> {
+    let kind = parse_workload(invocation.require("workload")?)?;
+    let preset = parse_preset(invocation.get("preset"))?;
+    let out = Path::new(invocation.require("out")?);
+    let app = Workload::new(kind, preset).generate();
+    store_app_trace(out, &app)?;
+    Ok(format!(
+        "generated {}: {} ranks, {} events, {} bytes encoded -> {}",
+        app.name,
+        app.rank_count(),
+        app.total_events(),
+        encode_app_trace(&app).len(),
+        out.display()
+    ))
+}
+
+fn cmd_reduce(invocation: &Invocation) -> Result<String, String> {
+    let config = parse_method(invocation)?;
+    let input = Path::new(invocation.require("in")?);
+    let out = Path::new(invocation.require("out")?);
+    let app = load_app_trace(input)?;
+    let reduced = ExtendedReducer::new(config).reduce_app(&app);
+    store_reduced_trace(out, &reduced)?;
+    Ok(format!(
+        "reduced {} with {}: {} stored segments for {} executions, {:.2}% of the full size, degree of matching {:.3} -> {}",
+        app.name,
+        config.label(),
+        reduced.total_stored(),
+        reduced.total_execs(),
+        file_size_percent(&app, &reduced),
+        reduced.degree_of_matching(),
+        out.display()
+    ))
+}
+
+fn cmd_sample(invocation: &Invocation) -> Result<String, String> {
+    let policy = parse_policy(invocation)?;
+    let input = Path::new(invocation.require("in")?);
+    let out = Path::new(invocation.require("out")?);
+    let app = load_app_trace(input)?;
+    let reduced = sample_app(&app, policy);
+    store_reduced_trace(out, &reduced)?;
+    Ok(format!(
+        "sampled {} with {}: {} stored segments for {} executions, {:.2}% of the full size -> {}",
+        app.name,
+        policy.label(),
+        reduced.total_stored(),
+        reduced.total_execs(),
+        file_size_percent(&app, &reduced),
+        out.display()
+    ))
+}
+
+fn cmd_reconstruct(invocation: &Invocation) -> Result<String, String> {
+    let input = Path::new(invocation.require("in")?);
+    let out = Path::new(invocation.require("out")?);
+    let reduced = load_reduced_trace(input)?;
+    let approx = reduced.reconstruct();
+    store_app_trace(out, &approx)?;
+    Ok(format!(
+        "reconstructed {}: {} ranks, {} events -> {}",
+        approx.name,
+        approx.rank_count(),
+        approx.total_events(),
+        out.display()
+    ))
+}
+
+fn cmd_convert(invocation: &Invocation) -> Result<String, String> {
+    let input = Path::new(invocation.require("in")?);
+    let out = Path::new(invocation.require("out")?);
+    let app = load_app_trace(input)?;
+    store_app_trace(out, &app)?;
+    Ok(format!("converted {} -> {}", input.display(), out.display()))
+}
+
+fn cmd_analyze(invocation: &Invocation) -> Result<String, String> {
+    let input = Path::new(invocation.require("in")?);
+    let app = load_app_trace(input)?;
+    let diagnosis = diagnose(&app);
+    Ok(format!(
+        "diagnosis of {} ({} ranks, {} events):\n{}",
+        app.name,
+        app.rank_count(),
+        app.total_events(),
+        diagnosis.render_chart()
+    ))
+}
+
+fn cmd_evaluate(invocation: &Invocation) -> Result<String, String> {
+    let kind = parse_workload(invocation.require("workload")?)?;
+    let preset = parse_preset(invocation.get("preset"))?;
+    let config = parse_method(invocation)?;
+    let app = Workload::new(kind, preset).generate();
+    // Paper methods go through the reference evaluation pipeline so every
+    // criterion (including degree of matching) is reported; extension
+    // methods report the criteria that apply to them.
+    let text = match config.method {
+        ExtendedMethod::Paper(method) => {
+            let eval = evaluate_method(&app, MethodConfig::new(method, config.threshold));
+            format!(
+                "workload {}  method {}\n  file size: {:.2}% of full\n  degree of matching: {:.3}\n  approximation distance: {:.2} us\n  trends retained: {}",
+                eval.workload,
+                eval.config.label(),
+                eval.file_size_percent,
+                eval.degree_of_matching,
+                eval.approximation_distance_us,
+                if eval.trends_retained { "yes" } else { "NO" }
+            )
+        }
+        _ => {
+            let technique = trace_eval::ExtensionTechnique::Similarity(config);
+            let eval = trace_eval::evaluate_technique(&app, technique);
+            format!(
+                "workload {}  method {}\n  file size: {:.2}% of full\n  approximation distance: {:.2} us\n  trends retained: {}\n  trace confidence: {:.3}",
+                eval.workload,
+                eval.technique,
+                eval.file_size_percent,
+                eval.approximation_distance_us,
+                if eval.trends_retained { "yes" } else { "NO" },
+                eval.confidence
+            )
+        }
+    };
+    Ok(text)
+}
+
+fn cmd_cluster(invocation: &Invocation) -> Result<String, String> {
+    use trace_clustering::{
+        cluster_reduce, euclidean_distance_matrix, hierarchical_clustering, kmeans, rank_features,
+        silhouette_score, KMeansConfig, Linkage, Normalization,
+    };
+
+    let input = Path::new(invocation.require("in")?);
+    let k = invocation
+        .get_usize("k")?
+        .ok_or_else(|| "missing required option --k for `cluster`".to_string())?;
+    if k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+    let algorithm = invocation.get("algorithm").unwrap_or("kmeans");
+
+    let app = load_app_trace(input)?;
+    let features = rank_features(&app, Normalization::MinMax);
+    let matrix = euclidean_distance_matrix(&features);
+    let assignments = match algorithm {
+        "kmeans" => kmeans(&features, &KMeansConfig::new(k)).assignments,
+        "single" => hierarchical_clustering(&matrix, k, Linkage::Single),
+        "complete" => hierarchical_clustering(&matrix, k, Linkage::Complete),
+        "average" => hierarchical_clustering(&matrix, k, Linkage::Average),
+        other => {
+            return Err(format!(
+                "unknown clustering algorithm {other:?} (expected kmeans, single, complete or average)"
+            ))
+        }
+    };
+    let score = silhouette_score(&matrix, &assignments);
+    let clustered = cluster_reduce(&app, &assignments, &matrix);
+
+    let mut output = format!(
+        "clustered {} ({} ranks) into {} clusters with {algorithm} (silhouette {score:.3})\n",
+        app.name,
+        app.rank_count(),
+        clustered.cluster_count()
+    );
+    for (cluster, &representative) in clustered.representatives.iter().enumerate() {
+        let members: Vec<String> = clustered
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == cluster)
+            .map(|(rank, _)| rank.to_string())
+            .collect();
+        output.push_str(&format!(
+            "  cluster {cluster}: representative rank {representative}, members [{}]\n",
+            members.join(", ")
+        ));
+    }
+    output.push_str(&format!(
+        "retained {:.1}% of the rank traces",
+        100.0 * clustered.retained_fraction()
+    ));
+
+    if let Some(out) = invocation.get("out") {
+        store_app_trace(Path::new(out), &clustered.retained)?;
+        output.push_str(&format!("\nretained representative traces -> {out}"));
+    }
+    Ok(output)
+}
+
+fn cmd_extension_study(invocation: &Invocation) -> Result<String, String> {
+    let kind = parse_workload(invocation.require("workload")?)?;
+    let preset = parse_preset(invocation.get("preset"))?;
+    let app = Workload::new(kind, preset).generate();
+    let evaluations = trace_eval::extension_study(std::slice::from_ref(&app));
+    Ok(format!(
+        "{}\n{}",
+        trace_eval::extension_table(&evaluations).render(),
+        trace_eval::extension_summary_table(&evaluations).render()
+    ))
+}
+
+/// Runs a parsed invocation, returning the text to print.
+pub fn run(invocation: &Invocation) -> Result<String, String> {
+    match invocation.command.as_str() {
+        "help" | "--help" | "-h" => Ok(usage()),
+        "list" => Ok(cmd_list()),
+        "generate" => cmd_generate(invocation),
+        "reduce" => cmd_reduce(invocation),
+        "sample" => cmd_sample(invocation),
+        "reconstruct" => cmd_reconstruct(invocation),
+        "convert" => cmd_convert(invocation),
+        "analyze" => cmd_analyze(invocation),
+        "evaluate" => cmd_evaluate(invocation),
+        "cluster" => cmd_cluster(invocation),
+        "extension-study" => cmd_extension_study(invocation),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trace_tools_cmd_{}_{name}", std::process::id()));
+        path
+    }
+
+    fn cleanup(paths: &[&PathBuf]) {
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn list_and_help_are_informative() {
+        let list = run(&Invocation::new("list", &[])).unwrap();
+        assert!(list.contains("late_sender"));
+        assert!(list.contains("avgWave"));
+        assert!(list.contains("dtw"));
+        let help = run(&Invocation::new("help", &[])).unwrap();
+        assert!(help.contains("subcommands"));
+        assert!(run(&Invocation::new("bogus", &[])).is_err());
+    }
+
+    #[test]
+    fn generate_reduce_reconstruct_analyze_pipeline() {
+        let trace = temp_path("pipeline.trc");
+        let reduced = temp_path("pipeline_reduced.trc");
+        let rebuilt = temp_path("pipeline_rebuilt.txt");
+
+        let out = run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "late_sender"),
+                ("preset", "tiny"),
+                ("out", trace.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("late_sender"));
+        assert!(trace.exists());
+
+        let out = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("out", reduced.to_str().unwrap()),
+                ("method", "avgWave"),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("avgWave"), "{out}");
+        assert!(reduced.exists());
+
+        let out = run(&Invocation::new(
+            "reconstruct",
+            &[
+                ("in", reduced.to_str().unwrap()),
+                ("out", rebuilt.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("reconstructed"), "{out}");
+        assert!(rebuilt.exists());
+
+        let out = run(&Invocation::new(
+            "analyze",
+            &[("in", rebuilt.to_str().unwrap())],
+        ))
+        .unwrap();
+        assert!(out.contains("diagnosis of late_sender"), "{out}");
+
+        cleanup(&[&trace, &reduced, &rebuilt]);
+    }
+
+    #[test]
+    fn sample_and_convert_commands_work() {
+        let trace = temp_path("sample.trc");
+        let text = temp_path("sample.txt");
+        let sampled = temp_path("sampled.trc");
+
+        run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "early_gather"),
+                ("preset", "tiny"),
+                ("out", trace.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+
+        let out = run(&Invocation::new(
+            "convert",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("out", text.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("converted"));
+        // The text file parses back to the same trace.
+        assert_eq!(
+            crate::io::load_app_trace(&trace).unwrap(),
+            crate::io::load_app_trace(&text).unwrap()
+        );
+
+        let out = run(&Invocation::new(
+            "sample",
+            &[
+                ("in", text.to_str().unwrap()),
+                ("out", sampled.to_str().unwrap()),
+                ("policy", "every:4"),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("every4"), "{out}");
+
+        cleanup(&[&trace, &text, &sampled]);
+    }
+
+    #[test]
+    fn evaluate_reports_criteria_for_paper_and_extension_methods() {
+        let out = run(&Invocation::new(
+            "evaluate",
+            &[
+                ("workload", "late_sender"),
+                ("preset", "tiny"),
+                ("method", "avgWave"),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("degree of matching"), "{out}");
+        let out = run(&Invocation::new(
+            "evaluate",
+            &[
+                ("workload", "late_sender"),
+                ("preset", "tiny"),
+                ("method", "dtw"),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("trace confidence"), "{out}");
+    }
+
+    #[test]
+    fn cluster_command_reports_clusters_and_can_store_representatives() {
+        let trace = temp_path("cluster_in.trc");
+        let retained = temp_path("cluster_retained.trc");
+        run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "dyn_load_balance"),
+                ("preset", "tiny"),
+                ("out", trace.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+
+        for algorithm in ["kmeans", "average"] {
+            let out = run(&Invocation::new(
+                "cluster",
+                &[
+                    ("in", trace.to_str().unwrap()),
+                    ("k", "2"),
+                    ("algorithm", algorithm),
+                ],
+            ))
+            .unwrap();
+            assert!(out.contains("cluster 0"), "{algorithm}: {out}");
+            assert!(out.contains("silhouette"), "{algorithm}: {out}");
+        }
+
+        let out = run(&Invocation::new(
+            "cluster",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("k", "2"),
+                ("out", retained.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("retained"), "{out}");
+        assert!(retained.exists());
+        let loaded = crate::io::load_app_trace(&retained).unwrap();
+        assert!(loaded.rank_count() <= 2);
+
+        let err = run(&Invocation::new(
+            "cluster",
+            &[("in", trace.to_str().unwrap()), ("k", "2"), ("algorithm", "voronoi")],
+        ))
+        .unwrap_err();
+        assert!(err.contains("clustering algorithm"), "{err}");
+
+        cleanup(&[&trace, &retained]);
+    }
+
+    #[test]
+    fn extension_study_command_prints_both_tables() {
+        let out = run(&Invocation::new(
+            "extension-study",
+            &[("workload", "late_sender"), ("preset", "tiny")],
+        ))
+        .unwrap();
+        assert!(out.contains("Extension study"), "{out}");
+        assert!(out.contains("summary"), "{out}");
+        assert!(out.contains("sampling:every10"), "{out}");
+    }
+
+    #[test]
+    fn helpful_errors_for_bad_inputs() {
+        let err = run(&Invocation::new(
+            "generate",
+            &[("workload", "not_a_workload"), ("out", "/tmp/x.trc")],
+        ))
+        .unwrap_err();
+        assert!(err.contains("known workloads"), "{err}");
+
+        let err = run(&Invocation::new(
+            "reduce",
+            &[("in", "/tmp/x.trc"), ("out", "/tmp/y.trc"), ("method", "nope")],
+        ))
+        .unwrap_err();
+        assert!(err.contains("known methods"), "{err}");
+
+        let err = run(&Invocation::new(
+            "sample",
+            &[("in", "a"), ("out", "b"), ("policy", "sometimes")],
+        ))
+        .unwrap_err();
+        assert!(err.contains("policy"), "{err}");
+
+        let err = run(&Invocation::new("evaluate", &[("workload", "late_sender")])).unwrap_err();
+        assert!(err.contains("--method"), "{err}");
+    }
+}

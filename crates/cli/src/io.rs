@@ -1,0 +1,128 @@
+//! Trace file input/output for the CLI.
+//!
+//! File formats are chosen by extension: `.txt` and `.trctxt` use the
+//! human-readable text format from `trace-format`, everything else uses the
+//! compact binary codec from `trace-model` (the format the paper's file-size
+//! percentages are measured against).
+
+use std::fs;
+use std::path::Path;
+
+use trace_format::{parse_app_trace, parse_reduced_trace, write_app_trace, write_reduced_trace};
+use trace_model::codec::{
+    decode_app_trace, decode_reduced_trace, encode_app_trace, encode_reduced_trace,
+};
+use trace_model::{AppTrace, ReducedAppTrace};
+
+/// True if the path should use the text format.
+pub fn is_text_path(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("txt") | Some("trctxt")
+    )
+}
+
+/// Loads a full application trace from `path` (text or binary by extension).
+pub fn load_app_trace(path: &Path) -> Result<AppTrace, String> {
+    if is_text_path(path) {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parse_app_trace(&text).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        let bytes = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        decode_app_trace(&bytes).map_err(|e| format!("{}: {e:?}", path.display()))
+    }
+}
+
+/// Stores a full application trace to `path` (text or binary by extension).
+pub fn store_app_trace(path: &Path, app: &AppTrace) -> Result<(), String> {
+    let bytes = if is_text_path(path) {
+        write_app_trace(app).into_bytes()
+    } else {
+        encode_app_trace(app)
+    };
+    fs::write(path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Loads a reduced trace from `path` (text or binary by extension).
+pub fn load_reduced_trace(path: &Path) -> Result<ReducedAppTrace, String> {
+    if is_text_path(path) {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parse_reduced_trace(&text).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        let bytes = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        decode_reduced_trace(&bytes).map_err(|e| format!("{}: {e:?}", path.display()))
+    }
+}
+
+/// Stores a reduced trace to `path` (text or binary by extension).
+pub fn store_reduced_trace(path: &Path, reduced: &ReducedAppTrace) -> Result<(), String> {
+    let bytes = if is_text_path(path) {
+        write_reduced_trace(reduced).into_bytes()
+    } else {
+        encode_reduced_trace(reduced)
+    };
+    fs::write(path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use trace_reduce::{Method, Reducer};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    /// A unique temporary file path for a test (removed by the caller).
+    fn temp_path(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trace_tools_io_{}_{name}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn extension_detection() {
+        assert!(is_text_path(Path::new("a.txt")));
+        assert!(is_text_path(Path::new("dir/b.trctxt")));
+        assert!(!is_text_path(Path::new("a.trc")));
+        assert!(!is_text_path(Path::new("noext")));
+    }
+
+    #[test]
+    fn app_trace_round_trips_through_both_formats() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        for name in ["app_roundtrip.bin", "app_roundtrip.txt"] {
+            let path = temp_path(name);
+            store_app_trace(&path, &app).unwrap();
+            let loaded = load_app_trace(&path).unwrap();
+            assert_eq!(loaded, app, "{name}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn reduced_trace_round_trips_through_both_formats() {
+        let app = Workload::new(WorkloadKind::EarlyGather, SizePreset::Tiny).generate();
+        let reduced = Reducer::with_default_threshold(Method::AvgWave).reduce_app(&app);
+        for name in ["reduced_roundtrip.bin", "reduced_roundtrip.txt"] {
+            let path = temp_path(name);
+            store_reduced_trace(&path, &reduced).unwrap();
+            let loaded = load_reduced_trace(&path).unwrap();
+            assert_eq!(loaded, reduced, "{name}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn missing_files_and_garbage_content_report_errors() {
+        let missing = Path::new("/nonexistent/definitely/missing.trc");
+        assert!(load_app_trace(missing).is_err());
+        assert!(load_reduced_trace(missing).is_err());
+
+        let path = temp_path("garbage.txt");
+        std::fs::write(&path, "this is not a trace").unwrap();
+        let err = load_app_trace(&path).unwrap_err();
+        assert!(err.contains("trace format error"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

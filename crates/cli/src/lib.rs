@@ -1,0 +1,20 @@
+//! Library backing the `trace-tools` command-line binary.
+//!
+//! Every subcommand is implemented as a pure function over parsed options
+//! that returns the text it would print, so the whole tool is unit-testable
+//! without spawning processes:
+//!
+//! * [`cli`] — the tiny argument parser (`subcommand --flag value …`).
+//! * [`io`] — load/store helpers that pick the binary codec or the text
+//!   format from the file extension.
+//! * [`commands`] — the subcommand implementations: `list`, `generate`,
+//!   `reduce`, `sample`, `reconstruct`, `convert`, `analyze`, `evaluate`.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod commands;
+pub mod io;
+
+pub use cli::{parse_args, Invocation};
+pub use commands::run;

@@ -1,0 +1,21 @@
+//! The `trace-tools` binary: generate, reduce, convert and analyze traces.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match trace_tools::parse_args(&args).and_then(|invocation| trace_tools::run(&invocation)) {
+        Ok(output) => {
+            if !output.is_empty() {
+                println!("{output}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", trace_tools::commands::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Distance matrices between ranks.
+//!
+//! Two distances from the related work: the Euclidean distance over per-rank
+//! feature vectors (Nickolayev et al., Lee et al.) and a distance derived
+//! from the amount of communication between pairs of processes (Aguilera et
+//! al.) — ranks that exchange a lot of data are considered close.
+
+use trace_model::{AppTrace, CommInfo};
+
+use crate::features::FeatureMatrix;
+
+/// Symmetric pairwise Euclidean distance matrix over the feature rows.
+pub fn euclidean_distance_matrix(features: &FeatureMatrix) -> Vec<Vec<f64>> {
+    let n = features.len();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = trace_model::stats::euclidean_distance(&features.rows[i], &features.rows[j]);
+            matrix[i][j] = d;
+            matrix[j][i] = d;
+        }
+    }
+    matrix
+}
+
+/// Communication volume matrix: `volume[i][j]` is the number of payload
+/// bytes rank `i` sends to rank `j` through point-to-point operations plus
+/// its per-rank share of collective payloads (attributed to the root for
+/// rooted collectives and spread uniformly for N-to-N collectives).
+pub fn comm_volume_matrix(app: &AppTrace) -> Vec<Vec<f64>> {
+    let n = app.rank_count();
+    let mut volume = vec![vec![0.0; n]; n];
+    for (i, rank) in app.ranks.iter().enumerate() {
+        for event in rank.events() {
+            match event.comm {
+                CommInfo::Send { peer, bytes, .. } => {
+                    if peer.as_usize() < n {
+                        volume[i][peer.as_usize()] += bytes as f64;
+                    }
+                }
+                CommInfo::SendRecv { to, bytes, .. } => {
+                    if to.as_usize() < n {
+                        volume[i][to.as_usize()] += bytes as f64;
+                    }
+                }
+                CommInfo::Collective {
+                    op,
+                    root,
+                    comm_size,
+                    bytes,
+                } => {
+                    let share = bytes as f64;
+                    if op.is_n_to_n() {
+                        let per_peer = share / comm_size.max(1) as f64;
+                        for j in 0..n {
+                            if j != i {
+                                volume[i][j] += per_peer;
+                            }
+                        }
+                    } else if op.is_n_to_one() {
+                        if root.as_usize() < n && root.as_usize() != i {
+                            volume[i][root.as_usize()] += share;
+                        }
+                    } else if op.is_one_to_n() && i == root.as_usize() {
+                        let per_peer = share / comm_size.max(1) as f64;
+                        for j in 0..n {
+                            if j != i {
+                                volume[i][j] += per_peer;
+                            }
+                        }
+                    }
+                }
+                CommInfo::Recv { .. } | CommInfo::Compute => {}
+            }
+        }
+    }
+    volume
+}
+
+/// Aguilera-style communication distance matrix: ranks that exchange more
+/// bytes are closer.  The distance is `1 - exchanged / max_exchanged`, where
+/// `exchanged` is the symmetric sum of the two directed volumes; ranks that
+/// never communicate have distance 1, the most-communicating pair has
+/// distance 0, and the diagonal is 0.
+pub fn communication_distance_matrix(app: &AppTrace) -> Vec<Vec<f64>> {
+    let volume = comm_volume_matrix(app);
+    let n = volume.len();
+    let mut exchanged = vec![vec![0.0; n]; n];
+    let mut max = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = volume[i][j] + volume[j][i];
+            exchanged[i][j] = v;
+            exchanged[j][i] = v;
+            max = max.max(v);
+        }
+    }
+    let mut distance = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                distance[i][j] = if max > 0.0 {
+                    1.0 - exchanged[i][j] / max
+                } else {
+                    1.0
+                };
+            }
+        }
+    }
+    distance
+}
+
+/// Checks that a matrix is a valid distance matrix: square, symmetric,
+/// non-negative, zero diagonal.  Used by tests and debug assertions.
+pub fn is_valid_distance_matrix(matrix: &[Vec<f64>]) -> bool {
+    let n = matrix.len();
+    matrix.iter().enumerate().all(|(i, row)| {
+        row.len() == n
+            && row.iter().all(|&v| v >= 0.0 && v.is_finite())
+            && matrix[i][i] == 0.0
+            && (0..n).all(|j| (matrix[i][j] - matrix[j][i]).abs() < 1e-9)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{rank_features, Normalization};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    #[test]
+    fn euclidean_matrix_is_a_valid_distance_matrix() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let features = rank_features(&app, Normalization::MinMax);
+        let matrix = euclidean_distance_matrix(&features);
+        assert!(is_valid_distance_matrix(&matrix));
+        assert_eq!(matrix.len(), app.rank_count());
+    }
+
+    #[test]
+    fn communication_distance_is_valid_and_bounded() {
+        let app = Workload::new(WorkloadKind::ImbalanceAtMpiBarrier, SizePreset::Tiny).generate();
+        let matrix = communication_distance_matrix(&app);
+        assert!(is_valid_distance_matrix(&matrix));
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!(v <= 1.0 + 1e-12, "[{i}][{j}] = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_point_volume_goes_to_the_peer() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let volume = comm_volume_matrix(&app);
+        let total: f64 = volume.iter().flatten().sum();
+        assert!(total > 0.0, "late_sender exchanges messages");
+        // No rank sends to itself.
+        for (i, row) in volume.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn ranks_that_communicate_are_closer_than_ranks_that_do_not() {
+        // late_sender pairs ranks (sender, receiver); paired ranks must be
+        // strictly closer than the matrix maximum of 1.0 whenever any pair
+        // communicates.
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let matrix = communication_distance_matrix(&app);
+        let min_off_diag = matrix
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter(move |(j, _)| *j != i)
+                    .map(|(_, &v)| v)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_off_diag < 1.0);
+    }
+
+    #[test]
+    fn empty_trace_produces_unit_distances() {
+        let app = trace_model::AppTrace::new("empty", 3);
+        let matrix = communication_distance_matrix(&app);
+        assert!(is_valid_distance_matrix(&matrix));
+        assert_eq!(matrix[0][1], 1.0);
+        assert_eq!(matrix[1][2], 1.0);
+    }
+}

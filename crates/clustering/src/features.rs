@@ -1,0 +1,200 @@
+//! Per-rank feature extraction.
+//!
+//! Statistical clustering of processes operates on a feature vector per rank
+//! summarizing that rank's behaviour.  Following Nickolayev et al. and Lee et
+//! al., the features are derived from the same trace the similarity methods
+//! see: inclusive time per code region, total communication and wait time,
+//! and message counts/volumes.
+
+use trace_model::{AppTrace, CommInfo};
+
+/// How to normalize feature columns before clustering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Normalization {
+    /// Use raw values (nanoseconds, counts, bytes).
+    None,
+    /// Scale every column to `[0, 1]` (min–max normalization).
+    #[default]
+    MinMax,
+    /// Standardize every column to zero mean and unit variance.
+    ZScore,
+}
+
+/// A per-rank feature matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureMatrix {
+    /// Names of the feature columns.
+    pub names: Vec<String>,
+    /// One row per rank, in rank order.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl FeatureMatrix {
+    /// Number of ranks (rows).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn width(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Applies a normalization to every column, returning a new matrix.
+    pub fn normalized(&self, normalization: Normalization) -> FeatureMatrix {
+        let mut rows = self.rows.clone();
+        if rows.is_empty() {
+            return self.clone();
+        }
+        let cols = self.width();
+        match normalization {
+            Normalization::None => {}
+            Normalization::MinMax => {
+                for c in 0..cols {
+                    let min = rows.iter().map(|r| r[c]).fold(f64::INFINITY, f64::min);
+                    let max = rows.iter().map(|r| r[c]).fold(f64::NEG_INFINITY, f64::max);
+                    let span = max - min;
+                    for row in &mut rows {
+                        row[c] = if span > 0.0 { (row[c] - min) / span } else { 0.0 };
+                    }
+                }
+            }
+            Normalization::ZScore => {
+                for c in 0..cols {
+                    let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+                    let mean = trace_model::stats::mean(&col);
+                    let sd = trace_model::stats::std_dev(&col);
+                    for row in &mut rows {
+                        row[c] = if sd > 0.0 { (row[c] - mean) / sd } else { 0.0 };
+                    }
+                }
+            }
+        }
+        FeatureMatrix {
+            names: self.names.clone(),
+            rows,
+        }
+    }
+}
+
+/// Extracts the per-rank feature matrix of an application trace.
+///
+/// Columns: inclusive time per region (one column per interned region name,
+/// in id order), followed by `comm_time_ns`, `wait_time_ns`,
+/// `message_count`, and `message_bytes`.
+pub fn rank_features(app: &AppTrace, normalization: Normalization) -> FeatureMatrix {
+    let region_count = app.regions.len();
+    let mut names: Vec<String> = app
+        .regions
+        .names()
+        .iter()
+        .map(|n| format!("time[{n}]"))
+        .collect();
+    names.extend(
+        ["comm_time_ns", "wait_time_ns", "message_count", "message_bytes"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+
+    let rows = app
+        .ranks
+        .iter()
+        .map(|rank| {
+            let mut row = vec![0.0; region_count + 4];
+            for event in rank.events() {
+                let duration = event.duration().as_f64();
+                row[event.region.as_u32() as usize] += duration;
+                if event.comm.is_communication() {
+                    row[region_count] += duration;
+                    row[region_count + 2] += 1.0;
+                    row[region_count + 3] += match event.comm {
+                        CommInfo::Send { bytes, .. } | CommInfo::Recv { bytes, .. } => bytes as f64,
+                        CommInfo::SendRecv { bytes, .. } => 2.0 * bytes as f64,
+                        CommInfo::Collective { bytes, .. } => bytes as f64,
+                        CommInfo::Compute => 0.0,
+                    };
+                }
+                row[region_count + 1] += event.wait.as_f64();
+            }
+            row
+        })
+        .collect();
+
+    FeatureMatrix { names, rows }.normalized(normalization)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    #[test]
+    fn feature_matrix_has_one_row_per_rank() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let features = rank_features(&app, Normalization::None);
+        assert_eq!(features.len(), app.rank_count());
+        assert_eq!(features.width(), app.regions.len() + 4);
+        assert!(features.rows.iter().all(|r| r.len() == features.width()));
+        assert!(!features.is_empty());
+    }
+
+    #[test]
+    fn raw_features_are_nonnegative_and_nonzero_somewhere() {
+        let app = Workload::new(WorkloadKind::EarlyGather, SizePreset::Tiny).generate();
+        let features = rank_features(&app, Normalization::None);
+        assert!(features.rows.iter().flatten().all(|&v| v >= 0.0));
+        assert!(features.rows.iter().flatten().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn min_max_normalization_bounds_columns() {
+        let app = Workload::new(WorkloadKind::ImbalanceAtMpiBarrier, SizePreset::Tiny).generate();
+        let features = rank_features(&app, Normalization::MinMax);
+        for row in &features.rows {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v), "{v} out of [0,1]");
+            }
+        }
+    }
+
+    #[test]
+    fn zscore_normalization_centers_columns() {
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        let features = rank_features(&app, Normalization::ZScore);
+        for c in 0..features.width() {
+            let col: Vec<f64> = features.rows.iter().map(|r| r[c]).collect();
+            let mean = trace_model::stats::mean(&col);
+            assert!(mean.abs() < 1e-6, "column {c} mean {mean} not centred");
+        }
+    }
+
+    #[test]
+    fn constant_columns_normalize_to_zero() {
+        let matrix = FeatureMatrix {
+            names: vec!["a".into(), "b".into()],
+            rows: vec![vec![5.0, 1.0], vec![5.0, 3.0]],
+        };
+        let minmax = matrix.normalized(Normalization::MinMax);
+        assert_eq!(minmax.rows[0][0], 0.0);
+        assert_eq!(minmax.rows[1][0], 0.0);
+        let z = matrix.normalized(Normalization::ZScore);
+        assert_eq!(z.rows[0][0], 0.0);
+    }
+
+    #[test]
+    fn imbalanced_workload_produces_distinguishable_rows() {
+        // dyn_load_balance makes half the ranks do more work: their feature
+        // rows must differ from the other half's.
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        let features = rank_features(&app, Normalization::MinMax);
+        let n = features.len();
+        let first = &features.rows[0];
+        let last = &features.rows[n - 1];
+        assert_ne!(first, last, "load-imbalanced ranks should have different features");
+    }
+}

@@ -1,0 +1,160 @@
+//! Agglomerative hierarchical clustering over a distance matrix.
+//!
+//! Aguilera et al. apply hierarchical clustering to communication traces
+//! using a distance based on inter-process communication.  This module
+//! implements the classic agglomerative algorithm (start with singleton
+//! clusters, repeatedly merge the closest pair) with a choice of linkage and
+//! a cut at a requested number of clusters, so it works with either the
+//! Euclidean feature distance or the communication distance from
+//! [`crate::distance`].
+
+/// How the distance between two clusters is derived from member distances.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Linkage {
+    /// Distance of the closest pair of members.
+    Single,
+    /// Distance of the farthest pair of members.
+    Complete,
+    /// Mean distance over all cross-cluster member pairs.
+    #[default]
+    Average,
+}
+
+/// Distance between clusters `a` and `b` under the chosen linkage.
+fn cluster_distance(matrix: &[Vec<f64>], a: &[usize], b: &[usize], linkage: Linkage) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut count = 0.0;
+    for &i in a {
+        for &j in b {
+            let d = matrix[i][j];
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            count += 1.0;
+        }
+    }
+    match linkage {
+        Linkage::Single => min,
+        Linkage::Complete => max,
+        Linkage::Average => {
+            if count > 0.0 {
+                sum / count
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Agglomerative clustering of `matrix.len()` items down to `k` clusters.
+///
+/// Returns one cluster index per item.  `k` is clamped to `[1, n]`; an empty
+/// matrix yields an empty assignment.
+pub fn hierarchical_clustering(matrix: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<usize> {
+    let n = matrix.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let target = k.clamp(1, n);
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+    while clusters.len() > target {
+        // Find the closest pair of clusters.
+        let mut best = (0usize, 1usize);
+        let mut best_distance = f64::INFINITY;
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let d = cluster_distance(matrix, &clusters[a], &clusters[b], linkage);
+                if d < best_distance {
+                    best_distance = d;
+                    best = (a, b);
+                }
+            }
+        }
+        let (a, b) = best;
+        let merged = clusters.remove(b);
+        clusters[a].extend(merged);
+    }
+
+    let mut assignments = vec![0usize; n];
+    for (cluster_index, members) in clusters.iter().enumerate() {
+        for &item in members {
+            assignments[item] = cluster_index;
+        }
+    }
+    assignments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::is_valid_distance_matrix;
+
+    /// Distance matrix for points on a line.
+    fn line_matrix(points: &[f64]) -> Vec<Vec<f64>> {
+        let n = points.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                m[i][j] = (points[i] - points[j]).abs();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn two_well_separated_groups_are_found_by_every_linkage() {
+        let matrix = line_matrix(&[0.0, 0.1, 0.2, 10.0, 10.1, 10.2]);
+        assert!(is_valid_distance_matrix(&matrix));
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let assignment = hierarchical_clustering(&matrix, 2, linkage);
+            assert_eq!(assignment.len(), 6);
+            assert_eq!(assignment[0], assignment[1]);
+            assert_eq!(assignment[1], assignment[2]);
+            assert_eq!(assignment[3], assignment[4]);
+            assert_ne!(assignment[0], assignment[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn k_one_puts_everything_in_one_cluster() {
+        let matrix = line_matrix(&[1.0, 5.0, 9.0]);
+        let assignment = hierarchical_clustering(&matrix, 1, Linkage::Average);
+        assert!(assignment.iter().all(|&a| a == assignment[0]));
+    }
+
+    #[test]
+    fn k_equal_to_n_keeps_singletons() {
+        let matrix = line_matrix(&[1.0, 5.0, 9.0]);
+        let assignment = hierarchical_clustering(&matrix, 3, Linkage::Single);
+        let mut sorted = assignment.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn k_is_clamped_and_empty_input_is_empty() {
+        let matrix = line_matrix(&[1.0, 2.0]);
+        assert_eq!(hierarchical_clustering(&matrix, 0, Linkage::Average).len(), 2);
+        assert_eq!(hierarchical_clustering(&matrix, 99, Linkage::Average).len(), 2);
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert!(hierarchical_clustering(&empty, 2, Linkage::Average).is_empty());
+    }
+
+    #[test]
+    fn single_linkage_chains_while_complete_does_not() {
+        // A chain of equally spaced points plus one distant point: single
+        // linkage merges the whole chain first, complete linkage splits the
+        // chain more eagerly.  Both must isolate the distant point when
+        // cutting at 2 clusters.
+        let matrix = line_matrix(&[0.0, 1.0, 2.0, 3.0, 100.0]);
+        for linkage in [Linkage::Single, Linkage::Complete] {
+            let assignment = hierarchical_clustering(&matrix, 2, linkage);
+            assert_ne!(assignment[4], assignment[0], "{linkage:?}");
+            assert_eq!(assignment[0], assignment[3], "{linkage:?}");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Deterministic k-means clustering with k-means++ seeding.
+//!
+//! Nickolayev et al. cluster processes with k-means over per-rank statistics
+//! and keep one representative per cluster.  This implementation is seeded
+//! deterministically so every experiment in the workspace is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::features::FeatureMatrix;
+
+/// Configuration of the k-means run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// RNG seed for the k-means++ seeding.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Creates a configuration with the default iteration cap and seed.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iterations: 100,
+            seed: 0xC1_05_7E_12,
+        }
+    }
+}
+
+/// The result of a k-means run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster index per row (rank), in row order.
+    pub assignments: Vec<usize>,
+    /// Final centroids, `k` rows of feature width.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of every row to its centroid.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of non-empty clusters.
+    pub fn cluster_count(&self) -> usize {
+        let mut seen = vec![false; self.centroids.len()];
+        for &a in &self.assignments {
+            seen[a] = true;
+        }
+        seen.into_iter().filter(|&s| s).count()
+    }
+
+    /// Row indices grouped by cluster.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.centroids.len()];
+        for (row, &cluster) in self.assignments.iter().enumerate() {
+            groups[cluster].push(row);
+        }
+        groups
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means++ seeding: the first centroid is the row closest to the overall
+/// mean (deterministic), later centroids are drawn with probability
+/// proportional to the squared distance from the nearest existing centroid.
+fn seed_centroids(rows: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let width = rows[0].len();
+    let mean: Vec<f64> = (0..width)
+        .map(|c| rows.iter().map(|r| r[c]).sum::<f64>() / rows.len() as f64)
+        .collect();
+    let first = rows
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            squared_distance(a, &mean)
+                .partial_cmp(&squared_distance(b, &mean))
+                .unwrap()
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    centroids.push(rows[first].clone());
+
+    while centroids.len() < k {
+        let weights: Vec<f64> = rows
+            .iter()
+            .map(|row| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(row, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // All rows coincide with existing centroids; duplicate one.
+            centroids.push(centroids[0].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = rows.len() - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            if target <= w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(rows[chosen].clone());
+    }
+    centroids
+}
+
+/// Runs k-means over the feature matrix.
+///
+/// `k` is clamped to the number of rows; an empty matrix produces an empty
+/// result.
+pub fn kmeans(features: &FeatureMatrix, config: &KMeansConfig) -> KMeansResult {
+    let rows = &features.rows;
+    if rows.is_empty() || config.k == 0 {
+        return KMeansResult {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    let k = config.k.min(rows.len());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = seed_centroids(rows, k, &mut rng);
+    let mut assignments = vec![0usize; rows.len()];
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, row) in rows.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    squared_distance(row, &centroids[a])
+                        .partial_cmp(&squared_distance(row, &centroids[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let width = rows[0].len();
+        let mut sums = vec![vec![0.0; width]; k];
+        let mut counts = vec![0usize; k];
+        for (row, &cluster) in rows.iter().zip(&assignments) {
+            counts[cluster] += 1;
+            for (s, v) in sums[cluster].iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+            // Empty clusters keep their previous centroid.
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    let inertia = rows
+        .iter()
+        .zip(&assignments)
+        .map(|(row, &c)| squared_distance(row, &centroids[c]))
+        .sum();
+
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> FeatureMatrix {
+        let width = rows.first().map(Vec::len).unwrap_or(0);
+        FeatureMatrix {
+            names: (0..width).map(|i| format!("f{i}")).collect(),
+            rows,
+        }
+    }
+
+    #[test]
+    fn separates_two_obvious_groups() {
+        let features = matrix(vec![
+            vec![0.0, 0.1],
+            vec![0.1, 0.0],
+            vec![0.05, 0.05],
+            vec![10.0, 10.1],
+            vec![10.1, 10.0],
+            vec![10.05, 9.95],
+        ]);
+        let result = kmeans(&features, &KMeansConfig::new(2));
+        assert_eq!(result.cluster_count(), 2);
+        assert_eq!(result.assignments[0], result.assignments[1]);
+        assert_eq!(result.assignments[0], result.assignments[2]);
+        assert_eq!(result.assignments[3], result.assignments[4]);
+        assert_ne!(result.assignments[0], result.assignments[3]);
+        assert!(result.inertia < 1.0);
+    }
+
+    #[test]
+    fn k_equal_to_rows_gives_zero_inertia() {
+        let features = matrix(vec![vec![1.0], vec![2.0], vec![5.0]]);
+        let result = kmeans(&features, &KMeansConfig::new(3));
+        assert_eq!(result.cluster_count(), 3);
+        assert!(result.inertia < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_rows_is_clamped() {
+        let features = matrix(vec![vec![1.0], vec![2.0]]);
+        let result = kmeans(&features, &KMeansConfig::new(10));
+        assert_eq!(result.centroids.len(), 2);
+        assert_eq!(result.assignments.len(), 2);
+    }
+
+    #[test]
+    fn identical_rows_collapse_into_one_effective_cluster() {
+        let features = matrix(vec![vec![3.0, 3.0]; 6]);
+        let result = kmeans(&features, &KMeansConfig::new(3));
+        assert!(result.inertia < 1e-12);
+        // Every row is equally close to every centroid; they all land in
+        // cluster 0 and the result is still well formed.
+        assert!(result.assignments.iter().all(|&a| a < result.centroids.len()));
+    }
+
+    #[test]
+    fn empty_inputs_and_zero_k() {
+        let empty = matrix(Vec::new());
+        let result = kmeans(&empty, &KMeansConfig::new(3));
+        assert!(result.assignments.is_empty());
+        let features = matrix(vec![vec![1.0]]);
+        let zero_k = kmeans(&features, &KMeansConfig { k: 0, ..KMeansConfig::new(1) });
+        assert!(zero_k.centroids.is_empty());
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_fixed_seed() {
+        let features = matrix(
+            (0..20)
+                .map(|i| vec![(i % 5) as f64, (i / 5) as f64 * 3.0])
+                .collect(),
+        );
+        let a = kmeans(&features, &KMeansConfig::new(4));
+        let b = kmeans(&features, &KMeansConfig::new(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn members_partition_the_rows() {
+        let features = matrix(vec![vec![0.0], vec![0.2], vec![9.0], vec![9.3], vec![0.1]]);
+        let result = kmeans(&features, &KMeansConfig::new(2));
+        let members = result.members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        let mut all: Vec<usize> = members.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+}

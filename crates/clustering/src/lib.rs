@@ -1,0 +1,40 @@
+//! Inter-process statistical clustering of trace data.
+//!
+//! The paper's related-work section describes a second family of trace
+//! reduction techniques: cluster the *processes* of a run by the similarity
+//! of their behaviour and keep one representative trace per cluster
+//! (Nickolayev et al., Lee et al. — Euclidean distance over performance
+//! features; Aguilera et al. — a distance based on the amount of
+//! communication between processes).  The paper itself only evaluates
+//! intra-process reduction; this crate implements the inter-process family
+//! so the two can be compared under the same criteria:
+//!
+//! * [`features`] — per-rank feature vectors (time per region, communication
+//!   time, wait time, message counts and volumes) with optional
+//!   normalization.
+//! * [`distance`] — Euclidean feature distance and the communication-volume
+//!   distance of Aguilera et al.
+//! * [`kmeans`] — deterministic k-means with k-means++ seeding.
+//! * [`hierarchical`] — agglomerative clustering with single, complete or
+//!   average linkage.
+//! * [`silhouette`] — cluster-quality scoring used to pick `k`.
+//! * [`representative`] — representative-rank selection and the
+//!   cluster-reduced trace (one retained rank trace per cluster, with a
+//!   reconstruction that fills the other ranks in from their
+//!   representative).
+
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod features;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod representative;
+pub mod silhouette;
+
+pub use distance::{comm_volume_matrix, communication_distance_matrix, euclidean_distance_matrix};
+pub use features::{rank_features, FeatureMatrix, Normalization};
+pub use hierarchical::{hierarchical_clustering, Linkage};
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use representative::{cluster_reduce, ClusteredTrace};
+pub use silhouette::silhouette_score;

@@ -1,0 +1,242 @@
+//! Representative-rank selection and the cluster-reduced trace.
+//!
+//! After clustering the ranks, the inter-process reduction keeps the full
+//! trace of one *representative* rank per cluster (the medoid — the member
+//! with the smallest total distance to the rest of its cluster) and discards
+//! the other rank traces.  An approximate full trace is reconstructed by
+//! substituting each discarded rank's trace with a copy of its
+//! representative's trace, which is exactly what an analyst looking at the
+//! representative would implicitly assume about the other members.
+
+use trace_model::{AppTrace, Rank, RankTrace};
+
+/// The result of an inter-process (cluster-based) reduction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusteredTrace {
+    /// Name of the traced program.
+    pub name: String,
+    /// Cluster index per rank, in rank order.
+    pub assignments: Vec<usize>,
+    /// Representative rank index per cluster (indexed by cluster id).
+    pub representatives: Vec<usize>,
+    /// The retained data: an application trace containing only the
+    /// representative ranks' traces (plus the shared name tables).
+    pub retained: AppTrace,
+    /// Rank count of the original trace.
+    pub original_ranks: usize,
+}
+
+impl ClusteredTrace {
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The representative rank index for a given original rank.
+    pub fn representative_of(&self, rank: usize) -> usize {
+        self.representatives[self.assignments[rank]]
+    }
+
+    /// Fraction of rank traces that are physically retained.
+    pub fn retained_fraction(&self) -> f64 {
+        if self.original_ranks == 0 {
+            1.0
+        } else {
+            self.cluster_count() as f64 / self.original_ranks as f64
+        }
+    }
+
+    /// Reconstructs an approximate full application trace by copying each
+    /// rank's representative trace into its slot (re-labelled with the
+    /// original rank id).
+    pub fn reconstruct(&self) -> AppTrace {
+        let mut app = AppTrace {
+            name: self.name.clone(),
+            regions: self.retained.regions.clone(),
+            contexts: self.retained.contexts.clone(),
+            ranks: Vec::with_capacity(self.original_ranks),
+        };
+        for rank in 0..self.original_ranks {
+            let representative = self.representative_of(rank);
+            // The retained trace stores representatives in cluster order.
+            let cluster = self.assignments[rank];
+            let mut trace = self.retained.ranks[cluster].clone();
+            trace.rank = Rank::from(rank);
+            debug_assert_eq!(
+                self.representatives[cluster], representative,
+                "representative bookkeeping must be consistent"
+            );
+            app.ranks.push(trace);
+        }
+        app
+    }
+}
+
+/// Medoid of a cluster: the member with the smallest summed distance to the
+/// other members (ties broken by the lower rank index).
+fn medoid(members: &[usize], matrix: &[Vec<f64>]) -> usize {
+    *members
+        .iter()
+        .min_by(|&&a, &&b| {
+            let da: f64 = members.iter().map(|&m| matrix[a][m]).sum();
+            let db: f64 = members.iter().map(|&m| matrix[b][m]).sum();
+            da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+        })
+        .expect("clusters are non-empty")
+}
+
+/// Reduces an application trace to one representative rank trace per
+/// cluster.
+///
+/// `assignments` gives the cluster index of every rank (as produced by
+/// [`crate::kmeans`] or [`crate::hierarchical_clustering`]); `matrix` is the
+/// distance matrix used for medoid selection (typically the same one used
+/// for clustering).  Cluster ids may be sparse; they are re-labelled
+/// densely in the result.
+///
+/// # Panics
+///
+/// Panics if `assignments.len()` or the matrix dimensions do not match the
+/// trace's rank count.
+pub fn cluster_reduce(app: &AppTrace, assignments: &[usize], matrix: &[Vec<f64>]) -> ClusteredTrace {
+    assert_eq!(assignments.len(), app.rank_count(), "one assignment per rank");
+    assert_eq!(matrix.len(), app.rank_count(), "distance matrix must match rank count");
+
+    // Group ranks by cluster id and re-label densely in order of first
+    // appearance so `retained.ranks[i]` corresponds to dense cluster `i`.
+    let mut dense_ids: Vec<usize> = Vec::new();
+    let mut dense_assignments = vec![0usize; assignments.len()];
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for (rank, &cluster) in assignments.iter().enumerate() {
+        let dense = match dense_ids.iter().position(|&c| c == cluster) {
+            Some(d) => d,
+            None => {
+                dense_ids.push(cluster);
+                members.push(Vec::new());
+                dense_ids.len() - 1
+            }
+        };
+        dense_assignments[rank] = dense;
+        members[dense].push(rank);
+    }
+
+    let representatives: Vec<usize> = members.iter().map(|m| medoid(m, matrix)).collect();
+
+    let retained_ranks: Vec<RankTrace> = representatives
+        .iter()
+        .map(|&r| app.ranks[r].clone())
+        .collect();
+    let retained = AppTrace {
+        name: app.name.clone(),
+        regions: app.regions.clone(),
+        contexts: app.contexts.clone(),
+        ranks: retained_ranks,
+    };
+
+    ClusteredTrace {
+        name: app.name.clone(),
+        assignments: dense_assignments,
+        representatives,
+        retained,
+        original_ranks: app.rank_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean_distance_matrix;
+    use crate::features::{rank_features, Normalization};
+    use crate::kmeans::{kmeans, KMeansConfig};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    fn clustered(kind: WorkloadKind, k: usize) -> (AppTrace, ClusteredTrace) {
+        let app = Workload::new(kind, SizePreset::Tiny).generate();
+        let features = rank_features(&app, Normalization::MinMax);
+        let matrix = euclidean_distance_matrix(&features);
+        let result = kmeans(&features, &KMeansConfig::new(k));
+        let clustered = cluster_reduce(&app, &result.assignments, &matrix);
+        (app, clustered)
+    }
+
+    #[test]
+    fn retains_one_rank_trace_per_cluster() {
+        let (app, clustered) = clustered(WorkloadKind::DynLoadBalance, 2);
+        assert!(clustered.cluster_count() <= 2);
+        assert_eq!(clustered.retained.rank_count(), clustered.cluster_count());
+        assert_eq!(clustered.original_ranks, app.rank_count());
+        assert!(clustered.retained_fraction() <= 1.0);
+        assert!(clustered.retained_fraction() > 0.0);
+    }
+
+    #[test]
+    fn representatives_belong_to_their_own_cluster() {
+        let (_, clustered) = clustered(WorkloadKind::DynLoadBalance, 3);
+        for (cluster, &rep) in clustered.representatives.iter().enumerate() {
+            assert_eq!(
+                clustered.assignments[rep], cluster,
+                "representative {rep} must be a member of cluster {cluster}"
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_restores_the_original_rank_count_and_labels() {
+        let (app, clustered) = clustered(WorkloadKind::LateSender, 2);
+        let approx = clustered.reconstruct();
+        assert_eq!(approx.rank_count(), app.rank_count());
+        for (i, rank) in approx.ranks.iter().enumerate() {
+            assert_eq!(rank.rank, Rank::from(i));
+            assert!(!rank.records.is_empty());
+        }
+        assert!(approx.is_well_formed());
+    }
+
+    #[test]
+    fn representative_ranks_reconstruct_to_their_own_trace() {
+        let (app, clustered) = clustered(WorkloadKind::EarlyGather, 2);
+        let approx = clustered.reconstruct();
+        for (cluster, &rep) in clustered.representatives.iter().enumerate() {
+            let original: Vec<_> = app.ranks[rep].events().copied().collect();
+            let rebuilt: Vec<_> = approx.ranks[rep].events().copied().collect();
+            assert_eq!(original, rebuilt, "cluster {cluster} representative must be lossless");
+        }
+    }
+
+    #[test]
+    fn one_cluster_per_rank_is_lossless() {
+        let app = Workload::new(WorkloadKind::LateReceiver, SizePreset::Tiny).generate();
+        let n = app.rank_count();
+        let features = rank_features(&app, Normalization::MinMax);
+        let matrix = euclidean_distance_matrix(&features);
+        let assignments: Vec<usize> = (0..n).collect();
+        let clustered = cluster_reduce(&app, &assignments, &matrix);
+        assert_eq!(clustered.cluster_count(), n);
+        let approx = clustered.reconstruct();
+        assert_eq!(approx.total_events(), app.total_events());
+        for (a, b) in app.ranks.iter().zip(&approx.ranks) {
+            assert_eq!(a.records, b.records);
+        }
+    }
+
+    #[test]
+    fn sparse_cluster_ids_are_relabelled_densely() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let n = app.rank_count();
+        let features = rank_features(&app, Normalization::MinMax);
+        let matrix = euclidean_distance_matrix(&features);
+        // Use sparse ids 5 and 17.
+        let assignments: Vec<usize> = (0..n).map(|r| if r % 2 == 0 { 5 } else { 17 }).collect();
+        let clustered = cluster_reduce(&app, &assignments, &matrix);
+        assert_eq!(clustered.cluster_count(), 2);
+        assert!(clustered.assignments.iter().all(|&a| a < 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "one assignment per rank")]
+    fn mismatched_assignment_length_panics() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let matrix = vec![vec![0.0; app.rank_count()]; app.rank_count()];
+        cluster_reduce(&app, &[0, 1], &matrix);
+    }
+}

@@ -1,0 +1,141 @@
+//! Silhouette scoring of a clustering.
+//!
+//! The silhouette of an item compares its mean distance to its own cluster
+//! (`a`) with its mean distance to the nearest other cluster (`b`):
+//! `(b - a) / max(a, b)`, in `[-1, 1]`.  The mean silhouette over all items
+//! scores a clustering; it is the standard way to choose `k` when the number
+//! of behaviour classes in a run is not known in advance.
+
+/// Mean silhouette score of `assignments` under the given distance matrix.
+///
+/// Items in singleton clusters contribute a silhouette of 0 (the usual
+/// convention).  Returns 0 for fewer than two clusters or fewer than two
+/// items, where the score is undefined.
+pub fn silhouette_score(matrix: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    let n = assignments.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let cluster_count = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); cluster_count];
+    for (item, &cluster) in assignments.iter().enumerate() {
+        members[cluster].push(item);
+    }
+    let non_empty = members.iter().filter(|m| !m.is_empty()).count();
+    if non_empty < 2 {
+        return 0.0;
+    }
+
+    let mut total = 0.0;
+    for (item, &cluster) in assignments.iter().enumerate() {
+        let own = &members[cluster];
+        if own.len() <= 1 {
+            continue; // silhouette of a singleton is 0
+        }
+        let a: f64 = own
+            .iter()
+            .filter(|&&other| other != item)
+            .map(|&other| matrix[item][other])
+            .sum::<f64>()
+            / (own.len() - 1) as f64;
+        let b = members
+            .iter()
+            .enumerate()
+            .filter(|(c, m)| *c != cluster && !m.is_empty())
+            .map(|(_, m)| m.iter().map(|&other| matrix[item][other]).sum::<f64>() / m.len() as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+/// Picks the `k` in `candidates` with the best silhouette under
+/// `cluster_with(k)`, returning `(k, assignments, score)`.  Returns `None`
+/// when `candidates` is empty.
+pub fn best_k_by_silhouette<F>(
+    matrix: &[Vec<f64>],
+    candidates: &[usize],
+    mut cluster_with: F,
+) -> Option<(usize, Vec<usize>, f64)>
+where
+    F: FnMut(usize) -> Vec<usize>,
+{
+    let mut best: Option<(usize, Vec<usize>, f64)> = None;
+    for &k in candidates {
+        let assignments = cluster_with(k);
+        let score = silhouette_score(matrix, &assignments);
+        let better = match &best {
+            None => true,
+            Some((_, _, best_score)) => score > *best_score,
+        };
+        if better {
+            best = Some((k, assignments, score));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::{hierarchical_clustering, Linkage};
+
+    fn line_matrix(points: &[f64]) -> Vec<Vec<f64>> {
+        let n = points.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                m[i][j] = (points[i] - points[j]).abs();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn well_separated_clusters_score_close_to_one() {
+        let matrix = line_matrix(&[0.0, 0.1, 0.2, 50.0, 50.1, 50.2]);
+        let good = vec![0, 0, 0, 1, 1, 1];
+        let score = silhouette_score(&matrix, &good);
+        assert!(score > 0.9, "score {score}");
+    }
+
+    #[test]
+    fn a_bad_split_scores_lower_than_the_natural_split() {
+        let matrix = line_matrix(&[0.0, 0.1, 0.2, 50.0, 50.1, 50.2]);
+        let good = vec![0, 0, 0, 1, 1, 1];
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        assert!(silhouette_score(&matrix, &good) > silhouette_score(&matrix, &bad));
+    }
+
+    #[test]
+    fn degenerate_inputs_score_zero() {
+        let matrix = line_matrix(&[1.0, 2.0, 3.0]);
+        assert_eq!(silhouette_score(&matrix, &[0, 0, 0]), 0.0);
+        assert_eq!(silhouette_score(&line_matrix(&[1.0]), &[0]), 0.0);
+        assert_eq!(silhouette_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn singletons_contribute_zero_but_do_not_poison_the_score() {
+        let matrix = line_matrix(&[0.0, 0.1, 100.0]);
+        let score = silhouette_score(&matrix, &[0, 0, 1]);
+        assert!(score > 0.5, "score {score}");
+    }
+
+    #[test]
+    fn best_k_prefers_the_natural_number_of_clusters() {
+        let points = [0.0, 0.2, 0.4, 30.0, 30.2, 30.4, 90.0, 90.2, 90.4];
+        let matrix = line_matrix(&points);
+        let best = best_k_by_silhouette(&matrix, &[2, 3, 4, 5], |k| {
+            hierarchical_clustering(&matrix, k, Linkage::Average)
+        });
+        let (k, assignments, score) = best.expect("candidates are non-empty");
+        assert_eq!(k, 3);
+        assert_eq!(assignments.len(), 9);
+        assert!(score > 0.9);
+        assert!(best_k_by_silhouette(&matrix, &[], |_| Vec::new()).is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the clustering algorithms.
+
+use proptest::prelude::*;
+
+use trace_clustering::{
+    hierarchical_clustering, kmeans, silhouette_score, FeatureMatrix, KMeansConfig, Linkage,
+};
+
+/// Random small feature matrices (ranks × features).
+fn feature_matrix() -> impl Strategy<Value = FeatureMatrix> {
+    (2usize..12, 1usize..5).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(prop::collection::vec(0.0..1000.0f64, cols), rows).prop_map(
+            move |rows_data| FeatureMatrix {
+                names: (0..cols).map(|c| format!("f{c}")).collect(),
+                rows: rows_data,
+            },
+        )
+    })
+}
+
+fn distance_matrix(features: &FeatureMatrix) -> Vec<Vec<f64>> {
+    trace_clustering::euclidean_distance_matrix(features)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kmeans_assigns_every_row_to_a_valid_cluster(features in feature_matrix(), k in 1usize..6) {
+        let result = kmeans(&features, &KMeansConfig::new(k));
+        prop_assert_eq!(result.assignments.len(), features.len());
+        prop_assert!(result.assignments.iter().all(|&a| a < result.centroids.len()));
+        prop_assert!(result.inertia >= 0.0);
+        prop_assert!(result.cluster_count() <= k.min(features.len()));
+    }
+
+    #[test]
+    fn kmeans_is_deterministic(features in feature_matrix(), k in 1usize..6) {
+        let a = kmeans(&features, &KMeansConfig::new(k));
+        let b = kmeans(&features, &KMeansConfig::new(k));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia(features in feature_matrix()) {
+        let small = kmeans(&features, &KMeansConfig::new(1)).inertia;
+        let large = kmeans(&features, &KMeansConfig::new(features.len())).inertia;
+        prop_assert!(large <= small + 1e-9, "{large} > {small}");
+        prop_assert!(large < 1e-9, "one cluster per row has zero inertia");
+    }
+
+    #[test]
+    fn hierarchical_produces_exactly_k_clusters(features in feature_matrix(), k in 1usize..6) {
+        let matrix = distance_matrix(&features);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let assignment = hierarchical_clustering(&matrix, k, linkage);
+            prop_assert_eq!(assignment.len(), features.len());
+            let mut distinct: Vec<usize> = assignment.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), k.clamp(1, features.len()));
+        }
+    }
+
+    #[test]
+    fn silhouette_is_bounded(features in feature_matrix(), k in 2usize..5) {
+        let matrix = distance_matrix(&features);
+        let assignment = hierarchical_clustering(&matrix, k, Linkage::Average);
+        let score = silhouette_score(&matrix, &assignment);
+        prop_assert!((-1.0..=1.0).contains(&score), "score {score}");
+    }
+
+    #[test]
+    fn normalization_preserves_shape_and_bounds(features in feature_matrix()) {
+        use trace_clustering::Normalization;
+        let minmax = features.normalized(Normalization::MinMax);
+        prop_assert_eq!(minmax.len(), features.len());
+        prop_assert_eq!(minmax.width(), features.width());
+        prop_assert!(minmax.rows.iter().flatten().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Parallel per-rank reduction.
+//!
+//! The paper's technique is strictly intra-process: each rank's trace is
+//! reduced independently and the per-rank results are merged afterwards.
+//! That makes the reduction embarrassingly parallel over ranks, which this
+//! module exploits with crossbeam scoped threads.  Results are collected
+//! into a pre-sized slot table guarded by a `parking_lot::Mutex`, so rank
+//! order is preserved regardless of which worker finishes first.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use trace_model::{AppTrace, ReducedAppTrace, ReducedRankTrace};
+
+use crate::reducer::Reducer;
+
+/// Reduces every rank of `app` in parallel using up to `threads` worker
+/// threads (values of 0 or 1 fall back to the sequential path).
+///
+/// The output is identical to [`Reducer::reduce_app`]; parallelism only
+/// changes wall-clock time, never the result, because ranks are independent.
+pub fn reduce_app_parallel(reducer: &Reducer, app: &AppTrace, threads: usize) -> ReducedAppTrace {
+    let n_ranks = app.rank_count();
+    if threads <= 1 || n_ranks <= 1 {
+        return reducer.reduce_app(app);
+    }
+    let workers = threads.min(n_ranks);
+
+    let slots: Vec<Mutex<Option<ReducedRankTrace>>> =
+        (0..n_ranks).map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= n_ranks {
+                    break;
+                }
+                let reduction = reducer.reduce_rank(&app.ranks[index]);
+                *slots[index].lock() = Some(reduction.reduced);
+            });
+        }
+    })
+    .expect("rank-reduction worker panicked");
+
+    let mut reduced = ReducedAppTrace::for_app(app);
+    for slot in slots {
+        reduced
+            .ranks
+            .push(slot.into_inner().expect("every rank slot must be filled"));
+    }
+    reduced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    #[test]
+    fn parallel_reduction_matches_sequential_result() {
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        for method in [Method::AvgWave, Method::RelDiff, Method::IterAvg, Method::IterK] {
+            let reducer = Reducer::with_default_threshold(method);
+            let sequential = reducer.reduce_app(&app);
+            for threads in [2, 4, 16] {
+                let parallel = reduce_app_parallel(&reducer, &app, threads);
+                assert_eq!(sequential, parallel, "{method} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts_fall_back_to_sequential() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let reducer = Reducer::with_default_threshold(Method::Euclidean);
+        let sequential = reducer.reduce_app(&app);
+        assert_eq!(reduce_app_parallel(&reducer, &app, 0), sequential);
+        assert_eq!(reduce_app_parallel(&reducer, &app, 1), sequential);
+    }
+
+    #[test]
+    fn more_threads_than_ranks_is_fine() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let reducer = Reducer::with_default_threshold(Method::Manhattan);
+        let parallel = reduce_app_parallel(&reducer, &app, 64);
+        assert_eq!(parallel.rank_count(), app.rank_count());
+    }
+}

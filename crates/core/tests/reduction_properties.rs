@@ -1,0 +1,189 @@
+//! Property-based tests for the reduction algorithm's invariants.
+//!
+//! These hold for every similarity method and every threshold:
+//!
+//! * the execution log has exactly one entry per segment instance, in order;
+//! * every execution references a stored representative with the same
+//!   structural key as the original instance;
+//! * reconstruction preserves the number of segments and events per rank;
+//! * the degree of matching is in `[0, 1]`;
+//! * representatives are never duplicated beyond what the method allows
+//!   (`iter_avg` keeps exactly one per key).
+
+use proptest::prelude::*;
+
+use trace_model::{ContextId, Event, Rank, RankTrace, RegionId, Time};
+use trace_reduce::{segments_of_rank, Method, MethodConfig, Reducer};
+
+/// Builds a synthetic rank trace from a list of iterations, each described
+/// by `(context, event durations)`.
+fn build_trace(iterations: &[(u8, Vec<u16>)]) -> RankTrace {
+    let mut rt = RankTrace::new(Rank(0));
+    let mut now = 0u64;
+    for (ctx, durations) in iterations {
+        let ctx = ContextId(u32::from(*ctx % 3));
+        rt.begin_segment(ctx, Time::from_nanos(now));
+        now += 7;
+        for (i, &d) in durations.iter().enumerate() {
+            let start = now;
+            let end = now + u64::from(d) + 1;
+            rt.push_event(Event::compute(RegionId(i as u32 % 4), Time::from_nanos(start), Time::from_nanos(end)));
+            now = end;
+        }
+        now += 3;
+        rt.end_segment(ctx, Time::from_nanos(now));
+        now += 11;
+    }
+    rt
+}
+
+fn iterations_strategy() -> impl Strategy<Value = Vec<(u8, Vec<u16>)>> {
+    prop::collection::vec(
+        (any::<u8>(), prop::collection::vec(1u16..5000, 1..6)),
+        1..40,
+    )
+}
+
+fn method_strategy() -> impl Strategy<Value = MethodConfig> {
+    prop_oneof![
+        (0.0..1.5f64).prop_map(|t| MethodConfig::new(Method::RelDiff, t)),
+        (0.0..2000.0f64).prop_map(|t| MethodConfig::new(Method::AbsDiff, t / 1000.0)),
+        (0.0..1.5f64).prop_map(|t| MethodConfig::new(Method::Manhattan, t)),
+        (0.0..1.5f64).prop_map(|t| MethodConfig::new(Method::Euclidean, t)),
+        (0.0..1.5f64).prop_map(|t| MethodConfig::new(Method::Chebyshev, t)),
+        (0.0..1.5f64).prop_map(|t| MethodConfig::new(Method::AvgWave, t)),
+        (0.0..1.5f64).prop_map(|t| MethodConfig::new(Method::HaarWave, t)),
+        (1.0..20.0f64).prop_map(|k| MethodConfig::new(Method::IterK, k)),
+        Just(MethodConfig::with_default_threshold(Method::IterAvg)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn exec_log_mirrors_segment_instances(
+        iterations in iterations_strategy(),
+        config in method_strategy(),
+    ) {
+        let trace = build_trace(&iterations);
+        let segments = segments_of_rank(&trace);
+        let reduced = Reducer::new(config).reduce_rank(&trace).reduced;
+
+        prop_assert_eq!(reduced.exec_count(), segments.len());
+        // Execution starts appear in the original order with the original
+        // absolute start times.
+        for (exec, segment) in reduced.execs.iter().zip(&segments) {
+            prop_assert_eq!(exec.start, segment.start);
+        }
+        prop_assert!(reduced.stored_count() <= reduced.exec_count());
+        prop_assert!(reduced.stored_count() >= 1);
+    }
+
+    #[test]
+    fn every_exec_references_a_matching_key(
+        iterations in iterations_strategy(),
+        config in method_strategy(),
+    ) {
+        let trace = build_trace(&iterations);
+        let segments = segments_of_rank(&trace);
+        let reduced = Reducer::new(config).reduce_rank(&trace).reduced;
+        // iter_avg representatives carry averaged timings, so only compare
+        // structural keys, which must always be preserved.
+        for (exec, segment) in reduced.execs.iter().zip(&segments) {
+            let stored = reduced.stored_segment(exec.segment).expect("exec id must resolve");
+            prop_assert_eq!(stored.segment.key(), segment.key());
+        }
+    }
+
+    #[test]
+    fn degree_of_matching_is_a_fraction(
+        iterations in iterations_strategy(),
+        config in method_strategy(),
+    ) {
+        let trace = build_trace(&iterations);
+        let reduced = Reducer::new(config).reduce_rank(&trace).reduced;
+        let dom = reduced.degree_of_matching();
+        prop_assert!((0.0..=1.0).contains(&dom), "degree of matching {dom}");
+    }
+
+    #[test]
+    fn reconstruction_preserves_structure(
+        iterations in iterations_strategy(),
+        config in method_strategy(),
+    ) {
+        let trace = build_trace(&iterations);
+        let reduced = Reducer::new(config).reduce_rank(&trace).reduced;
+        let rebuilt = reduced.reconstruct();
+        prop_assert_eq!(rebuilt.segment_instance_count(), trace.segment_instance_count());
+        prop_assert_eq!(rebuilt.event_count(), trace.event_count());
+    }
+
+    #[test]
+    fn iter_avg_keeps_exactly_one_representative_per_key(
+        iterations in iterations_strategy(),
+    ) {
+        let trace = build_trace(&iterations);
+        let segments = segments_of_rank(&trace);
+        let distinct_keys: std::collections::HashSet<_> =
+            segments.iter().map(|s| s.key()).collect();
+        let reduced = Reducer::with_default_threshold(Method::IterAvg)
+            .reduce_rank(&trace)
+            .reduced;
+        prop_assert_eq!(reduced.stored_count(), distinct_keys.len());
+    }
+
+    #[test]
+    fn iter_k_never_stores_more_than_k_per_key(
+        iterations in iterations_strategy(),
+        k in 1usize..12,
+    ) {
+        let trace = build_trace(&iterations);
+        let reduced = Reducer::new(MethodConfig::new(Method::IterK, k as f64))
+            .reduce_rank(&trace)
+            .reduced;
+        let mut per_key: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
+        for stored in &reduced.stored {
+            *per_key.entry(stored.segment.key()).or_default() += 1;
+        }
+        for (_, count) in per_key {
+            prop_assert!(count <= k);
+        }
+    }
+
+    #[test]
+    fn zero_threshold_reduces_to_exact_duplicate_matching(
+        iterations in iterations_strategy(),
+    ) {
+        // With a zero threshold the distance methods only match segments
+        // whose measurement vectors are identical; representatives must
+        // therefore be pairwise different or identical to their instances.
+        let trace = build_trace(&iterations);
+        let segments = segments_of_rank(&trace);
+        let reduced = Reducer::new(MethodConfig::new(Method::Euclidean, 0.0))
+            .reduce_rank(&trace)
+            .reduced;
+        // Each exec must reference a representative with an identical
+        // measurement vector.
+        for (exec, segment) in reduced.execs.iter().zip(&segments) {
+            let stored = reduced.stored_segment(exec.segment).unwrap();
+            prop_assert_eq!(stored.segment.measurement_vector(), segment.measurement_vector());
+        }
+    }
+
+    #[test]
+    fn looser_thresholds_never_store_more_for_reldiff_single_context(
+        durations in prop::collection::vec(1u16..5000, 2..30),
+    ) {
+        // Restricted monotonicity check: one context, one event per segment.
+        let iterations: Vec<(u8, Vec<u16>)> = durations.iter().map(|&d| (0u8, vec![d])).collect();
+        let trace = build_trace(&iterations);
+        let tight = Reducer::new(MethodConfig::new(Method::RelDiff, 0.05))
+            .reduce_rank(&trace)
+            .reduced;
+        let loose = Reducer::new(MethodConfig::new(Method::RelDiff, 0.9))
+            .reduce_rank(&trace)
+            .reduced;
+        prop_assert!(loose.stored_count() <= tight.stored_count());
+    }
+}

@@ -1,0 +1,190 @@
+//! The threshold study (Section 5.1): sweep each method over its threshold
+//! grid and record file size, approximation distance and trend retention.
+//!
+//! The results feed the appendix figures (9–19: file size and approximation
+//! distance versus threshold, per method, for the benchmarks and for
+//! Sweep3D) and the appendix tables (1–18: retention of performance trends
+//! versus threshold, per program).
+
+use trace_model::AppTrace;
+use trace_reduce::{Method, MethodConfig};
+
+use crate::evaluation::{evaluate_method, MethodEvaluation};
+use crate::report::{fmt_f64, fmt_retained, Table};
+
+/// One point of a threshold sweep: the evaluation of one workload at one
+/// threshold of one method.
+pub type ThresholdPoint = MethodEvaluation;
+
+/// Runs the threshold study for one method over the given full traces,
+/// sweeping the paper's threshold grid for that method.  `iter_avg` has no
+/// threshold and yields a single point per workload.
+pub fn threshold_study_for_method(traces: &[AppTrace], method: Method) -> Vec<ThresholdPoint> {
+    let thresholds = if method.has_threshold() {
+        method.threshold_grid()
+    } else {
+        vec![0.0]
+    };
+    let mut points = Vec::with_capacity(traces.len() * thresholds.len());
+    for trace in traces {
+        for &threshold in &thresholds {
+            points.push(evaluate_method(trace, MethodConfig::new(method, threshold)));
+        }
+    }
+    points
+}
+
+/// Appendix Figures 9–19 data: file size percentage and approximation
+/// distance per workload and threshold, for one method.
+pub fn threshold_figure_table(method: Method, points: &[ThresholdPoint]) -> Table {
+    let mut table = Table::new(
+        format!(
+            "File size and approximation distance vs. threshold — {}",
+            method.name()
+        ),
+        &[
+            "workload",
+            "threshold",
+            "file size %",
+            "approximation distance (us)",
+            "degree of matching",
+        ],
+    );
+    for point in points {
+        table.push_row(vec![
+            point.workload.clone(),
+            fmt_f64(point.config.threshold),
+            fmt_f64(point.file_size_percent),
+            fmt_f64(point.approximation_distance_us),
+            fmt_f64(point.degree_of_matching),
+        ]);
+    }
+    table
+}
+
+/// Appendix Tables 1–18 data: retention of performance trends per threshold
+/// for one workload (rows: method, columns: the method's thresholds).
+pub fn trend_retention_by_threshold_table(workload: &str, points: &[ThresholdPoint]) -> Table {
+    let mut table = Table::new(
+        format!("Retention of performance trends vs. threshold — {workload}"),
+        &["method", "threshold", "retained", "score"],
+    );
+    for point in points.iter().filter(|p| p.workload == workload) {
+        table.push_row(vec![
+            point.config.method.name().to_string(),
+            fmt_f64(point.config.threshold),
+            fmt_retained(point.trends_retained),
+            fmt_f64(point.trend_score),
+        ]);
+    }
+    table
+}
+
+/// Picks the "best" threshold for a method from a set of sweep points using
+/// the paper's reasoning: prefer the largest threshold that still retains
+/// performance trends on most workloads, breaking ties towards smaller file
+/// sizes.  Used by tests to confirm the paper's default choices are sound
+/// under this framework.
+pub fn recommend_threshold(method: Method, points: &[ThresholdPoint]) -> Option<f64> {
+    let thresholds = method.threshold_grid();
+    if thresholds.is_empty() {
+        return None;
+    }
+    let mut best: Option<(f64, f64, f64)> = None; // (threshold, retained fraction, avg size)
+    for &threshold in &thresholds {
+        let at: Vec<&ThresholdPoint> = points
+            .iter()
+            .filter(|p| p.config.method == method && p.config.threshold == threshold)
+            .collect();
+        if at.is_empty() {
+            continue;
+        }
+        let retained = at.iter().filter(|p| p.trends_retained).count() as f64 / at.len() as f64;
+        let avg_size = at.iter().map(|p| p.file_size_percent).sum::<f64>() / at.len() as f64;
+        let candidate = (threshold, retained, avg_size);
+        best = Some(match best {
+            None => candidate,
+            Some(current) => {
+                // Higher retention wins; then smaller files; then larger
+                // threshold (more reduction potential).
+                if (candidate.1, -candidate.2, candidate.0)
+                    > (current.1, -current.2, current.0)
+                {
+                    candidate
+                } else {
+                    current
+                }
+            }
+        });
+    }
+    best.map(|(threshold, _, _)| threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    fn tiny_traces() -> Vec<AppTrace> {
+        vec![Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate()]
+    }
+
+    #[test]
+    fn sweep_covers_the_papers_grid() {
+        let traces = tiny_traces();
+        let points = threshold_study_for_method(&traces, Method::Euclidean);
+        assert_eq!(points.len(), 6);
+        let thresholds: Vec<f64> = points.iter().map(|p| p.config.threshold).collect();
+        assert_eq!(thresholds, Method::Euclidean.threshold_grid());
+    }
+
+    #[test]
+    fn iter_avg_has_a_single_point_per_workload() {
+        let traces = tiny_traces();
+        let points = threshold_study_for_method(&traces, Method::IterAvg);
+        assert_eq!(points.len(), 1);
+    }
+
+    #[test]
+    fn file_size_decreases_with_increasing_threshold() {
+        // The paper's headline observation in every Figure 9-19 panel.
+        let traces = tiny_traces();
+        let points = threshold_study_for_method(&traces, Method::RelDiff);
+        let sizes: Vec<f64> = points.iter().map(|p| p.file_size_percent).collect();
+        assert!(
+            sizes.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "file size must not grow with a looser threshold: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn iter_k_file_size_increases_with_k() {
+        let traces = tiny_traces();
+        let points = threshold_study_for_method(&traces, Method::IterK);
+        let sizes: Vec<f64> = points.iter().map(|p| p.file_size_percent).collect();
+        assert!(
+            sizes.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            "keeping more iterations must not shrink the file: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn tables_render_for_every_point() {
+        let traces = tiny_traces();
+        let points = threshold_study_for_method(&traces, Method::AvgWave);
+        let fig = threshold_figure_table(Method::AvgWave, &points);
+        assert_eq!(fig.rows.len(), points.len());
+        let tab = trend_retention_by_threshold_table("late_sender", &points);
+        assert_eq!(tab.rows.len(), points.len());
+        assert!(tab.render().contains("avgWave"));
+    }
+
+    #[test]
+    fn recommended_threshold_comes_from_the_grid() {
+        let traces = tiny_traces();
+        let points = threshold_study_for_method(&traces, Method::Manhattan);
+        let best = recommend_threshold(Method::Manhattan, &points).unwrap();
+        assert!(Method::Manhattan.threshold_grid().contains(&best));
+        assert_eq!(recommend_threshold(Method::IterAvg, &[]), None);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the text trace format.
+
+use std::fmt;
+
+/// An error encountered while parsing the text trace format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line number the error was detected on (0 for end-of-input
+    /// errors that are not tied to a specific line).
+    pub line: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl FormatError {
+    /// Creates an error tied to a line.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        FormatError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error about the overall structure (missing trailer, …).
+    pub fn structural(message: impl Into<String>) -> Self {
+        FormatError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace format error: {}", self.message)
+        } else {
+            write!(f, "trace format error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_the_line_when_known() {
+        let e = FormatError::at(17, "bad record");
+        assert_eq!(e.to_string(), "trace format error at line 17: bad record");
+        let s = FormatError::structural("missing END");
+        assert_eq!(s.to_string(), "trace format error: missing END");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FormatError::at(1, "x"), FormatError::at(1, "x"));
+        assert_ne!(FormatError::at(1, "x"), FormatError::at(2, "x"));
+    }
+}

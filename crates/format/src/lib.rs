@@ -1,0 +1,30 @@
+//! Text trace format: an OTF-style, line-oriented ASCII encoding.
+//!
+//! The reproduction-difficulty note for this paper calls trace-format
+//! parsers "thin" in the Rust ecosystem, and the paper's own workflow moves
+//! traces between a tracer, a reduction step and the KOJAK analyzer as
+//! files.  This crate provides the interchange piece: a human-readable,
+//! line-oriented text format (in the spirit of the ASCII variants of OTF and
+//! EPILOG) for both full application traces and reduced traces, with a
+//! strict parser that reports the line number and cause of every error.
+//!
+//! * [`write`] — serialize [`trace_model::AppTrace`] /
+//!   [`trace_model::ReducedAppTrace`] to the text format.
+//! * [`parse`] — parse them back, validating record structure, identifier
+//!   references and time-stamp ordering.
+//! * [`error::FormatError`] — the error type carrying the offending line.
+//!
+//! The binary codec in `trace-model` remains the format used for file-size
+//! measurements (it is what the paper's percentages are computed against);
+//! the text format exists for interoperability, debugging and the
+//! import/export paths of the `trace-tools` CLI.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod parse;
+pub mod write;
+
+pub use error::FormatError;
+pub use parse::{parse_app_trace, parse_reduced_trace};
+pub use write::{write_app_trace, write_reduced_trace};

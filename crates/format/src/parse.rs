@@ -1,0 +1,565 @@
+//! Parsers for the text trace format.
+
+use trace_model::{
+    AppTrace, CollectiveOp, CommInfo, ContextId, ContextTable, Duration, Event, Rank, RankTrace,
+    ReducedAppTrace, ReducedRankTrace, RegionId, RegionTable, Segment, SegmentExec, StoredSegment,
+    Time,
+};
+
+use crate::error::FormatError;
+use crate::write::{APP_HEADER, REDUCED_HEADER};
+
+/// A line with its 1-based number, with blank and comment lines skipped.
+struct Lines<'a> {
+    inner: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Lines {
+            inner: text.lines().enumerate(),
+        }
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        for (index, line) in self.inner.by_ref() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some((index + 1, trimmed));
+        }
+        None
+    }
+
+    fn expect(&mut self, what: &str) -> Result<(usize, &'a str), FormatError> {
+        self.next()
+            .ok_or_else(|| FormatError::structural(format!("unexpected end of input, expected {what}")))
+    }
+}
+
+fn parse_u64(line: usize, token: Option<&str>, what: &str) -> Result<u64, FormatError> {
+    let token = token.ok_or_else(|| FormatError::at(line, format!("missing {what}")))?;
+    token
+        .parse::<u64>()
+        .map_err(|_| FormatError::at(line, format!("invalid {what}: {token:?}")))
+}
+
+fn parse_u32(line: usize, token: Option<&str>, what: &str) -> Result<u32, FormatError> {
+    Ok(parse_u64(line, token, what)? as u32)
+}
+
+fn collective_op(line: usize, name: &str) -> Result<CollectiveOp, FormatError> {
+    CollectiveOp::ALL
+        .into_iter()
+        .find(|op| op.mpi_name() == name)
+        .ok_or_else(|| FormatError::at(line, format!("unknown collective operation {name:?}")))
+}
+
+/// Shared header: `TRACE RANKS <n> NAME <name>` plus REGION/CONTEXT tables.
+struct Header {
+    name: String,
+    ranks: usize,
+    regions: RegionTable,
+    contexts: ContextTable,
+    /// First non-table line (already consumed from the iterator) to be
+    /// processed by the caller.
+    pending: Option<(usize, String)>,
+}
+
+fn parse_header(lines: &mut Lines<'_>) -> Result<Header, FormatError> {
+    let (line_no, line) = lines.expect("TRACE line")?;
+    let mut tokens = line.split_whitespace();
+    if tokens.next() != Some("TRACE") || tokens.next() != Some("RANKS") {
+        return Err(FormatError::at(line_no, "expected `TRACE RANKS <n> NAME <name>`"));
+    }
+    let ranks = parse_u64(line_no, tokens.next(), "rank count")? as usize;
+    if tokens.next() != Some("NAME") {
+        return Err(FormatError::at(line_no, "expected NAME after the rank count"));
+    }
+    // The name is everything after the literal ` NAME ` marker; a missing
+    // remainder (empty program name) is tolerated.
+    let name = line
+        .find(" NAME ")
+        .map(|idx| line[idx + " NAME ".len()..].to_string())
+        .unwrap_or_default();
+
+    let mut region_names: Vec<String> = Vec::new();
+    let mut context_names: Vec<String> = Vec::new();
+    let pending;
+    loop {
+        let (line_no, line) = lines.expect("REGION/CONTEXT table or rank data")?;
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("REGION") => {
+                let id = parse_u64(line_no, tokens.next(), "region id")? as usize;
+                if id != region_names.len() {
+                    return Err(FormatError::at(
+                        line_no,
+                        format!("region ids must be dense and ascending; expected {} got {id}", region_names.len()),
+                    ));
+                }
+                let rest = line
+                    .splitn(3, char::is_whitespace)
+                    .nth(2)
+                    .unwrap_or("")
+                    .to_string();
+                if rest.is_empty() {
+                    return Err(FormatError::at(line_no, "missing region name"));
+                }
+                region_names.push(rest);
+            }
+            Some("CONTEXT") => {
+                let id = parse_u64(line_no, tokens.next(), "context id")? as usize;
+                if id != context_names.len() {
+                    return Err(FormatError::at(
+                        line_no,
+                        format!("context ids must be dense and ascending; expected {} got {id}", context_names.len()),
+                    ));
+                }
+                let rest = line
+                    .splitn(3, char::is_whitespace)
+                    .nth(2)
+                    .unwrap_or("")
+                    .to_string();
+                if rest.is_empty() {
+                    return Err(FormatError::at(line_no, "missing context name"));
+                }
+                context_names.push(rest);
+            }
+            _ => {
+                pending = Some((line_no, line.to_string()));
+                break;
+            }
+        }
+    }
+
+    Ok(Header {
+        name,
+        ranks,
+        regions: RegionTable::from_names(region_names),
+        contexts: ContextTable::from_names(context_names),
+        pending,
+    })
+}
+
+/// Parses one `EVENT …` line against the header's tables.
+fn parse_event(header: &Header, line_no: usize, line: &str) -> Result<Event, FormatError> {
+    let mut tokens = line.split_whitespace();
+    let keyword = tokens.next();
+    debug_assert_eq!(keyword, Some("EVENT"), "callers only pass EVENT lines");
+    let region = parse_u32(line_no, tokens.next(), "region id")?;
+    if (region as usize) >= header.regions.len() {
+        return Err(FormatError::at(line_no, format!("event references unknown region {region}")));
+    }
+    let start = parse_u64(line_no, tokens.next(), "event start")?;
+    let end = parse_u64(line_no, tokens.next(), "event end")?;
+    if end < start {
+        return Err(FormatError::at(line_no, format!("event end {end} precedes start {start}")));
+    }
+    let wait = parse_u64(line_no, tokens.next(), "event wait time")?;
+    let kind = tokens
+        .next()
+        .ok_or_else(|| FormatError::at(line_no, "missing event kind"))?;
+    let comm = match kind {
+        "COMPUTE" => CommInfo::Compute,
+        "SEND" => CommInfo::Send {
+            peer: Rank(parse_u32(line_no, tokens.next(), "peer rank")?),
+            tag: parse_u32(line_no, tokens.next(), "tag")?,
+            bytes: parse_u64(line_no, tokens.next(), "byte count")?,
+        },
+        "RECV" => CommInfo::Recv {
+            peer: Rank(parse_u32(line_no, tokens.next(), "peer rank")?),
+            tag: parse_u32(line_no, tokens.next(), "tag")?,
+            bytes: parse_u64(line_no, tokens.next(), "byte count")?,
+        },
+        "SENDRECV" => CommInfo::SendRecv {
+            to: Rank(parse_u32(line_no, tokens.next(), "destination rank")?),
+            from: Rank(parse_u32(line_no, tokens.next(), "source rank")?),
+            tag: parse_u32(line_no, tokens.next(), "tag")?,
+            bytes: parse_u64(line_no, tokens.next(), "byte count")?,
+        },
+        "COLLECTIVE" => {
+            let op_name = tokens
+                .next()
+                .ok_or_else(|| FormatError::at(line_no, "missing collective operation name"))?;
+            CommInfo::Collective {
+                op: collective_op(line_no, op_name)?,
+                root: Rank(parse_u32(line_no, tokens.next(), "root rank")?),
+                comm_size: parse_u32(line_no, tokens.next(), "communicator size")?,
+                bytes: parse_u64(line_no, tokens.next(), "byte count")?,
+            }
+        }
+        other => {
+            return Err(FormatError::at(line_no, format!("unknown event kind {other:?}")));
+        }
+    };
+    Ok(Event {
+        region: RegionId(region),
+        start: Time::from_nanos(start),
+        end: Time::from_nanos(end),
+        comm,
+        wait: Duration::from_nanos(wait),
+    })
+}
+
+fn parse_context_ref(header: &Header, line_no: usize, token: Option<&str>) -> Result<ContextId, FormatError> {
+    let id = parse_u32(line_no, token, "context id")?;
+    if (id as usize) >= header.contexts.len() {
+        return Err(FormatError::at(line_no, format!("unknown context id {id}")));
+    }
+    Ok(ContextId(id))
+}
+
+/// Parses the text form of a full application trace.
+pub fn parse_app_trace(text: &str) -> Result<AppTrace, FormatError> {
+    let mut lines = Lines::new(text);
+    let (line_no, first) = lines.expect("header")?;
+    if first != APP_HEADER {
+        return Err(FormatError::at(line_no, format!("expected header {APP_HEADER:?}, found {first:?}")));
+    }
+    let header = parse_header(&mut lines)?;
+    let mut app = AppTrace {
+        name: header.name.clone(),
+        regions: header.regions.clone(),
+        contexts: header.contexts.clone(),
+        ranks: Vec::with_capacity(header.ranks),
+    };
+
+    let mut pending = header.pending.clone();
+    loop {
+        let (line_no, line) = match pending.take() {
+            Some((n, l)) => (n, l),
+            None => {
+                let (n, l) = lines.expect("RANK or END_TRACE")?;
+                (n, l.to_string())
+            }
+        };
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("END_TRACE") => break,
+            Some("RANK") => {
+                let rank_id = parse_u32(line_no, tokens.next(), "rank id")?;
+                let mut rank = RankTrace::new(Rank(rank_id));
+                loop {
+                    let (line_no, line) = lines.expect("rank records or END_RANK")?;
+                    let mut tokens = line.split_whitespace();
+                    match tokens.next() {
+                        Some("END_RANK") => break,
+                        Some("SEG_BEGIN") => {
+                            let context = parse_context_ref(&header, line_no, tokens.next())?;
+                            let time = parse_u64(line_no, tokens.next(), "time stamp")?;
+                            rank.begin_segment(context, Time::from_nanos(time));
+                        }
+                        Some("SEG_END") => {
+                            let context = parse_context_ref(&header, line_no, tokens.next())?;
+                            let time = parse_u64(line_no, tokens.next(), "time stamp")?;
+                            rank.end_segment(context, Time::from_nanos(time));
+                        }
+                        Some("EVENT") => {
+                            rank.push_event(parse_event(&header, line_no, line)?);
+                        }
+                        other => {
+                            return Err(FormatError::at(
+                                line_no,
+                                format!("unexpected record {other:?} inside a rank section"),
+                            ));
+                        }
+                    }
+                }
+                app.ranks.push(rank);
+            }
+            other => {
+                return Err(FormatError::at(line_no, format!("expected RANK or END_TRACE, found {other:?}")));
+            }
+        }
+    }
+
+    if app.ranks.len() != header.ranks {
+        return Err(FormatError::structural(format!(
+            "header declares {} ranks but {} rank sections were found",
+            header.ranks,
+            app.ranks.len()
+        )));
+    }
+    Ok(app)
+}
+
+/// Parses the text form of a reduced application trace.
+pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
+    let mut lines = Lines::new(text);
+    let (line_no, first) = lines.expect("header")?;
+    if first != REDUCED_HEADER {
+        return Err(FormatError::at(line_no, format!("expected header {REDUCED_HEADER:?}, found {first:?}")));
+    }
+    let header = parse_header(&mut lines)?;
+    let mut reduced = ReducedAppTrace {
+        name: header.name.clone(),
+        regions: header.regions.clone(),
+        contexts: header.contexts.clone(),
+        ranks: Vec::with_capacity(header.ranks),
+    };
+
+    let mut pending = header.pending.clone();
+    loop {
+        let (line_no, line) = match pending.take() {
+            Some((n, l)) => (n, l),
+            None => {
+                let (n, l) = lines.expect("RANK or END_TRACE")?;
+                (n, l.to_string())
+            }
+        };
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("END_TRACE") => break,
+            Some("RANK") => {
+                let rank_id = parse_u32(line_no, tokens.next(), "rank id")?;
+                let mut rank = ReducedRankTrace::new(Rank(rank_id));
+                loop {
+                    let (line_no, line) = lines.expect("STORED/EXEC records or END_RANK")?;
+                    let mut tokens = line.split_whitespace();
+                    match tokens.next() {
+                        Some("END_RANK") => break,
+                        Some("STORED") => {
+                            let id = parse_u32(line_no, tokens.next(), "stored segment id")?;
+                            if id as usize != rank.stored.len() {
+                                return Err(FormatError::at(
+                                    line_no,
+                                    format!("stored ids must be dense; expected {} got {id}", rank.stored.len()),
+                                ));
+                            }
+                            let represented = parse_u32(line_no, tokens.next(), "represented count")?;
+                            let context = parse_context_ref(&header, line_no, tokens.next())?;
+                            let end = parse_u64(line_no, tokens.next(), "segment end")?;
+                            let n_events = parse_u64(line_no, tokens.next(), "event count")? as usize;
+                            let mut events = Vec::with_capacity(n_events);
+                            for _ in 0..n_events {
+                                let (event_line_no, event_line) = lines.expect("EVENT line")?;
+                                if !event_line.starts_with("EVENT") {
+                                    return Err(FormatError::at(
+                                        event_line_no,
+                                        "expected EVENT line inside a STORED segment",
+                                    ));
+                                }
+                                events.push(parse_event(&header, event_line_no, event_line)?);
+                            }
+                            rank.stored.push(StoredSegment {
+                                id,
+                                segment: Segment {
+                                    context,
+                                    start: Time::ZERO,
+                                    end: Time::from_nanos(end),
+                                    events,
+                                },
+                                represented,
+                            });
+                        }
+                        Some("EXEC") => {
+                            let segment = parse_u32(line_no, tokens.next(), "stored segment id")?;
+                            if segment as usize >= rank.stored.len() {
+                                return Err(FormatError::at(
+                                    line_no,
+                                    format!("execution references unknown stored segment {segment}"),
+                                ));
+                            }
+                            let start = parse_u64(line_no, tokens.next(), "execution start")?;
+                            rank.execs.push(SegmentExec {
+                                segment,
+                                start: Time::from_nanos(start),
+                            });
+                        }
+                        other => {
+                            return Err(FormatError::at(
+                                line_no,
+                                format!("unexpected record {other:?} inside a rank section"),
+                            ));
+                        }
+                    }
+                }
+                reduced.ranks.push(rank);
+            }
+            other => {
+                return Err(FormatError::at(line_no, format!("expected RANK or END_TRACE, found {other:?}")));
+            }
+        }
+    }
+
+    if reduced.ranks.len() != header.ranks {
+        return Err(FormatError::structural(format!(
+            "header declares {} ranks but {} rank sections were found",
+            header.ranks,
+            reduced.ranks.len()
+        )));
+    }
+    Ok(reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::{write_app_trace, write_reduced_trace};
+    use trace_reduce::{Method, Reducer};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    #[test]
+    fn app_trace_round_trips_exactly() {
+        for kind in [
+            WorkloadKind::LateSender,
+            WorkloadKind::ImbalanceAtMpiBarrier,
+            WorkloadKind::Sweep3d8p,
+        ] {
+            let app = Workload::new(kind, SizePreset::Tiny).generate();
+            let text = write_app_trace(&app);
+            let parsed = parse_app_trace(&text).expect("round trip must parse");
+            assert_eq!(parsed, app, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn reduced_trace_round_trips_exactly() {
+        let app = Workload::new(WorkloadKind::EarlyGather, SizePreset::Tiny).generate();
+        for method in [Method::AvgWave, Method::IterK, Method::RelDiff] {
+            let reduced = Reducer::with_default_threshold(method).reduce_app(&app);
+            let text = write_reduced_trace(&reduced);
+            let parsed = parse_reduced_trace(&text).expect("round trip must parse");
+            assert_eq!(parsed, reduced, "{method}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let text = write_app_trace(&app);
+        let commented: String = text
+            .lines()
+            .flat_map(|l| [l, "", "# a comment"])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = parse_app_trace(&commented).expect("comments are ignored");
+        assert_eq!(parsed, app);
+    }
+
+    #[test]
+    fn wrong_header_is_rejected_with_line_number() {
+        let err = parse_app_trace("BOGUS 9\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_reduced_trace("TRACEFORMAT 1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn truncated_input_reports_a_structural_error() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let text = write_app_trace(&app);
+        let truncated: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
+        let err = parse_app_trace(&truncated).unwrap_err();
+        assert_eq!(err.line, 0, "end-of-input errors are structural: {err}");
+    }
+
+    #[test]
+    fn malformed_records_are_rejected_with_their_line() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let text = write_app_trace(&app);
+
+        // Corrupt the first EVENT line's region id into a huge number.
+        let corrupted: Vec<String> = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("EVENT") {
+                    let mut parts: Vec<&str> = l.split_whitespace().collect();
+                    parts[1] = "9999";
+                    parts.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        let err = parse_app_trace(&corrupted.join("\n")).unwrap_err();
+        assert!(err.line > 0);
+        assert!(err.message.contains("unknown region"), "{err}");
+    }
+
+    #[test]
+    fn inverted_event_times_are_rejected() {
+        let text = "\
+TRACEFORMAT 1
+TRACE RANKS 1 NAME bad
+REGION 0 do_work
+CONTEXT 0 main.1
+RANK 0
+SEG_BEGIN 0 0
+EVENT 0 50 10 0 COMPUTE
+SEG_END 0 60
+END_RANK
+END_TRACE
+";
+        let err = parse_app_trace(text).unwrap_err();
+        assert_eq!(err.line, 7);
+        assert!(err.message.contains("precedes"), "{err}");
+    }
+
+    #[test]
+    fn unknown_collective_and_event_kind_are_rejected() {
+        let base = "\
+TRACEFORMAT 1
+TRACE RANKS 1 NAME bad
+REGION 0 MPI_Bcast
+CONTEXT 0 main.1
+RANK 0
+EVENT 0 0 10 0 COLLECTIVE MPI_Bogus 0 8 64
+END_RANK
+END_TRACE
+";
+        let err = parse_app_trace(base).unwrap_err();
+        assert!(err.message.contains("unknown collective"), "{err}");
+
+        let bad_kind = base.replace("COLLECTIVE MPI_Bogus 0 8 64", "TELEPORT 1 2 3");
+        let err = parse_app_trace(&bad_kind).unwrap_err();
+        assert!(err.message.contains("unknown event kind"), "{err}");
+    }
+
+    #[test]
+    fn rank_count_mismatch_is_detected() {
+        let text = "\
+TRACEFORMAT 1
+TRACE RANKS 2 NAME short
+REGION 0 do_work
+CONTEXT 0 main.1
+RANK 0
+END_RANK
+END_TRACE
+";
+        let err = parse_app_trace(text).unwrap_err();
+        assert!(err.message.contains("rank sections"), "{err}");
+    }
+
+    #[test]
+    fn exec_referencing_unknown_stored_segment_is_rejected() {
+        let text = "\
+TRACEFORMAT_REDUCED 1
+TRACE RANKS 1 NAME bad
+REGION 0 do_work
+CONTEXT 0 main.1
+RANK 0
+EXEC 3 100
+END_RANK
+END_TRACE
+";
+        let err = parse_reduced_trace(text).unwrap_err();
+        assert!(err.message.contains("unknown stored segment"), "{err}");
+    }
+
+    #[test]
+    fn region_ids_must_be_dense() {
+        let text = "\
+TRACEFORMAT 1
+TRACE RANKS 0 NAME sparse
+REGION 0 a
+REGION 2 b
+END_TRACE
+";
+        let err = parse_app_trace(text).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("dense"), "{err}");
+    }
+}

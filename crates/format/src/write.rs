@@ -1,0 +1,171 @@
+//! Writers for the text trace format.
+
+use std::fmt::Write as _;
+
+use trace_model::{AppTrace, CommInfo, Event, ReducedAppTrace, TraceRecord};
+
+/// Magic first line of a full-trace file.
+pub const APP_HEADER: &str = "TRACEFORMAT 1";
+/// Magic first line of a reduced-trace file.
+pub const REDUCED_HEADER: &str = "TRACEFORMAT_REDUCED 1";
+
+fn write_tables(out: &mut String, app_name: &str, ranks: usize, regions: &[String], contexts: &[String]) {
+    let _ = writeln!(out, "TRACE RANKS {ranks} NAME {app_name}");
+    for (id, name) in regions.iter().enumerate() {
+        let _ = writeln!(out, "REGION {id} {name}");
+    }
+    for (id, name) in contexts.iter().enumerate() {
+        let _ = writeln!(out, "CONTEXT {id} {name}");
+    }
+}
+
+fn write_event(out: &mut String, event: &Event) {
+    let _ = write!(
+        out,
+        "EVENT {} {} {} {}",
+        event.region.as_u32(),
+        event.start.as_nanos(),
+        event.end.as_nanos(),
+        event.wait.as_nanos()
+    );
+    match event.comm {
+        CommInfo::Compute => {
+            let _ = writeln!(out, " COMPUTE");
+        }
+        CommInfo::Send { peer, tag, bytes } => {
+            let _ = writeln!(out, " SEND {} {tag} {bytes}", peer.as_u32());
+        }
+        CommInfo::Recv { peer, tag, bytes } => {
+            let _ = writeln!(out, " RECV {} {tag} {bytes}", peer.as_u32());
+        }
+        CommInfo::SendRecv { to, from, tag, bytes } => {
+            let _ = writeln!(out, " SENDRECV {} {} {tag} {bytes}", to.as_u32(), from.as_u32());
+        }
+        CommInfo::Collective {
+            op,
+            root,
+            comm_size,
+            bytes,
+        } => {
+            let _ = writeln!(
+                out,
+                " COLLECTIVE {} {} {comm_size} {bytes}",
+                op.mpi_name(),
+                root.as_u32()
+            );
+        }
+    }
+}
+
+/// Serializes a full application trace to the text format.
+pub fn write_app_trace(app: &AppTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{APP_HEADER}");
+    write_tables(
+        &mut out,
+        &app.name,
+        app.rank_count(),
+        app.regions.names(),
+        app.contexts.names(),
+    );
+    for rank in &app.ranks {
+        let _ = writeln!(out, "RANK {}", rank.rank.as_u32());
+        for record in &rank.records {
+            match record {
+                TraceRecord::SegmentBegin { context, time } => {
+                    let _ = writeln!(out, "SEG_BEGIN {} {}", context.as_u32(), time.as_nanos());
+                }
+                TraceRecord::SegmentEnd { context, time } => {
+                    let _ = writeln!(out, "SEG_END {} {}", context.as_u32(), time.as_nanos());
+                }
+                TraceRecord::Event(event) => write_event(&mut out, event),
+            }
+        }
+        let _ = writeln!(out, "END_RANK");
+    }
+    let _ = writeln!(out, "END_TRACE");
+    out
+}
+
+/// Serializes a reduced application trace to the text format.
+pub fn write_reduced_trace(reduced: &ReducedAppTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{REDUCED_HEADER}");
+    write_tables(
+        &mut out,
+        &reduced.name,
+        reduced.rank_count(),
+        reduced.regions.names(),
+        reduced.contexts.names(),
+    );
+    for rank in &reduced.ranks {
+        let _ = writeln!(out, "RANK {}", rank.rank.as_u32());
+        for stored in &rank.stored {
+            let _ = writeln!(
+                out,
+                "STORED {} {} {} {} {}",
+                stored.id,
+                stored.represented,
+                stored.segment.context.as_u32(),
+                stored.segment.end.as_nanos(),
+                stored.segment.events.len()
+            );
+            for event in &stored.segment.events {
+                write_event(&mut out, event);
+            }
+        }
+        for exec in &rank.execs {
+            let _ = writeln!(out, "EXEC {} {}", exec.segment, exec.start.as_nanos());
+        }
+        let _ = writeln!(out, "END_RANK");
+    }
+    let _ = writeln!(out, "END_TRACE");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_reduce::{Method, Reducer};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    #[test]
+    fn app_trace_output_has_header_tables_and_trailer() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let text = write_app_trace(&app);
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(APP_HEADER));
+        assert!(text.contains("TRACE RANKS"));
+        assert!(text.contains("REGION 0 "));
+        assert!(text.contains("CONTEXT 0 "));
+        assert!(text.ends_with("END_TRACE\n"));
+        assert_eq!(
+            text.matches("RANK ").count(),
+            app.rank_count(),
+            "one RANK header per rank"
+        );
+        assert_eq!(text.matches("END_RANK").count(), app.rank_count());
+    }
+
+    #[test]
+    fn every_event_kind_is_written_with_its_parameters() {
+        let app = Workload::new(WorkloadKind::ImbalanceAtMpiBarrier, SizePreset::Tiny).generate();
+        let text = write_app_trace(&app);
+        assert!(text.contains(" COLLECTIVE MPI_Barrier"));
+        assert!(text.contains(" COMPUTE"));
+        let p2p = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let p2p_text = write_app_trace(&p2p);
+        assert!(p2p_text.contains(" SEND ") || p2p_text.contains(" RECV "));
+    }
+
+    #[test]
+    fn reduced_trace_output_lists_stored_segments_and_execs() {
+        let app = Workload::new(WorkloadKind::EarlyGather, SizePreset::Tiny).generate();
+        let reduced = Reducer::with_default_threshold(Method::AvgWave).reduce_app(&app);
+        let text = write_reduced_trace(&reduced);
+        assert!(text.starts_with(REDUCED_HEADER));
+        assert_eq!(text.matches("STORED ").count(), reduced.total_stored());
+        assert_eq!(text.matches("EXEC ").count(), reduced.total_execs());
+        assert!(text.ends_with("END_TRACE\n"));
+    }
+}

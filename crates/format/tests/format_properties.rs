@@ -1,0 +1,111 @@
+//! Property-based tests for the text trace format: randomly constructed
+//! traces must round trip exactly, and random corruption must never panic
+//! the parser (it either parses or reports a structured error).
+
+use proptest::prelude::*;
+
+use trace_format::{parse_app_trace, write_app_trace};
+use trace_model::{AppTrace, CollectiveOp, CommInfo, Event, Rank, Time};
+
+/// Strategy for one event's communication metadata.
+fn comm_info(n_ranks: u32) -> impl Strategy<Value = CommInfo> {
+    let rank = 0..n_ranks.max(1);
+    prop_oneof![
+        Just(CommInfo::Compute),
+        (rank.clone(), 0u32..8, 1u64..10_000).prop_map(|(peer, tag, bytes)| CommInfo::Send {
+            peer: Rank(peer),
+            tag,
+            bytes
+        }),
+        (rank.clone(), 0u32..8, 1u64..10_000).prop_map(|(peer, tag, bytes)| CommInfo::Recv {
+            peer: Rank(peer),
+            tag,
+            bytes
+        }),
+        (0usize..CollectiveOp::ALL.len(), rank, 1u64..10_000).prop_map(move |(op, root, bytes)| {
+            CommInfo::Collective {
+                op: CollectiveOp::ALL[op],
+                root: Rank(root),
+                comm_size: n_ranks.max(1),
+                bytes,
+            }
+        }),
+    ]
+}
+
+/// Strategy for a small synthetic application trace.
+fn app_trace() -> impl Strategy<Value = AppTrace> {
+    (1u32..4, 1usize..4, 1usize..6).prop_flat_map(|(n_ranks, n_segments, events_per_segment)| {
+        prop::collection::vec(
+            prop::collection::vec(
+                (comm_info(n_ranks), 1u64..1_000),
+                n_segments * events_per_segment,
+            ),
+            n_ranks as usize,
+        )
+        .prop_map(move |per_rank| {
+            let mut app = AppTrace::new("proptest_trace", n_ranks as usize);
+            let work = app.regions.intern("do_work");
+            let comm = app.regions.intern("MPI_Op");
+            let ctx = app.contexts.intern("main.1");
+            for (rank_index, events) in per_rank.into_iter().enumerate() {
+                let mut now = 0u64;
+                let rank = &mut app.ranks[rank_index];
+                for chunk in events.chunks(events_per_segment.max(1)) {
+                    rank.begin_segment(ctx, Time::from_nanos(now));
+                    for (info, duration) in chunk {
+                        let region = if info.is_communication() { comm } else { work };
+                        let start = now + 1;
+                        let end = start + duration;
+                        rank.push_event(Event::with_comm(
+                            region,
+                            Time::from_nanos(start),
+                            Time::from_nanos(end),
+                            *info,
+                        ));
+                        now = end;
+                    }
+                    rank.end_segment(ctx, Time::from_nanos(now + 1));
+                    now += 2;
+                }
+            }
+            app
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_traces_round_trip_exactly(app in app_trace()) {
+        let text = write_app_trace(&app);
+        let parsed = parse_app_trace(&text).expect("writer output must parse");
+        prop_assert_eq!(parsed, app);
+    }
+
+    #[test]
+    fn dropping_a_random_line_never_panics(app in app_trace(), drop in 0usize..200) {
+        let text = write_app_trace(&app);
+        let lines: Vec<&str> = text.lines().collect();
+        let corrupted: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop % lines.len())
+            .map(|(_, l)| *l)
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Either it still parses (dropping a redundant line) or it reports a
+        // structured error — both are acceptable; panicking is not.
+        let _ = parse_app_trace(&corrupted);
+    }
+
+    #[test]
+    fn truncation_never_panics(app in app_trace(), keep_fraction in 0.0..1.0f64) {
+        // The text format is pure ASCII, so byte-level truncation is safe.
+        let text = write_app_trace(&app);
+        let cut = (text.len() as f64 * keep_fraction) as usize;
+        let truncated = &text[..cut.min(text.len())];
+        let _ = parse_app_trace(truncated);
+    }
+}

@@ -1,0 +1,202 @@
+//! Confidence-interval driven adaptive sampling (Gamblin et al., IPDPS'08).
+//!
+//! Gamblin et al. sample monitoring data with a user-specified confidence
+//! level and error bound: data is collected until the confidence interval of
+//! the estimated mean is within the requested relative error, after which
+//! further collection is unnecessary.  Applied to segment sampling, each
+//! segment pattern keeps collecting full instances until the confidence
+//! interval of its mean duration is tight, and only start times afterwards.
+
+/// Configuration for the adaptive policy.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AdaptiveConfig {
+    /// Target relative half-width of the confidence interval: sampling stops
+    /// once `half_width <= relative_error * mean`.
+    pub relative_error: f64,
+    /// z-score of the confidence level (1.96 ≈ 95%).
+    pub z_score: f64,
+    /// Minimum number of instances to keep per pattern before the interval
+    /// test is allowed to stop sampling.
+    pub min_samples: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            relative_error: 0.05,
+            z_score: 1.96,
+            min_samples: 3,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Creates a configuration with the given relative error at 95%
+    /// confidence and the default minimum sample count.
+    pub fn with_relative_error(relative_error: f64) -> Self {
+        AdaptiveConfig {
+            relative_error,
+            ..AdaptiveConfig::default()
+        }
+    }
+}
+
+/// Welford online mean/variance accumulator with the confidence-interval
+/// stopping test.
+#[derive(Clone, Debug, Default)]
+pub struct ConfidenceAccumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl ConfidenceAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the confidence interval of the mean at the given
+    /// z-score (`z * s / sqrt(n)`); infinite with fewer than two samples.
+    pub fn interval_half_width(&self, z_score: f64) -> f64 {
+        if self.count < 2 {
+            f64::INFINITY
+        } else {
+            z_score * self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// True once the confidence interval is narrow enough under `config`:
+    /// at least `min_samples` observations and
+    /// `half_width <= relative_error * mean`.
+    ///
+    /// A zero mean (degenerate segments with no measurable duration) is
+    /// treated as satisfied as soon as the minimum sample count is reached,
+    /// because the interval can never tighten relative to a zero mean.
+    pub fn is_satisfied(&self, config: &AdaptiveConfig) -> bool {
+        if (self.count as usize) < config.min_samples {
+            return false;
+        }
+        if self.mean <= 0.0 {
+            return true;
+        }
+        self.interval_half_width(config.z_score) <= config.relative_error * self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_mean_and_variance() {
+        let values = [4.0, 8.0, 6.0, 10.0, 2.0];
+        let mut acc = ConfidenceAccumulator::new();
+        for &v in &values {
+            acc.push(v);
+        }
+        assert_eq!(acc.count(), 5);
+        assert!((acc.mean() - 6.0).abs() < 1e-12);
+        // Direct unbiased variance: sum((x-6)^2) / 4 = (4+4+0+16+16)/4 = 10.
+        assert!((acc.variance() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_sample_edge_cases() {
+        let mut acc = ConfidenceAccumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert!(acc.interval_half_width(1.96).is_infinite());
+        acc.push(5.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert!(acc.interval_half_width(1.96).is_infinite());
+    }
+
+    #[test]
+    fn constant_observations_satisfy_quickly() {
+        let config = AdaptiveConfig::default();
+        let mut acc = ConfidenceAccumulator::new();
+        for _ in 0..config.min_samples {
+            acc.push(1000.0);
+        }
+        assert!(acc.is_satisfied(&config), "zero variance satisfies immediately");
+    }
+
+    #[test]
+    fn min_samples_gate_is_respected() {
+        let config = AdaptiveConfig {
+            min_samples: 5,
+            ..AdaptiveConfig::default()
+        };
+        let mut acc = ConfidenceAccumulator::new();
+        for _ in 0..4 {
+            acc.push(1000.0);
+        }
+        assert!(!acc.is_satisfied(&config));
+        acc.push(1000.0);
+        assert!(acc.is_satisfied(&config));
+    }
+
+    #[test]
+    fn noisy_observations_need_more_samples_than_clean_ones() {
+        let config = AdaptiveConfig::with_relative_error(0.05);
+        let samples_needed = |noise: f64| -> usize {
+            let mut acc = ConfidenceAccumulator::new();
+            for i in 0..10_000usize {
+                // Deterministic alternating noise around 1000.
+                let v = 1000.0 + if i % 2 == 0 { noise } else { -noise };
+                acc.push(v);
+                if acc.is_satisfied(&config) {
+                    return i + 1;
+                }
+            }
+            10_000
+        };
+        let clean = samples_needed(10.0);
+        let noisy = samples_needed(400.0);
+        assert!(clean < noisy, "clean {clean} should satisfy before noisy {noisy}");
+    }
+
+    #[test]
+    fn zero_mean_is_satisfied_at_min_samples() {
+        let config = AdaptiveConfig::default();
+        let mut acc = ConfidenceAccumulator::new();
+        for _ in 0..3 {
+            acc.push(0.0);
+        }
+        assert!(acc.is_satisfied(&config));
+    }
+}

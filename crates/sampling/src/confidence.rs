@@ -1,0 +1,155 @@
+//! The trace-confidence evaluation measure (Gamblin et al.).
+//!
+//! Gamblin et al. evaluate sampled traces with a *confidence* measure: the
+//! percentage of time the mean trace of the sampled processes stays within a
+//! specified error bound of the mean trace of the full data.  This module
+//! implements that measure over the workspace's trace model so it can be
+//! reported alongside the paper's four criteria for any reduction method
+//! (similarity-based, sampling-based, or clustering-based).
+
+use trace_model::{stats, AppTrace};
+
+/// The result of a trace-confidence comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfidenceReport {
+    /// Fraction of compared time stamps whose absolute error is within the
+    /// bound, in `[0, 1]`.
+    pub timestamp_confidence: f64,
+    /// Fraction of positions where the cross-rank *mean* time stamp of the
+    /// approximated trace is within the bound of the full trace's mean.
+    pub mean_trace_confidence: f64,
+    /// The error bound that was used, in microseconds.
+    pub error_bound_us: f64,
+    /// Number of time stamps compared.
+    pub compared: usize,
+}
+
+impl ConfidenceReport {
+    /// True if both confidence values reach `level` (e.g. 0.95).
+    pub fn meets(&self, level: f64) -> bool {
+        self.timestamp_confidence >= level && self.mean_trace_confidence >= level
+    }
+}
+
+/// Per-position mean of the rank time-stamp vectors, truncated to the
+/// shortest rank (ranks usually have identical event counts).
+fn mean_timestamp_vector(app: &AppTrace) -> Vec<f64> {
+    let vectors: Vec<Vec<f64>> = app
+        .ranks
+        .iter()
+        .map(|r| r.timestamp_vector().iter().map(|t| t.as_f64()).collect())
+        .collect();
+    let min_len = vectors.iter().map(Vec::len).min().unwrap_or(0);
+    (0..min_len)
+        .map(|i| stats::mean(&vectors.iter().map(|v| v[i]).collect::<Vec<_>>()))
+        .collect()
+}
+
+/// Computes the trace confidence of `approximated` against `full` with the
+/// given absolute error bound in microseconds.
+pub fn trace_confidence(
+    full: &AppTrace,
+    approximated: &AppTrace,
+    error_bound_us: f64,
+) -> ConfidenceReport {
+    let bound_ns = error_bound_us * 1_000.0;
+    let mut within = 0usize;
+    let mut compared = 0usize;
+    for (full_rank, approx_rank) in full.ranks.iter().zip(&approximated.ranks) {
+        let a = full_rank.timestamp_vector();
+        let b = approx_rank.timestamp_vector();
+        for (x, y) in a.iter().zip(&b) {
+            compared += 1;
+            if x.abs_diff(*y).as_f64() <= bound_ns {
+                within += 1;
+            }
+        }
+        // Any missing trailing time stamps count as out of bound.
+        compared += a.len().abs_diff(b.len());
+    }
+    let timestamp_confidence = if compared == 0 {
+        1.0
+    } else {
+        within as f64 / compared as f64
+    };
+
+    let full_mean = mean_timestamp_vector(full);
+    let approx_mean = mean_timestamp_vector(approximated);
+    let positions = full_mean.len().min(approx_mean.len());
+    let mean_within = (0..positions)
+        .filter(|&i| (full_mean[i] - approx_mean[i]).abs() <= bound_ns)
+        .count();
+    let denom = full_mean.len().max(approx_mean.len());
+    let mean_trace_confidence = if denom == 0 {
+        1.0
+    } else {
+        mean_within as f64 / denom as f64
+    };
+
+    ConfidenceReport {
+        timestamp_confidence,
+        mean_trace_confidence,
+        error_bound_us,
+        compared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sample_app, SamplingPolicy};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    #[test]
+    fn identical_traces_have_full_confidence() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let report = trace_confidence(&app, &app, 0.0);
+        assert_eq!(report.timestamp_confidence, 1.0);
+        assert_eq!(report.mean_trace_confidence, 1.0);
+        assert!(report.meets(1.0));
+        assert!(report.compared > 0);
+    }
+
+    #[test]
+    fn empty_traces_are_trivially_confident() {
+        let empty = AppTrace::new("empty", 0);
+        let report = trace_confidence(&empty, &empty, 1.0);
+        assert_eq!(report.compared, 0);
+        assert_eq!(report.timestamp_confidence, 1.0);
+        assert_eq!(report.mean_trace_confidence, 1.0);
+    }
+
+    #[test]
+    fn confidence_grows_with_the_error_bound() {
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        let approx = sample_app(&app, SamplingPolicy::EveryNth(8)).reconstruct();
+        let tight = trace_confidence(&app, &approx, 1.0);
+        let loose = trace_confidence(&app, &approx, 100_000.0);
+        assert!(loose.timestamp_confidence >= tight.timestamp_confidence);
+        assert!(loose.mean_trace_confidence >= tight.mean_trace_confidence);
+    }
+
+    #[test]
+    fn finer_sampling_is_at_least_as_confident_as_coarser_sampling() {
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        let bound_us = 50.0;
+        let fine = sample_app(&app, SamplingPolicy::EveryNth(2)).reconstruct();
+        let coarse = sample_app(&app, SamplingPolicy::EveryNth(16)).reconstruct();
+        let fine_conf = trace_confidence(&app, &fine, bound_us);
+        let coarse_conf = trace_confidence(&app, &coarse, bound_us);
+        assert!(
+            fine_conf.timestamp_confidence >= coarse_conf.timestamp_confidence,
+            "fine {} should be >= coarse {}",
+            fine_conf.timestamp_confidence,
+            coarse_conf.timestamp_confidence
+        );
+    }
+
+    #[test]
+    fn lossless_sampling_keeps_full_confidence_at_zero_bound() {
+        let app = Workload::new(WorkloadKind::EarlyGather, SizePreset::Tiny).generate();
+        let approx = sample_app(&app, SamplingPolicy::EveryNth(1)).reconstruct();
+        let report = trace_confidence(&app, &approx, 0.0);
+        assert_eq!(report.timestamp_confidence, 1.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Vetter-style statistical sampling of message-passing events.
+//!
+//! Vetter's dynamic statistical profiling intercepts every MPI event and, for
+//! each one, decides whether to record it in full, record only statistics, or
+//! ignore it.  This module implements the "statistics" side: every event is
+//! counted and contributes to per-region duration/byte statistics, and a
+//! bounded reservoir of fully retained example events is kept per region.
+//! The result is the profile-like summary the paper argues is *insufficient*
+//! for diagnosing wait-state problems — having it implemented makes that
+//! argument testable (see the `profiles_cannot_distinguish_late_senders`
+//! integration test).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use trace_model::{AppTrace, Event, Rank};
+
+/// Configuration of the statistical event sampler.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EventSamplingConfig {
+    /// Maximum number of fully retained example events per (rank, region).
+    pub reservoir_size: usize,
+    /// RNG seed for reservoir replacement decisions.
+    pub seed: u64,
+    /// If true, only message-passing events are sampled (compute events are
+    /// still counted); this mirrors Vetter's focus on MPI operations.
+    pub communication_only: bool,
+}
+
+impl Default for EventSamplingConfig {
+    fn default() -> Self {
+        EventSamplingConfig {
+            reservoir_size: 16,
+            seed: 0x5eed,
+            communication_only: false,
+        }
+    }
+}
+
+/// Aggregate statistics for one region on one rank.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegionStats {
+    /// Number of events observed.
+    pub count: u64,
+    /// Total inclusive time, nanoseconds.
+    pub total_ns: u64,
+    /// Minimum event duration, nanoseconds.
+    pub min_ns: u64,
+    /// Maximum event duration, nanoseconds.
+    pub max_ns: u64,
+    /// Total payload bytes moved by communication events.
+    pub total_bytes: u64,
+}
+
+impl RegionStats {
+    fn record(&mut self, duration_ns: u64, bytes: u64) {
+        if self.count == 0 {
+            self.min_ns = duration_ns;
+            self.max_ns = duration_ns;
+        } else {
+            self.min_ns = self.min_ns.min(duration_ns);
+            self.max_ns = self.max_ns.max(duration_ns);
+        }
+        self.count += 1;
+        self.total_ns += duration_ns;
+        self.total_bytes += bytes;
+    }
+
+    /// Mean event duration in nanoseconds (0 when no events were observed).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// The per-rank statistical profile of one region, with retained examples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegionProfile {
+    /// Aggregate statistics per rank (indexed by rank order).
+    pub per_rank: Vec<RegionStats>,
+    /// Reservoir of fully retained example events (absolute time stamps).
+    pub examples: Vec<(Rank, Event)>,
+}
+
+impl RegionProfile {
+    /// Total event count over all ranks.
+    pub fn total_count(&self) -> u64 {
+        self.per_rank.iter().map(|s| s.count).sum()
+    }
+
+    /// Total inclusive time over all ranks, in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.per_rank.iter().map(|s| s.total_ns).sum::<u64>() as f64 / 1e6
+    }
+
+    /// Per-rank mean durations in nanoseconds.
+    pub fn mean_by_rank(&self) -> Vec<f64> {
+        self.per_rank.iter().map(RegionStats::mean_ns).collect()
+    }
+}
+
+/// Number of payload bytes an event moves (0 for compute events).
+fn event_bytes(event: &Event) -> u64 {
+    use trace_model::CommInfo;
+    match event.comm {
+        CommInfo::Compute => 0,
+        CommInfo::Send { bytes, .. } | CommInfo::Recv { bytes, .. } => bytes,
+        CommInfo::SendRecv { bytes, .. } => 2 * bytes,
+        CommInfo::Collective { bytes, .. } => bytes,
+    }
+}
+
+/// Builds the statistical profile of an application trace, keyed by region
+/// name.  This is the Vetter-style reduction: counts and statistics for every
+/// event, plus a bounded reservoir of examples.
+pub fn statistical_profile(
+    app: &AppTrace,
+    config: &EventSamplingConfig,
+) -> BTreeMap<String, RegionProfile> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut profiles: BTreeMap<String, RegionProfile> = BTreeMap::new();
+    for (rank_index, rank) in app.ranks.iter().enumerate() {
+        for event in rank.events() {
+            if config.communication_only && !event.comm.is_communication() {
+                // Still count compute time under its region so totals stay
+                // meaningful, but do not retain examples.
+            }
+            let name = app.regions.name_or_unknown(event.region).to_owned();
+            let profile = profiles.entry(name).or_default();
+            if profile.per_rank.len() < app.rank_count() {
+                profile.per_rank.resize(app.rank_count(), RegionStats::default());
+            }
+            profile.per_rank[rank_index]
+                .record(event.duration().as_nanos(), event_bytes(event));
+
+            let retain_examples = !config.communication_only || event.comm.is_communication();
+            if retain_examples && config.reservoir_size > 0 {
+                let seen = profile.per_rank[rank_index].count;
+                if profile.examples.len() < config.reservoir_size {
+                    profile.examples.push((rank.rank, *event));
+                } else {
+                    // Reservoir sampling: replace an existing example with
+                    // probability reservoir_size / seen.
+                    let slot = rng.gen_range(0..seen as usize);
+                    if slot < config.reservoir_size {
+                        profile.examples[slot] = (rank.rank, *event);
+                    }
+                }
+            }
+        }
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{CommInfo, Time};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    fn tiny_app() -> AppTrace {
+        let mut app = AppTrace::new("profile_test", 2);
+        let work = app.regions.intern("do_work");
+        let recv = app.regions.intern("MPI_Recv");
+        let ctx = app.contexts.intern("main.1");
+        for (r, scale) in [(0usize, 1u64), (1, 3)] {
+            let rank = &mut app.ranks[r];
+            let mut now = 0;
+            for _ in 0..5 {
+                rank.begin_segment(ctx, Time::from_nanos(now));
+                rank.push_event(Event::compute(
+                    work,
+                    Time::from_nanos(now + 1),
+                    Time::from_nanos(now + 1 + 100 * scale),
+                ));
+                rank.push_event(Event::with_comm(
+                    recv,
+                    Time::from_nanos(now + 1 + 100 * scale),
+                    Time::from_nanos(now + 1 + 100 * scale + 50),
+                    CommInfo::Recv {
+                        peer: Rank(((r + 1) % 2) as u32),
+                        tag: 0,
+                        bytes: 64,
+                    },
+                ));
+                rank.end_segment(ctx, Time::from_nanos(now + 200 * scale));
+                now += 200 * scale;
+            }
+        }
+        app
+    }
+
+    #[test]
+    fn statistics_count_every_event() {
+        let app = tiny_app();
+        let profiles = statistical_profile(&app, &EventSamplingConfig::default());
+        assert_eq!(profiles.len(), 2);
+        let work = &profiles["do_work"];
+        assert_eq!(work.total_count(), 10);
+        assert_eq!(work.per_rank[0].count, 5);
+        assert_eq!(work.per_rank[0].mean_ns(), 100.0);
+        assert_eq!(work.per_rank[1].mean_ns(), 300.0);
+        let recv = &profiles["MPI_Recv"];
+        assert_eq!(recv.per_rank[0].total_bytes, 5 * 64);
+        assert_eq!(recv.per_rank[0].min_ns, 50);
+        assert_eq!(recv.per_rank[0].max_ns, 50);
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_deterministic() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let config = EventSamplingConfig {
+            reservoir_size: 8,
+            ..EventSamplingConfig::default()
+        };
+        let a = statistical_profile(&app, &config);
+        let b = statistical_profile(&app, &config);
+        assert_eq!(a, b, "same seed must sample the same examples");
+        for (region, profile) in &a {
+            assert!(
+                profile.examples.len() <= 8,
+                "{region} reservoir exceeded its bound"
+            );
+            if profile.total_count() >= 8 {
+                assert_eq!(profile.examples.len(), 8, "{region}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_reservoir_keeps_no_examples_but_all_statistics() {
+        let app = tiny_app();
+        let config = EventSamplingConfig {
+            reservoir_size: 0,
+            ..EventSamplingConfig::default()
+        };
+        let profiles = statistical_profile(&app, &config);
+        assert!(profiles.values().all(|p| p.examples.is_empty()));
+        assert_eq!(profiles["do_work"].total_count(), 10);
+    }
+
+    #[test]
+    fn communication_only_mode_skips_compute_examples() {
+        let app = tiny_app();
+        let config = EventSamplingConfig {
+            communication_only: true,
+            ..EventSamplingConfig::default()
+        };
+        let profiles = statistical_profile(&app, &config);
+        assert!(profiles["do_work"].examples.is_empty());
+        assert!(!profiles["MPI_Recv"].examples.is_empty());
+        // Statistics still cover everything.
+        assert_eq!(profiles["do_work"].total_count(), 10);
+    }
+
+    #[test]
+    fn profile_totals_match_the_trace_region_profile() {
+        let app = Workload::new(WorkloadKind::EarlyGather, SizePreset::Tiny).generate();
+        let profiles = statistical_profile(&app, &EventSamplingConfig::default());
+        let reference = app.region_time_profile();
+        for (region, duration) in reference {
+            let profile = &profiles[&region];
+            assert_eq!(profile.total_ms(), duration.as_nanos() as f64 / 1e6, "{region}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Trace-sampling reduction methods.
+//!
+//! The paper's conclusion names *trace sampling* as the first candidate for
+//! future work, and its related-work section describes three sampling
+//! families; this crate implements them against the same trace model and the
+//! same reduced-trace format as the similarity-based methods, so the
+//! evaluation criteria of Section 4.3 apply unchanged:
+//!
+//! * [`segment_sampler`] — keeps a subset of segment *instances* per rank
+//!   (every `n`-th, an unbiased random fraction, or adaptively until a
+//!   confidence interval on the mean segment duration is tight enough —
+//!   Gamblin et al., IPDPS'08) and fills the rest in from the nearest
+//!   retained instance, producing a [`trace_model::ReducedAppTrace`].
+//! * [`event_stats`] — Vetter-style statistical sampling of message-passing
+//!   events: every event is *counted*, a sampled subset is retained in
+//!   full, and the rest contribute only to per-region statistics.
+//! * [`periodicity`] — Freitag-style dynamic periodicity detection over the
+//!   per-rank segment-context sequence, plus a reducer that keeps a limited
+//!   number of iterations of each detected period.
+//! * [`confidence`] — the trace-confidence measure Gamblin et al. use to
+//!   evaluate sampled traces (fraction of time stamps within an error bound
+//!   of the full trace), usable as an additional evaluation criterion.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod confidence;
+pub mod event_stats;
+pub mod periodicity;
+pub mod policy;
+pub mod segment_sampler;
+
+pub use adaptive::{AdaptiveConfig, ConfidenceAccumulator};
+pub use confidence::{trace_confidence, ConfidenceReport};
+pub use event_stats::{statistical_profile, EventSamplingConfig, RegionProfile, RegionStats};
+pub use periodicity::{detect_period, reduce_by_periodicity, PeriodicityConfig};
+pub use policy::SamplingPolicy;
+pub use segment_sampler::{sample_app, sample_rank, SegmentSampler};

@@ -1,0 +1,265 @@
+//! Dynamic periodicity detection (Freitag et al.).
+//!
+//! Freitag et al. detect repeating sequences of events at run time and keep a
+//! reduced number of iterations of each detected sequence.  Applied to the
+//! segment stream of this workspace: the per-rank sequence of segment
+//! *contexts* is analysed for its dominant period, and only the first
+//! `keep_periods` repetitions of the periodic portion are retained in full;
+//! later repetitions are filled in from the corresponding position of the
+//! last retained repetition.
+
+use std::collections::HashMap;
+
+use trace_model::{
+    AppTrace, ContextId, RankTrace, ReducedAppTrace, ReducedRankTrace, SegmentExec,
+    StoredSegment, Time,
+};
+use trace_reduce::segmenter::segments_of_rank;
+
+/// Configuration of the periodicity-based reducer.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PeriodicityConfig {
+    /// How many repetitions of the detected period to keep in full.
+    pub keep_periods: usize,
+    /// Longest period (in segments) the detector will consider.
+    pub max_period: usize,
+    /// Minimum fraction of positions that must repeat for a candidate period
+    /// to be accepted (1.0 = perfectly periodic).
+    pub min_match_fraction: f64,
+}
+
+impl Default for PeriodicityConfig {
+    fn default() -> Self {
+        PeriodicityConfig {
+            keep_periods: 2,
+            max_period: 64,
+            min_match_fraction: 0.9,
+        }
+    }
+}
+
+/// Detects the dominant period of a symbol sequence.
+///
+/// A candidate period `p` is scored by the fraction of positions `i` with
+/// `seq[i] == seq[i + p]`; the smallest period whose score reaches
+/// `min_match_fraction` wins.  Returns `None` for sequences that are too
+/// short (fewer than two repetitions of any candidate) or not periodic.
+pub fn detect_period<T: PartialEq>(
+    sequence: &[T],
+    max_period: usize,
+    min_match_fraction: f64,
+) -> Option<usize> {
+    if sequence.len() < 2 {
+        return None;
+    }
+    let longest = max_period.min(sequence.len() / 2).max(1);
+    for period in 1..=longest {
+        let comparisons = sequence.len() - period;
+        if comparisons == 0 {
+            continue;
+        }
+        let matches = (0..comparisons)
+            .filter(|&i| sequence[i] == sequence[i + period])
+            .count();
+        if matches as f64 / comparisons as f64 >= min_match_fraction {
+            return Some(period);
+        }
+    }
+    None
+}
+
+/// Reduces one rank trace by periodicity: detect the dominant period of the
+/// segment-context sequence, keep the first `keep_periods` repetitions in
+/// full, and map later repetitions onto the corresponding position of the
+/// last retained repetition.  Falls back to keeping everything when no
+/// period is detected.
+///
+/// An instance beyond the keep window is only mapped onto a retained
+/// instance with the same structural key (same context, events and call
+/// parameters); instances that do not line up — a ragged tail, a phase
+/// change, or a disturbed iteration with extra events — are stored in full,
+/// so the reconstruction always preserves the event structure of the
+/// original trace.
+pub fn reduce_rank_by_periodicity(
+    trace: &RankTrace,
+    config: &PeriodicityConfig,
+) -> ReducedRankTrace {
+    let segments = segments_of_rank(trace);
+    let contexts: Vec<ContextId> = segments.iter().map(|s| s.context).collect();
+    let period = detect_period(&contexts, config.max_period, config.min_match_fraction);
+
+    let mut reduced = ReducedRankTrace::new(trace.rank);
+    // Representative id for each (repetition offset), used to fill in
+    // instances beyond the keep window.
+    let mut fill_by_offset: HashMap<usize, u32> = HashMap::new();
+
+    for (index, segment) in segments.into_iter().enumerate() {
+        let start = segment.start;
+        let keep = match period {
+            Some(p) => {
+                let repetition = index / p;
+                repetition < config.keep_periods.max(1)
+            }
+            None => true,
+        };
+
+        // Reuse the retained instance at the same offset within the period,
+        // but only if it is structurally identical to this instance.
+        let reuse = if keep {
+            None
+        } else {
+            let p = period.expect("instances are only skipped when a period was detected");
+            fill_by_offset.get(&(index % p)).copied().filter(|&id| {
+                reduced.stored[id as usize].segment.key() == segment.key()
+            })
+        };
+
+        match reuse {
+            Some(id) => {
+                reduced.stored[id as usize].represented += 1;
+                reduced.execs.push(SegmentExec { segment: id, start });
+            }
+            None => {
+                let id = reduced.stored.len() as u32;
+                if let Some(p) = period {
+                    fill_by_offset.insert(index % p, id);
+                }
+                let mut stored_segment = segment;
+                stored_segment.start = Time::ZERO;
+                reduced.stored.push(StoredSegment {
+                    id,
+                    segment: stored_segment,
+                    represented: 1,
+                });
+                reduced.execs.push(SegmentExec { segment: id, start });
+            }
+        }
+    }
+
+    reduced
+}
+
+/// Reduces every rank of an application trace by periodicity.
+pub fn reduce_by_periodicity(app: &AppTrace, config: &PeriodicityConfig) -> ReducedAppTrace {
+    let mut reduced = ReducedAppTrace::for_app(app);
+    for rank in &app.ranks {
+        reduced.ranks.push(reduce_rank_by_periodicity(rank, config));
+    }
+    reduced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{ContextId, Event, Rank, RegionId};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    #[test]
+    fn detects_simple_periods() {
+        let seq = [1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3];
+        assert_eq!(detect_period(&seq, 16, 1.0), Some(3));
+        let constant = [7; 10];
+        assert_eq!(detect_period(&constant, 16, 1.0), Some(1));
+    }
+
+    #[test]
+    fn rejects_aperiodic_and_short_sequences() {
+        let aperiodic = [1, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(detect_period(&aperiodic, 4, 0.95), None);
+        let short = [1];
+        assert_eq!(detect_period(&short, 4, 0.9), None);
+        let empty: [i32; 0] = [];
+        assert_eq!(detect_period(&empty, 4, 0.9), None);
+    }
+
+    #[test]
+    fn tolerates_small_disturbances_below_the_match_fraction() {
+        // Period 2 with one corrupted position out of 15 comparisons.
+        let mut seq = vec![1, 2].repeat(8);
+        seq[7] = 9;
+        assert_eq!(detect_period(&seq, 8, 0.8), Some(2));
+        assert_eq!(detect_period(&seq, 8, 1.0), None);
+    }
+
+    /// A rank trace alternating between two loop contexts.
+    fn two_phase_trace(repetitions: usize) -> RankTrace {
+        let mut rt = RankTrace::new(Rank(0));
+        let mut now = 0u64;
+        for _ in 0..repetitions {
+            for ctx in [0u32, 1] {
+                rt.begin_segment(ContextId(ctx), Time::from_nanos(now));
+                rt.push_event(Event::compute(
+                    RegionId(ctx),
+                    Time::from_nanos(now + 5),
+                    Time::from_nanos(now + 100),
+                ));
+                rt.end_segment(ContextId(ctx), Time::from_nanos(now + 110));
+                now += 110;
+            }
+        }
+        rt
+    }
+
+    #[test]
+    fn keeps_only_the_requested_number_of_periods() {
+        let rt = two_phase_trace(10);
+        let config = PeriodicityConfig {
+            keep_periods: 2,
+            ..PeriodicityConfig::default()
+        };
+        let reduced = reduce_rank_by_periodicity(&rt, &config);
+        assert_eq!(reduced.exec_count(), 20);
+        // Period is 2 segments, keep 2 periods -> 4 stored representatives.
+        assert_eq!(reduced.stored_count(), 4);
+        let rebuilt = reduced.reconstruct();
+        assert_eq!(rebuilt.event_count(), 20);
+    }
+
+    #[test]
+    fn fill_in_preserves_the_context_of_every_instance() {
+        let rt = two_phase_trace(6);
+        let reduced = reduce_rank_by_periodicity(&rt, &PeriodicityConfig::default());
+        let rebuilt = reduced.reconstruct();
+        let original_contexts: Vec<ContextId> = segments_of_rank(&rt)
+            .into_iter()
+            .map(|s| s.context)
+            .collect();
+        let rebuilt_contexts: Vec<ContextId> = segments_of_rank(&rebuilt)
+            .into_iter()
+            .map(|s| s.context)
+            .collect();
+        assert_eq!(original_contexts, rebuilt_contexts);
+    }
+
+    #[test]
+    fn aperiodic_traces_are_kept_in_full() {
+        // Segment contexts 0,1,2,...,7 never repeat, so nothing is dropped.
+        let mut rt = RankTrace::new(Rank(0));
+        let mut now = 0u64;
+        for ctx in 0u32..8 {
+            rt.begin_segment(ContextId(ctx), Time::from_nanos(now));
+            rt.push_event(Event::compute(
+                RegionId(ctx),
+                Time::from_nanos(now + 1),
+                Time::from_nanos(now + 10),
+            ));
+            rt.end_segment(ContextId(ctx), Time::from_nanos(now + 12));
+            now += 12;
+        }
+        let reduced = reduce_rank_by_periodicity(&rt, &PeriodicityConfig::default());
+        assert_eq!(reduced.stored_count(), 8);
+        assert_eq!(reduced.degree_of_matching(), 1.0);
+    }
+
+    #[test]
+    fn workload_reduction_is_structurally_consistent() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let reduced = reduce_by_periodicity(&app, &PeriodicityConfig::default());
+        assert_eq!(reduced.rank_count(), app.rank_count());
+        for (rrt, rt) in reduced.ranks.iter().zip(&app.ranks) {
+            assert_eq!(rrt.exec_count(), rt.segment_instance_count());
+        }
+        let approx = reduced.reconstruct();
+        assert_eq!(approx.total_events(), app.total_events());
+    }
+}

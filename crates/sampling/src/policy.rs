@@ -1,0 +1,175 @@
+//! Sampling policies: which segment instances to retain.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adaptive::AdaptiveConfig;
+
+/// Decides which segment instances of a pattern are retained in full.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SamplingPolicy {
+    /// Keep every `n`-th instance of each segment pattern (1-based: `n = 1`
+    /// keeps everything).  This is the "trace a reduced number of loop
+    /// iterations" ad-hoc practice the paper's introduction describes.
+    EveryNth(usize),
+    /// Keep each instance independently with probability `fraction`
+    /// (Vetter-style statistical sampling applied at segment granularity).
+    /// The first instance of every pattern is always kept so reconstruction
+    /// has a representative to fall back on.
+    Random {
+        /// Probability of retaining an instance, in `[0, 1]`.
+        fraction: f64,
+        /// RNG seed; the same seed always samples the same instances.
+        seed: u64,
+    },
+    /// Keep instances of a pattern until the 95% confidence interval of the
+    /// mean segment duration is narrower than `config.relative_error` of the
+    /// running mean, then stop (Gamblin et al., IPDPS'08).
+    Adaptive(AdaptiveConfig),
+}
+
+impl SamplingPolicy {
+    /// Short label used in reports, e.g. `every4`, `random(0.25)`,
+    /// `adaptive(0.05)`.
+    pub fn label(&self) -> String {
+        match self {
+            SamplingPolicy::EveryNth(n) => format!("every{n}"),
+            SamplingPolicy::Random { fraction, .. } => format!("random({fraction})"),
+            SamplingPolicy::Adaptive(cfg) => format!("adaptive({})", cfg.relative_error),
+        }
+    }
+
+    /// True if the policy is deterministic for a given trace (no RNG).
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, SamplingPolicy::Random { .. })
+    }
+}
+
+/// Per-rank sampling state: one decision stream per policy.
+pub(crate) struct PolicyState {
+    policy: SamplingPolicy,
+    rng: Option<StdRng>,
+}
+
+impl PolicyState {
+    pub(crate) fn new(policy: SamplingPolicy, rank: u32) -> Self {
+        let rng = match policy {
+            SamplingPolicy::Random { seed, .. } => {
+                // Derive a distinct, deterministic stream per rank.
+                Some(StdRng::seed_from_u64(seed ^ (u64::from(rank) << 32 | 0x9e37_79b9)))
+            }
+            _ => None,
+        };
+        PolicyState { policy, rng }
+    }
+
+    /// Decides whether to keep the `index`-th instance (0-based) of a
+    /// pattern.  `accumulator_satisfied` reports whether the adaptive
+    /// confidence target for that pattern has already been reached.
+    pub(crate) fn keep(&mut self, index: usize, accumulator_satisfied: bool) -> bool {
+        match self.policy {
+            SamplingPolicy::EveryNth(n) => index % n.max(1) == 0,
+            SamplingPolicy::Random { fraction, .. } => {
+                if index == 0 {
+                    return true;
+                }
+                let rng = self.rng.as_mut().expect("random policy has an RNG");
+                rng.gen::<f64>() < fraction.clamp(0.0, 1.0)
+            }
+            SamplingPolicy::Adaptive(_) => !accumulator_satisfied,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(SamplingPolicy::EveryNth(4).label(), "every4");
+        assert_eq!(
+            SamplingPolicy::Random {
+                fraction: 0.25,
+                seed: 7
+            }
+            .label(),
+            "random(0.25)"
+        );
+        assert_eq!(
+            SamplingPolicy::Adaptive(AdaptiveConfig::default()).label(),
+            "adaptive(0.05)"
+        );
+    }
+
+    #[test]
+    fn every_nth_keeps_the_expected_indices() {
+        let mut state = PolicyState::new(SamplingPolicy::EveryNth(3), 0);
+        let kept: Vec<bool> = (0..7).map(|i| state.keep(i, false)).collect();
+        assert_eq!(kept, vec![true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn every_zero_is_treated_as_every_one() {
+        let mut state = PolicyState::new(SamplingPolicy::EveryNth(0), 0);
+        assert!((0..5).all(|i| state.keep(i, false)));
+    }
+
+    #[test]
+    fn random_always_keeps_the_first_instance_and_is_seed_deterministic() {
+        let policy = SamplingPolicy::Random {
+            fraction: 0.5,
+            seed: 42,
+        };
+        let decisions = |rank: u32| -> Vec<bool> {
+            let mut state = PolicyState::new(policy, rank);
+            (0..64).map(|i| state.keep(i, false)).collect()
+        };
+        let a = decisions(3);
+        let b = decisions(3);
+        assert_eq!(a, b, "same seed and rank must sample identically");
+        assert!(a[0], "first instance is always kept");
+        let other_rank = decisions(4);
+        assert_ne!(a, other_rank, "different ranks use different streams");
+    }
+
+    #[test]
+    fn random_fraction_bounds() {
+        let mut none = PolicyState::new(
+            SamplingPolicy::Random {
+                fraction: 0.0,
+                seed: 1,
+            },
+            0,
+        );
+        assert!(none.keep(0, false));
+        assert!((1..32).all(|i| !none.keep(i, false)));
+        let mut all = PolicyState::new(
+            SamplingPolicy::Random {
+                fraction: 1.0,
+                seed: 1,
+            },
+            0,
+        );
+        assert!((0..32).all(|i| all.keep(i, false)));
+    }
+
+    #[test]
+    fn adaptive_keeps_until_the_accumulator_is_satisfied() {
+        let mut state = PolicyState::new(SamplingPolicy::Adaptive(AdaptiveConfig::default()), 0);
+        assert!(state.keep(0, false));
+        assert!(state.keep(5, false));
+        assert!(!state.keep(6, true));
+    }
+
+    #[test]
+    fn determinism_classification() {
+        assert!(SamplingPolicy::EveryNth(2).is_deterministic());
+        assert!(SamplingPolicy::Adaptive(AdaptiveConfig::default()).is_deterministic());
+        assert!(!SamplingPolicy::Random {
+            fraction: 0.1,
+            seed: 0
+        }
+        .is_deterministic());
+    }
+}

@@ -1,0 +1,250 @@
+//! Segment-granularity trace sampling.
+//!
+//! Instead of deciding whether a new segment is *similar* to a stored one
+//! (the paper's approach), a sampling reducer decides up front which segment
+//! instances to retain: every `n`-th instance, an unbiased random fraction,
+//! or adaptively until a confidence interval on the pattern's mean duration
+//! is tight enough.  Instances that are not retained keep only their start
+//! time in the execution log and are filled in from the most recently
+//! retained instance of the same pattern — the same reconstruction rule the
+//! paper uses for `iter_k`.
+//!
+//! The output is an ordinary [`ReducedAppTrace`], so the file-size,
+//! approximation-distance and trend-retention criteria apply to sampling
+//! exactly as they do to the similarity methods.
+
+use std::collections::HashMap;
+
+use trace_model::{
+    AppTrace, RankTrace, ReducedAppTrace, ReducedRankTrace, SegmentExec, SegmentKey,
+    StoredSegment, Time,
+};
+use trace_reduce::segmenter::segments_of_rank;
+
+use crate::adaptive::{AdaptiveConfig, ConfidenceAccumulator};
+use crate::policy::{PolicyState, SamplingPolicy};
+
+/// Per-pattern sampling state.
+#[derive(Default)]
+struct PatternState {
+    /// How many instances of the pattern have been seen.
+    seen: usize,
+    /// Ids of stored instances of this pattern, in storage order.
+    stored_ids: Vec<u32>,
+    /// Confidence accumulator over retained instance durations (adaptive).
+    accumulator: ConfidenceAccumulator,
+}
+
+/// Samples one rank trace under `policy`, producing a reduced rank trace.
+pub fn sample_rank(trace: &RankTrace, policy: SamplingPolicy) -> ReducedRankTrace {
+    let adaptive_config = match policy {
+        SamplingPolicy::Adaptive(cfg) => cfg,
+        _ => AdaptiveConfig::default(),
+    };
+    let mut state = PolicyState::new(policy, trace.rank.as_u32());
+    let mut patterns: HashMap<SegmentKey, PatternState> = HashMap::new();
+    let mut reduced = ReducedRankTrace::new(trace.rank);
+
+    for segment in segments_of_rank(trace) {
+        let key = segment.key();
+        let start = segment.start;
+        let pattern = patterns.entry(key).or_default();
+        let satisfied = matches!(policy, SamplingPolicy::Adaptive(_))
+            && pattern.accumulator.is_satisfied(&adaptive_config);
+        let keep = state.keep(pattern.seen, satisfied) || pattern.stored_ids.is_empty();
+        pattern.seen += 1;
+
+        if keep {
+            let id = reduced.stored.len() as u32;
+            pattern.stored_ids.push(id);
+            pattern.accumulator.push(segment.end.as_f64());
+            let mut stored_segment = segment;
+            stored_segment.start = Time::ZERO;
+            reduced.stored.push(StoredSegment {
+                id,
+                segment: stored_segment,
+                represented: 1,
+            });
+            reduced.execs.push(SegmentExec { segment: id, start });
+        } else {
+            let id = *pattern
+                .stored_ids
+                .last()
+                .expect("unsampled instances always have a retained predecessor");
+            reduced.stored[id as usize].represented += 1;
+            reduced.execs.push(SegmentExec { segment: id, start });
+        }
+    }
+
+    reduced
+}
+
+/// Samples every rank of an application trace under `policy`.
+pub fn sample_app(app: &AppTrace, policy: SamplingPolicy) -> ReducedAppTrace {
+    let mut reduced = ReducedAppTrace::for_app(app);
+    for rank in &app.ranks {
+        reduced.ranks.push(sample_rank(rank, policy));
+    }
+    reduced
+}
+
+/// A sampling reducer with the same call shape as
+/// [`trace_reduce::Reducer`], so evaluation drivers can treat sampling and
+/// similarity-based reduction uniformly.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentSampler {
+    policy: SamplingPolicy,
+}
+
+impl SegmentSampler {
+    /// Creates a sampler for the given policy.
+    pub fn new(policy: SamplingPolicy) -> Self {
+        SegmentSampler { policy }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> SamplingPolicy {
+        self.policy
+    }
+
+    /// Samples a single rank trace.
+    pub fn reduce_rank(&self, trace: &RankTrace) -> ReducedRankTrace {
+        sample_rank(trace, self.policy)
+    }
+
+    /// Samples every rank of an application trace.
+    pub fn reduce_app(&self, app: &AppTrace) -> ReducedAppTrace {
+        sample_app(app, self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{ContextId, Event, Rank, RegionId};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    /// A rank trace with one loop whose iteration durations are given.
+    fn looped_trace(durations: &[u64]) -> RankTrace {
+        let mut rt = RankTrace::new(Rank(0));
+        let ctx = ContextId(0);
+        let mut now = 0u64;
+        for &d in durations {
+            rt.begin_segment(ctx, Time::from_nanos(now));
+            rt.push_event(Event::compute(
+                RegionId(0),
+                Time::from_nanos(now + 10),
+                Time::from_nanos(now + 10 + d),
+            ));
+            rt.end_segment(ctx, Time::from_nanos(now + 20 + d));
+            now += 20 + d;
+        }
+        rt
+    }
+
+    #[test]
+    fn every_first_instance_sampling_is_lossless() {
+        let rt = looped_trace(&[100, 250, 90, 400, 120]);
+        let sampled = sample_rank(&rt, SamplingPolicy::EveryNth(1));
+        assert_eq!(sampled.stored_count(), 5);
+        assert_eq!(sampled.exec_count(), 5);
+        let rebuilt = sampled.reconstruct();
+        let original: Vec<_> = rt.events().copied().collect();
+        let replayed: Vec<_> = rebuilt.events().copied().collect();
+        assert_eq!(original, replayed, "every-1 sampling must reproduce every event exactly");
+    }
+
+    #[test]
+    fn every_nth_keeps_the_expected_number_of_instances() {
+        let rt = looped_trace(&[1000; 20]);
+        let sampled = sample_rank(&rt, SamplingPolicy::EveryNth(4));
+        assert_eq!(sampled.exec_count(), 20);
+        assert_eq!(sampled.stored_count(), 5);
+        // Unsampled instances refer back to the most recent retained one.
+        assert!(sampled.execs.iter().all(|e| (e.segment as usize) < 5));
+        let represented: u32 = sampled.stored.iter().map(|s| s.represented).sum();
+        assert_eq!(represented, 20);
+    }
+
+    #[test]
+    fn random_sampling_is_reproducible_and_respects_the_fraction() {
+        let rt = looped_trace(&[1000; 200]);
+        let policy = SamplingPolicy::Random {
+            fraction: 0.25,
+            seed: 99,
+        };
+        let a = sample_rank(&rt, policy);
+        let b = sample_rank(&rt, policy);
+        assert_eq!(a, b, "same seed must give the same sample");
+        assert_eq!(a.exec_count(), 200);
+        // Expect roughly 25% retained; allow generous slack for a 200-draw
+        // sample while still catching off-by-an-order-of-magnitude bugs.
+        assert!(
+            a.stored_count() > 20 && a.stored_count() < 110,
+            "stored {} should be near 50",
+            a.stored_count()
+        );
+    }
+
+    #[test]
+    fn adaptive_sampling_stops_early_for_regular_patterns() {
+        let regular = looped_trace(&[1000; 50]);
+        let sampled = sample_rank(
+            &regular,
+            SamplingPolicy::Adaptive(AdaptiveConfig::default()),
+        );
+        assert_eq!(sampled.exec_count(), 50);
+        assert!(
+            sampled.stored_count() <= 5,
+            "constant durations should satisfy the interval almost immediately, stored {}",
+            sampled.stored_count()
+        );
+    }
+
+    #[test]
+    fn adaptive_sampling_keeps_more_of_a_noisy_pattern() {
+        let regular = looped_trace(&[1000; 40]);
+        let noisy_durations: Vec<u64> = (0..40)
+            .map(|i| if i % 2 == 0 { 500 } else { 4000 })
+            .collect();
+        let noisy = looped_trace(&noisy_durations);
+        let policy = SamplingPolicy::Adaptive(AdaptiveConfig::with_relative_error(0.05));
+        let kept_regular = sample_rank(&regular, policy).stored_count();
+        let kept_noisy = sample_rank(&noisy, policy).stored_count();
+        assert!(
+            kept_noisy > kept_regular,
+            "noisy pattern should need more samples ({kept_noisy}) than regular ({kept_regular})"
+        );
+    }
+
+    #[test]
+    fn sampling_a_workload_preserves_structure() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        for policy in [
+            SamplingPolicy::EveryNth(2),
+            SamplingPolicy::Random {
+                fraction: 0.5,
+                seed: 1,
+            },
+            SamplingPolicy::Adaptive(AdaptiveConfig::default()),
+        ] {
+            let sampled = SegmentSampler::new(policy).reduce_app(&app);
+            assert_eq!(sampled.rank_count(), app.rank_count(), "{}", policy.label());
+            for (reduced, full) in sampled.ranks.iter().zip(&app.ranks) {
+                assert_eq!(reduced.exec_count(), full.segment_instance_count());
+            }
+            let approx = sampled.reconstruct();
+            assert_eq!(approx.total_events(), app.total_events(), "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn coarser_sampling_stores_fewer_segments() {
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        let fine = sample_app(&app, SamplingPolicy::EveryNth(1)).total_stored();
+        let medium = sample_app(&app, SamplingPolicy::EveryNth(4)).total_stored();
+        let coarse = sample_app(&app, SamplingPolicy::EveryNth(16)).total_stored();
+        assert!(fine > medium, "{fine} > {medium}");
+        assert!(medium >= coarse, "{medium} >= {coarse}");
+    }
+}

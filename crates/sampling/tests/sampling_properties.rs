@@ -1,0 +1,99 @@
+//! Property-based tests for the sampling reducers.
+
+use proptest::prelude::*;
+
+use trace_model::{ContextId, Event, Rank, RankTrace, RegionId, Time};
+use trace_sampling::{
+    detect_period, sample_rank, trace_confidence, AdaptiveConfig, SamplingPolicy,
+};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+/// Builds a single-loop rank trace whose iteration durations are given.
+fn looped_trace(durations: &[u64]) -> RankTrace {
+    let mut rt = RankTrace::new(Rank(0));
+    let ctx = ContextId(0);
+    let mut now = 0u64;
+    for &d in durations {
+        let d = d.max(1);
+        rt.begin_segment(ctx, Time::from_nanos(now));
+        rt.push_event(Event::compute(
+            RegionId(0),
+            Time::from_nanos(now + 1),
+            Time::from_nanos(now + 1 + d),
+        ));
+        rt.end_segment(ctx, Time::from_nanos(now + 2 + d));
+        now += 2 + d;
+    }
+    rt
+}
+
+fn durations() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..1_000_000, 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sampling_preserves_the_execution_log_length(ds in durations(), n in 1usize..8) {
+        let rt = looped_trace(&ds);
+        let sampled = sample_rank(&rt, SamplingPolicy::EveryNth(n));
+        prop_assert_eq!(sampled.exec_count(), ds.len());
+        prop_assert!(sampled.stored_count() >= 1);
+        prop_assert!(sampled.stored_count() <= ds.len());
+    }
+
+    #[test]
+    fn every_nth_stores_ceil_of_instances_over_n(ds in durations(), n in 1usize..8) {
+        let rt = looped_trace(&ds);
+        let sampled = sample_rank(&rt, SamplingPolicy::EveryNth(n));
+        let expected = ds.len().div_ceil(n);
+        prop_assert_eq!(sampled.stored_count(), expected);
+    }
+
+    #[test]
+    fn reconstruction_preserves_event_counts(ds in durations(), seed in any::<u64>()) {
+        let rt = looped_trace(&ds);
+        let policy = SamplingPolicy::Random { fraction: 0.3, seed };
+        let sampled = sample_rank(&rt, policy);
+        let rebuilt = sampled.reconstruct();
+        prop_assert_eq!(rebuilt.event_count(), rt.event_count());
+        prop_assert_eq!(rebuilt.segment_instance_count(), rt.segment_instance_count());
+    }
+
+    #[test]
+    fn adaptive_sampling_never_stores_more_than_everything(ds in durations()) {
+        let rt = looped_trace(&ds);
+        let sampled = sample_rank(
+            &rt,
+            SamplingPolicy::Adaptive(AdaptiveConfig::with_relative_error(0.1)),
+        );
+        prop_assert!(sampled.stored_count() <= ds.len());
+        prop_assert_eq!(sampled.exec_count(), ds.len());
+    }
+
+    #[test]
+    fn detected_periods_divide_constructed_periodic_sequences(
+        period in 1usize..6,
+        repeats in 2usize..8,
+    ) {
+        // A strictly periodic sequence of distinct symbols 0..period repeated.
+        let seq: Vec<usize> = (0..period).cycle().take(period * repeats).collect();
+        let detected = detect_period(&seq, 32, 1.0);
+        prop_assert!(detected.is_some());
+        // The detector returns the smallest satisfying period, which must
+        // divide the constructed one.
+        prop_assert_eq!(period % detected.unwrap(), 0);
+    }
+
+    #[test]
+    fn confidence_is_monotone_in_the_bound(n in 2usize..10, b1 in 0.0..100.0f64, b2 in 0.0..100.0f64) {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let approx = trace_sampling::sample_app(&app, SamplingPolicy::EveryNth(n)).reconstruct();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let c_lo = trace_confidence(&app, &approx, lo);
+        let c_hi = trace_confidence(&app, &approx, hi);
+        prop_assert!(c_hi.timestamp_confidence >= c_lo.timestamp_confidence);
+        prop_assert!(c_hi.mean_trace_confidence >= c_lo.mean_trace_confidence);
+    }
+}

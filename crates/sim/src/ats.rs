@@ -1,0 +1,321 @@
+//! Regular-behaviour benchmarks (APART Test Suite equivalents).
+//!
+//! Each benchmark simulates a program that exhibits one well-known MPI
+//! performance problem with the *same severity in every iteration*
+//! (Section 4.1, "Benchmarks with Regular Behavior"):
+//!
+//! | benchmark                  | pattern | problem                      |
+//! |----------------------------|---------|------------------------------|
+//! | `early_gather`             | N→1     | root blocks in `MPI_Gather`  |
+//! | `imbalance_at_mpi_barrier` | N→N     | last rank delays the barrier |
+//! | `late_receiver`            | 1→1     | `MPI_Ssend` blocks on a slow receiver |
+//! | `late_sender`              | 1→1     | `MPI_Recv` blocks on a slow sender    |
+//! | `late_broadcast`           | 1→N     | slow root delays `MPI_Bcast` |
+//!
+//! The paper runs each with 8 processes; the rank count is a parameter here
+//! so tests can use smaller runs.
+
+use trace_model::{AppTrace, CollectiveOp, Duration};
+
+use crate::cluster::{Cluster, P2pMode};
+
+/// Parameters shared by the regular benchmarks.
+#[derive(Clone, Copy, Debug)]
+pub struct RegularParams {
+    /// Number of MPI ranks (the paper uses 8).
+    pub ranks: usize,
+    /// Number of iterations of the main loop.
+    pub iterations: usize,
+    /// Baseline per-iteration compute time for an unaffected rank.
+    pub base_work: Duration,
+    /// Extra compute time given to the rank(s) that cause the problem.
+    pub severity: Duration,
+    /// Multiplicative jitter applied to every compute phase.
+    pub jitter: f64,
+    /// RNG seed (controls jitter only).
+    pub seed: u64,
+}
+
+impl Default for RegularParams {
+    fn default() -> Self {
+        RegularParams {
+            ranks: 8,
+            iterations: 100,
+            base_work: Duration::from_micros(800),
+            severity: Duration::from_micros(900),
+            jitter: 0.02,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RegularParams {
+    /// Paper-scale parameters (8 ranks, 100 iterations).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Reduced parameters for fast unit tests.
+    pub fn small() -> Self {
+        RegularParams {
+            ranks: 4,
+            iterations: 12,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the init segment (`MPI_Init`) on every rank.
+pub(crate) fn init_phase(c: &mut Cluster, ranks: usize) {
+    let ctx = c.context("init");
+    c.begin_segment_all(ctx);
+    for rank in 0..ranks {
+        // Start-up cost differs slightly per rank so that ranks are not in
+        // perfect lockstep when the first iteration begins.
+        let setup = Duration::from_micros(200 + 13 * rank as u64);
+        c.local_event(rank, "MPI_Init", setup);
+    }
+    c.collective(CollectiveOp::Barrier, 0, 0);
+    c.end_segment_all(ctx);
+}
+
+/// Runs the final segment (`MPI_Finalize`) on every rank.
+pub(crate) fn finalize_phase(c: &mut Cluster, ranks: usize) {
+    let ctx = c.context("final");
+    c.begin_segment_all(ctx);
+    for rank in 0..ranks {
+        c.local_event(rank, "MPI_Finalize", Duration::from_micros(150));
+    }
+    c.end_segment_all(ctx);
+}
+
+/// `early_gather`: all non-root ranks are slow, the root arrives early and
+/// blocks inside `MPI_Gather` waiting for its senders.
+pub fn early_gather(params: &RegularParams) -> AppTrace {
+    let mut c = Cluster::new("early_gather", params.ranks, params.seed);
+    init_phase(&mut c, params.ranks);
+    let ctx = c.context("main.1");
+    for _ in 0..params.iterations {
+        c.begin_segment_all(ctx);
+        for rank in 0..params.ranks {
+            let work = if rank == 0 {
+                params.base_work
+            } else {
+                params.base_work + params.severity
+            };
+            c.compute_jittered(rank, "do_work", work, params.jitter);
+        }
+        c.collective(CollectiveOp::Gather, 0, 1024);
+        c.end_segment_all(ctx);
+    }
+    finalize_phase(&mut c, params.ranks);
+    c.finish()
+}
+
+/// `imbalance_at_mpi_barrier`: compute time grows linearly with the rank
+/// number, so the highest rank delays everybody at the barrier.
+pub fn imbalance_at_mpi_barrier(params: &RegularParams) -> AppTrace {
+    let mut c = Cluster::new("imbalance_at_mpi_barrier", params.ranks, params.seed);
+    init_phase(&mut c, params.ranks);
+    let ctx = c.context("main.1");
+    let denom = (params.ranks.max(2) - 1) as f64;
+    for _ in 0..params.iterations {
+        c.begin_segment_all(ctx);
+        for rank in 0..params.ranks {
+            let extra = params.severity.scale(rank as f64 / denom);
+            c.compute_jittered(rank, "do_work", params.base_work + extra, params.jitter);
+        }
+        c.collective(CollectiveOp::Barrier, 0, 0);
+        c.end_segment_all(ctx);
+    }
+    finalize_phase(&mut c, params.ranks);
+    c.finish()
+}
+
+/// `late_sender`: even ranks send to the next odd rank; the senders are slow
+/// so the receivers block in `MPI_Recv`.
+pub fn late_sender(params: &RegularParams) -> AppTrace {
+    pairwise(params, "late_sender", P2pMode::StandardSend, true)
+}
+
+/// `late_receiver`: even ranks perform a synchronous send to the next odd
+/// rank; the receivers are slow so the senders block in `MPI_Ssend`.
+pub fn late_receiver(params: &RegularParams) -> AppTrace {
+    pairwise(params, "late_receiver", P2pMode::SynchronousSend, false)
+}
+
+/// Shared driver for the two 1-to-1 benchmarks.  `slow_sender` selects which
+/// side of each pair gets the extra work.
+fn pairwise(params: &RegularParams, name: &str, mode: P2pMode, slow_sender: bool) -> AppTrace {
+    assert!(
+        params.ranks >= 2 && params.ranks % 2 == 0,
+        "pairwise benchmarks need an even rank count"
+    );
+    let mut c = Cluster::new(name, params.ranks, params.seed);
+    init_phase(&mut c, params.ranks);
+    let ctx = c.context("main.1");
+    for _ in 0..params.iterations {
+        c.begin_segment_all(ctx);
+        for pair in 0..params.ranks / 2 {
+            let sender = 2 * pair;
+            let receiver = 2 * pair + 1;
+            let (sender_work, receiver_work) = if slow_sender {
+                (params.base_work + params.severity, params.base_work)
+            } else {
+                (params.base_work, params.base_work + params.severity)
+            };
+            c.compute_jittered(sender, "do_work", sender_work, params.jitter);
+            c.compute_jittered(receiver, "do_work", receiver_work, params.jitter);
+            c.point_to_point(sender, receiver, 42, 65_536, mode);
+        }
+        c.end_segment_all(ctx);
+    }
+    finalize_phase(&mut c, params.ranks);
+    c.finish()
+}
+
+/// `late_broadcast`: the root is slow, so every other rank blocks in
+/// `MPI_Bcast` waiting for it.
+pub fn late_broadcast(params: &RegularParams) -> AppTrace {
+    let mut c = Cluster::new("late_broadcast", params.ranks, params.seed);
+    init_phase(&mut c, params.ranks);
+    let ctx = c.context("main.1");
+    for _ in 0..params.iterations {
+        c.begin_segment_all(ctx);
+        for rank in 0..params.ranks {
+            let work = if rank == 0 {
+                params.base_work + params.severity
+            } else {
+                params.base_work
+            };
+            c.compute_jittered(rank, "do_work", work, params.jitter);
+        }
+        c.collective(CollectiveOp::Bcast, 0, 8192);
+        c.end_segment_all(ctx);
+    }
+    finalize_phase(&mut c, params.ranks);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::CommInfo;
+
+    fn params() -> RegularParams {
+        RegularParams::small()
+    }
+
+    fn total_wait_in(app: &AppTrace, region: &str) -> Duration {
+        let id = app.regions.lookup(region);
+        app.ranks
+            .iter()
+            .flat_map(|rt| rt.events())
+            .filter(|e| Some(e.region) == id)
+            .map(|e| e.wait)
+            .sum()
+    }
+
+    fn wait_of_rank_in(app: &AppTrace, rank: usize, region: &str) -> Duration {
+        let id = app.regions.lookup(region);
+        app.ranks[rank]
+            .events()
+            .filter(|e| Some(e.region) == id)
+            .map(|e| e.wait)
+            .sum()
+    }
+
+    #[test]
+    fn all_regular_benchmarks_produce_well_formed_traces() {
+        let p = params();
+        for app in [
+            early_gather(&p),
+            imbalance_at_mpi_barrier(&p),
+            late_sender(&p),
+            late_receiver(&p),
+            late_broadcast(&p),
+        ] {
+            assert!(app.is_well_formed(), "{} trace malformed", app.name);
+            assert_eq!(app.rank_count(), p.ranks);
+            for rt in &app.ranks {
+                // init + iterations + final segments on every rank.
+                assert_eq!(rt.segment_instance_count(), p.iterations + 2);
+            }
+        }
+    }
+
+    #[test]
+    fn early_gather_root_waits_most() {
+        let app = early_gather(&params());
+        let root_wait = wait_of_rank_in(&app, 0, "MPI_Gather");
+        let other_wait = wait_of_rank_in(&app, 1, "MPI_Gather");
+        assert!(
+            root_wait > other_wait.scale(4.0),
+            "root wait {root_wait} should dominate sender wait {other_wait}"
+        );
+    }
+
+    #[test]
+    fn imbalance_at_barrier_lowest_rank_waits_most() {
+        let p = params();
+        let app = imbalance_at_mpi_barrier(&p);
+        let low = wait_of_rank_in(&app, 0, "MPI_Barrier");
+        let high = wait_of_rank_in(&app, p.ranks - 1, "MPI_Barrier");
+        assert!(
+            low > high,
+            "rank 0 ({low}) must wait more than the slowest rank ({high})"
+        );
+    }
+
+    #[test]
+    fn late_sender_puts_wait_on_receivers() {
+        let app = late_sender(&params());
+        let recv_wait = total_wait_in(&app, "MPI_Recv");
+        let send_wait = total_wait_in(&app, "MPI_Send");
+        assert!(recv_wait > Duration::from_millis(1));
+        assert_eq!(send_wait, Duration::ZERO);
+    }
+
+    #[test]
+    fn late_receiver_puts_wait_on_senders() {
+        let app = late_receiver(&params());
+        let send_wait = total_wait_in(&app, "MPI_Ssend");
+        let recv_wait = total_wait_in(&app, "MPI_Recv");
+        assert!(send_wait > Duration::from_millis(1));
+        assert!(send_wait > recv_wait.scale(4.0));
+    }
+
+    #[test]
+    fn late_broadcast_makes_receivers_wait() {
+        let app = late_broadcast(&params());
+        let root_wait = wait_of_rank_in(&app, 0, "MPI_Bcast");
+        let recv_wait = wait_of_rank_in(&app, 1, "MPI_Bcast");
+        assert_eq!(root_wait, Duration::ZERO);
+        assert!(recv_wait > Duration::from_millis(1));
+    }
+
+    #[test]
+    fn regular_benchmarks_are_deterministic() {
+        let p = params();
+        let a = late_sender(&p);
+        let b = late_sender(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn point_to_point_events_carry_parameters() {
+        let app = late_sender(&params());
+        let send = app.ranks[0]
+            .events()
+            .find(|e| matches!(e.comm, CommInfo::Send { .. }))
+            .unwrap();
+        match send.comm {
+            CommInfo::Send { peer, tag, bytes } => {
+                assert_eq!(peer.as_u32(), 1);
+                assert_eq!(tag, 42);
+                assert_eq!(bytes, 65_536);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

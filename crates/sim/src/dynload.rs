@@ -1,0 +1,188 @@
+//! Dynamic load-balancing benchmark (`dyn_load_balance`).
+//!
+//! The paper's third benchmark family simulates an application whose load
+//! drifts over time and is periodically corrected by a load balancer
+//! (Section 4.1, "Dynamic Load Balancing"): iterations start at about 1 ms,
+//! one half of the ranks does progressively *more* work each iteration while
+//! the other half does progressively *less*, until the load balancer resets
+//! everybody to equal work.  Each iteration ends in an `MPI_Alltoall`, so
+//! the exhibited problem is *imbalance at MPI all-to-all* ("Wait at N×N").
+
+use trace_model::{AppTrace, CollectiveOp, Duration};
+
+use crate::ats::{finalize_phase, init_phase};
+use crate::cluster::Cluster;
+
+/// Parameters for the dynamic load-balancing benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct DynLoadParams {
+    /// Number of ranks (the paper uses 8).
+    pub ranks: usize,
+    /// Total number of iterations.
+    pub iterations: usize,
+    /// Balanced per-iteration work (about 1 ms in the paper).
+    pub base_work: Duration,
+    /// Additional work the growing half accumulates per iteration (and the
+    /// shrinking half sheds per iteration).
+    pub drift_per_iteration: Duration,
+    /// The load balancer triggers when the accumulated drift reaches this
+    /// many iterations.
+    pub rebalance_every: usize,
+    /// Time the load balancer itself takes when it runs.
+    pub balance_cost: Duration,
+    /// Multiplicative jitter on compute phases.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DynLoadParams {
+    fn default() -> Self {
+        DynLoadParams {
+            ranks: 8,
+            iterations: 100,
+            base_work: Duration::from_millis(1),
+            drift_per_iteration: Duration::from_micros(80),
+            rebalance_every: 10,
+            balance_cost: Duration::from_micros(400),
+            jitter: 0.02,
+            seed: 0xd1b5,
+        }
+    }
+}
+
+impl DynLoadParams {
+    /// Paper-scale parameters (8 ranks, 100 iterations, rebalance every 10).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Reduced parameters for fast unit tests.
+    pub fn small() -> Self {
+        DynLoadParams {
+            ranks: 4,
+            iterations: 24,
+            rebalance_every: 6,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates the `dyn_load_balance` trace.
+pub fn dyn_load_balance(params: &DynLoadParams) -> AppTrace {
+    let mut c = Cluster::new("dyn_load_balance", params.ranks, params.seed);
+    init_phase(&mut c, params.ranks);
+    let ctx = c.context("main.1");
+    let half = params.ranks / 2;
+    let mut drift_steps: u64 = 0;
+    for _ in 0..params.iterations {
+        c.begin_segment_all(ctx);
+        let drift = Duration::from_nanos(params.drift_per_iteration.as_nanos() * drift_steps);
+        for rank in 0..params.ranks {
+            // Upper half grows, lower half shrinks (never below 20% of base).
+            let work = if rank >= half {
+                params.base_work + drift
+            } else {
+                params.base_work.saturating_sub(drift).max(params.base_work.scale(0.2))
+            };
+            c.compute_jittered(rank, "do_work", work, params.jitter);
+        }
+        c.collective(CollectiveOp::Alltoall, 0, 4096);
+        drift_steps += 1;
+        if drift_steps as usize >= params.rebalance_every {
+            // The load balancer runs on every rank and equalizes the load.
+            for rank in 0..params.ranks {
+                c.compute_jittered(rank, "load_balancer", params.balance_cost, params.jitter);
+            }
+            drift_steps = 0;
+        }
+        c.end_segment_all(ctx);
+    }
+    finalize_phase(&mut c, params.ranks);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::Duration;
+
+    #[test]
+    fn trace_is_well_formed_with_expected_structure() {
+        let p = DynLoadParams::small();
+        let app = dyn_load_balance(&p);
+        assert!(app.is_well_formed());
+        assert_eq!(app.name, "dyn_load_balance");
+        assert_eq!(app.rank_count(), p.ranks);
+        for rt in &app.ranks {
+            assert_eq!(rt.segment_instance_count(), p.iterations + 2);
+        }
+        assert!(app.regions.lookup("load_balancer").is_some());
+    }
+
+    #[test]
+    fn lower_ranks_wait_in_alltoall_upper_ranks_do_more_work() {
+        let p = DynLoadParams::paper();
+        let app = dyn_load_balance(&p);
+        let alltoall = app.regions.lookup("MPI_Alltoall").unwrap();
+        let work = app.regions.lookup("do_work").unwrap();
+        let low_wait: Duration = app.ranks[0]
+            .events()
+            .filter(|e| e.region == alltoall)
+            .map(|e| e.wait)
+            .sum();
+        let high_wait: Duration = app.ranks[p.ranks - 1]
+            .events()
+            .filter(|e| e.region == alltoall)
+            .map(|e| e.wait)
+            .sum();
+        assert!(
+            low_wait > high_wait.scale(2.0),
+            "lower ranks must wait much longer at the all-to-all ({low_wait} vs {high_wait})"
+        );
+        let low_work = app.ranks[0].time_in_region(work);
+        let high_work = app.ranks[p.ranks - 1].time_in_region(work);
+        assert!(high_work > low_work, "upper ranks must do more work");
+    }
+
+    #[test]
+    fn load_balancer_resets_the_imbalance() {
+        let p = DynLoadParams::paper();
+        let app = dyn_load_balance(&p);
+        let alltoall = app.regions.lookup("MPI_Alltoall").unwrap();
+        // Per-iteration wait of rank 0 should follow a sawtooth: right after
+        // a rebalance the wait is much smaller than just before it.
+        let waits: Vec<f64> = app.ranks[0]
+            .events()
+            .filter(|e| e.region == alltoall)
+            .map(|e| e.wait.as_f64())
+            .collect();
+        assert_eq!(waits.len(), p.iterations);
+        let period = p.rebalance_every;
+        // Compare the iteration just before each rebalance with the first
+        // iteration after it.
+        let mut before = 0.0;
+        let mut after = 0.0;
+        let mut cycles = 0.0;
+        let mut k = period - 1;
+        while k + 1 < waits.len() {
+            before += waits[k];
+            after += waits[k + 1];
+            cycles += 1.0;
+            k += period;
+        }
+        assert!(cycles >= 2.0);
+        assert!(
+            before / cycles > 2.0 * (after / cycles + 1.0),
+            "wait just before rebalance ({}) should exceed wait right after ({})",
+            before / cycles,
+            after / cycles
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = DynLoadParams::small();
+        assert_eq!(dyn_load_balance(&p), dyn_load_balance(&p));
+    }
+}

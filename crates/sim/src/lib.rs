@@ -1,0 +1,38 @@
+//! Virtual-time message-passing simulator and workload generators.
+//!
+//! The paper evaluates its trace-reduction methods on traces collected from
+//! MPI programs running on a Linux cluster: APART Test Suite (ATS)
+//! benchmarks with known performance behaviours, interference benchmarks
+//! modelled after the ASCI Q system noise study, a dynamic-load-balancing
+//! benchmark, and the Sweep3D application.  This crate substitutes for that
+//! measurement infrastructure with a deterministic virtual-time simulator
+//! that produces [`trace_model::AppTrace`]s with the same structure:
+//!
+//! * [`cluster::Cluster`] — per-rank virtual clocks, blocking point-to-point
+//!   and collective semantics, wait-time accounting, segment markers and
+//!   event recording.
+//! * [`noise`] — periodic system-interference model (ASCI Q style).
+//! * [`ats`] — the five regular-behaviour benchmarks.
+//! * [`interference`] — the ten irregular-behaviour benchmarks (five
+//!   communication patterns × two interference scales).
+//! * [`dynload`] — the dynamic load-balancing benchmark.
+//! * [`sweep3d`] — a pipelined-wavefront model of Sweep3D.
+//! * [`workload`] — a registry of all 18 paper workloads with scalable
+//!   size presets.
+//!
+//! Every generator is deterministic given its seed, which keeps the
+//! evaluation experiments and the benchmark harness reproducible.
+
+#![warn(missing_docs)]
+
+pub mod ats;
+pub mod cluster;
+pub mod dynload;
+pub mod interference;
+pub mod noise;
+pub mod sweep3d;
+pub mod workload;
+
+pub use cluster::{Cluster, P2pMode};
+pub use noise::{NoiseModel, NoiseSource};
+pub use workload::{SizePreset, Workload, WorkloadKind};

@@ -1,0 +1,294 @@
+//! Registry of the paper's 18 workloads.
+//!
+//! The evaluation of the paper uses 18 program traces: five regular ATS
+//! benchmarks, ten interference benchmarks (five communication patterns ×
+//! two interference scales), the dynamic load-balancing benchmark, and two
+//! Sweep3D runs.  [`Workload`] names and generates each of them, with a
+//! [`SizePreset`] that scales the run down for unit tests and up for the
+//! full experiment reproduction.
+
+use trace_model::AppTrace;
+
+use crate::ats::{self, RegularParams};
+use crate::dynload::{dyn_load_balance, DynLoadParams};
+use crate::interference::{interference, InterferenceParams, InterferenceScale, Pattern};
+use crate::sweep3d::{sweep3d, Sweep3dParams};
+
+/// How large a run to generate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SizePreset {
+    /// Paper-scale runs (what the benches and EXPERIMENTS.md use).
+    Paper,
+    /// Reduced iteration counts; keeps every behaviour but runs quickly.
+    /// Used by the integration tests and examples.
+    Small,
+    /// Minimal runs for unit tests.
+    Tiny,
+}
+
+impl SizePreset {
+    /// Scales an iteration count for this preset.
+    fn scale_iterations(self, paper_iterations: usize) -> usize {
+        match self {
+            SizePreset::Paper => paper_iterations,
+            SizePreset::Small => (paper_iterations / 4).max(8),
+            SizePreset::Tiny => (paper_iterations / 10).max(4),
+        }
+    }
+}
+
+/// The broad workload category used when summarizing results.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadCategory {
+    /// Benchmarks with regular behaviour (Section 4.1, first group).
+    Regular,
+    /// Benchmarks with simulated system interference.
+    Interference,
+    /// The dynamic load-balancing benchmark.
+    DynamicLoadBalance,
+    /// The Sweep3D application runs.
+    Application,
+}
+
+/// Identifies one of the paper's workloads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadKind {
+    /// `early_gather` (regular, N→1).
+    EarlyGather,
+    /// `imbalance_at_mpi_barrier` (regular, N→N).
+    ImbalanceAtMpiBarrier,
+    /// `late_receiver` (regular, 1→1 synchronous send).
+    LateReceiver,
+    /// `late_sender` (regular, 1→1 blocking receive).
+    LateSender,
+    /// `late_broadcast` (regular, 1→N).
+    LateBroadcast,
+    /// One of the ten interference benchmarks.
+    Interference(Pattern, InterferenceScale),
+    /// `dyn_load_balance`.
+    DynLoadBalance,
+    /// `sweep3d_8p` (input.50).
+    Sweep3d8p,
+    /// `sweep3d_32p` (input.150).
+    Sweep3d32p,
+}
+
+impl WorkloadKind {
+    /// All 18 workloads in the order the paper presents them.
+    pub fn all_paper() -> Vec<WorkloadKind> {
+        let mut all = vec![
+            WorkloadKind::EarlyGather,
+            WorkloadKind::ImbalanceAtMpiBarrier,
+            WorkloadKind::LateReceiver,
+            WorkloadKind::LateSender,
+            WorkloadKind::LateBroadcast,
+        ];
+        for scale in [InterferenceScale::Nodes32, InterferenceScale::Procs1024] {
+            for pattern in Pattern::ALL {
+                all.push(WorkloadKind::Interference(pattern, scale));
+            }
+        }
+        all.push(WorkloadKind::DynLoadBalance);
+        all.push(WorkloadKind::Sweep3d8p);
+        all.push(WorkloadKind::Sweep3d32p);
+        all
+    }
+
+    /// The 16 benchmark workloads (everything except Sweep3D).
+    pub fn benchmarks() -> Vec<WorkloadKind> {
+        Self::all_paper()
+            .into_iter()
+            .filter(|k| k.category() != WorkloadCategory::Application)
+            .collect()
+    }
+
+    /// The workload's name as used in the paper's figures and tables.
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadKind::EarlyGather => "early_gather".into(),
+            WorkloadKind::ImbalanceAtMpiBarrier => "imbalance_at_mpi_barrier".into(),
+            WorkloadKind::LateReceiver => "late_receiver".into(),
+            WorkloadKind::LateSender => "late_sender".into(),
+            WorkloadKind::LateBroadcast => "late_broadcast".into(),
+            WorkloadKind::Interference(pattern, scale) => {
+                format!("{}_{}", pattern.short_name(), scale.suffix())
+            }
+            WorkloadKind::DynLoadBalance => "dyn_load_balance".into(),
+            WorkloadKind::Sweep3d8p => "sweep3d_8p".into(),
+            WorkloadKind::Sweep3d32p => "sweep3d_32p".into(),
+        }
+    }
+
+    /// Looks a workload up by its paper name.
+    pub fn by_name(name: &str) -> Option<WorkloadKind> {
+        Self::all_paper().into_iter().find(|k| k.name() == name)
+    }
+
+    /// The workload's category.
+    pub fn category(&self) -> WorkloadCategory {
+        match self {
+            WorkloadKind::EarlyGather
+            | WorkloadKind::ImbalanceAtMpiBarrier
+            | WorkloadKind::LateReceiver
+            | WorkloadKind::LateSender
+            | WorkloadKind::LateBroadcast => WorkloadCategory::Regular,
+            WorkloadKind::Interference(..) => WorkloadCategory::Interference,
+            WorkloadKind::DynLoadBalance => WorkloadCategory::DynamicLoadBalance,
+            WorkloadKind::Sweep3d8p | WorkloadKind::Sweep3d32p => WorkloadCategory::Application,
+        }
+    }
+}
+
+/// A workload plus the size preset to generate it at.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Workload {
+    /// Which of the 18 workloads.
+    pub kind: WorkloadKind,
+    /// How large a run to generate.
+    pub preset: SizePreset,
+}
+
+impl Workload {
+    /// Creates a workload description.
+    pub fn new(kind: WorkloadKind, preset: SizePreset) -> Self {
+        Workload { kind, preset }
+    }
+
+    /// All 18 paper workloads at the given preset.
+    pub fn all(preset: SizePreset) -> Vec<Workload> {
+        WorkloadKind::all_paper()
+            .into_iter()
+            .map(|kind| Workload::new(kind, preset))
+            .collect()
+    }
+
+    /// The workload's paper name.
+    pub fn name(&self) -> String {
+        self.kind.name()
+    }
+
+    /// Generates the full trace for this workload.
+    pub fn generate(&self) -> AppTrace {
+        let preset = self.preset;
+        match self.kind {
+            WorkloadKind::EarlyGather => ats::early_gather(&regular_params(preset)),
+            WorkloadKind::ImbalanceAtMpiBarrier => {
+                ats::imbalance_at_mpi_barrier(&regular_params(preset))
+            }
+            WorkloadKind::LateReceiver => ats::late_receiver(&regular_params(preset)),
+            WorkloadKind::LateSender => ats::late_sender(&regular_params(preset)),
+            WorkloadKind::LateBroadcast => ats::late_broadcast(&regular_params(preset)),
+            WorkloadKind::Interference(pattern, scale) => {
+                interference(pattern, scale, &interference_params(preset))
+            }
+            WorkloadKind::DynLoadBalance => dyn_load_balance(&dynload_params(preset)),
+            WorkloadKind::Sweep3d8p => {
+                sweep3d("sweep3d_8p", &sweep3d_params(Sweep3dParams::paper_8p(), preset))
+            }
+            WorkloadKind::Sweep3d32p => {
+                sweep3d("sweep3d_32p", &sweep3d_params(Sweep3dParams::paper_32p(), preset))
+            }
+        }
+    }
+}
+
+fn regular_params(preset: SizePreset) -> RegularParams {
+    let paper = RegularParams::paper();
+    RegularParams {
+        iterations: preset.scale_iterations(paper.iterations),
+        ..paper
+    }
+}
+
+fn interference_params(preset: SizePreset) -> InterferenceParams {
+    let paper = InterferenceParams::paper();
+    InterferenceParams {
+        iterations: preset.scale_iterations(paper.iterations),
+        ranks: match preset {
+            SizePreset::Paper | SizePreset::Small => paper.ranks,
+            SizePreset::Tiny => 8,
+        },
+        ..paper
+    }
+}
+
+fn dynload_params(preset: SizePreset) -> DynLoadParams {
+    let paper = DynLoadParams::paper();
+    DynLoadParams {
+        iterations: preset.scale_iterations(paper.iterations),
+        ..paper
+    }
+}
+
+fn sweep3d_params(paper: Sweep3dParams, preset: SizePreset) -> Sweep3dParams {
+    Sweep3dParams {
+        iterations: preset.scale_iterations(paper.iterations),
+        ..paper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_eighteen_paper_workloads_with_unique_names() {
+        let all = WorkloadKind::all_paper();
+        assert_eq!(all.len(), 18);
+        let mut names: Vec<String> = all.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+        assert_eq!(WorkloadKind::benchmarks().len(), 16);
+    }
+
+    #[test]
+    fn names_round_trip_through_by_name() {
+        for kind in WorkloadKind::all_paper() {
+            assert_eq!(WorkloadKind::by_name(&kind.name()), Some(kind));
+        }
+        assert_eq!(WorkloadKind::by_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn categories_partition_the_workloads() {
+        let all = WorkloadKind::all_paper();
+        let regular = all.iter().filter(|k| k.category() == WorkloadCategory::Regular).count();
+        let noise = all
+            .iter()
+            .filter(|k| k.category() == WorkloadCategory::Interference)
+            .count();
+        let dynload = all
+            .iter()
+            .filter(|k| k.category() == WorkloadCategory::DynamicLoadBalance)
+            .count();
+        let apps = all
+            .iter()
+            .filter(|k| k.category() == WorkloadCategory::Application)
+            .count();
+        assert_eq!((regular, noise, dynload, apps), (5, 10, 1, 2));
+    }
+
+    #[test]
+    fn tiny_workloads_generate_and_are_well_formed() {
+        // Generate every workload at the tiny preset; this covers every
+        // generator path without long runtimes.
+        for workload in Workload::all(SizePreset::Tiny) {
+            let app = workload.generate();
+            assert_eq!(app.name, workload.name());
+            assert!(app.is_well_formed(), "{} malformed", app.name);
+            assert!(app.total_events() > 0);
+        }
+    }
+
+    #[test]
+    fn presets_scale_trace_sizes() {
+        let tiny = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny)
+            .generate()
+            .total_events();
+        let small = Workload::new(WorkloadKind::LateSender, SizePreset::Small)
+            .generate()
+            .total_events();
+        assert!(small > tiny);
+    }
+}

@@ -1,0 +1,261 @@
+//! Decoders for full and reduced application traces.
+
+use super::encode::tags;
+use super::varint::{read_i64, read_u64};
+use super::{CodecError, Reader, APP_TRACE_MAGIC, FORMAT_VERSION, REDUCED_TRACE_MAGIC};
+use crate::event::{CollectiveOp, CommInfo, Event};
+use crate::ids::{ContextId, ContextTable, Rank, RegionId, RegionTable};
+use crate::reduced::{ReducedAppTrace, ReducedRankTrace, SegmentExec, StoredSegment};
+use crate::segment::Segment;
+use crate::time::Time;
+use crate::trace::{AppTrace, RankTrace};
+
+fn collective_op_from_tag(tag: u8) -> Result<CollectiveOp, CodecError> {
+    Ok(match tag {
+        0 => CollectiveOp::Barrier,
+        1 => CollectiveOp::Bcast,
+        2 => CollectiveOp::Scatter,
+        3 => CollectiveOp::Gather,
+        4 => CollectiveOp::Reduce,
+        5 => CollectiveOp::Allgather,
+        6 => CollectiveOp::Allreduce,
+        7 => CollectiveOp::Alltoall,
+        tag => return Err(CodecError::BadTag {
+            what: "collective op",
+            tag,
+        }),
+    })
+}
+
+fn read_header(reader: &mut Reader<'_>, expected_magic: [u8; 4]) -> Result<(), CodecError> {
+    let magic = reader.read_bytes(4)?;
+    if magic != expected_magic {
+        return Err(CodecError::BadMagic {
+            found: [magic[0], magic[1], magic[2], magic[3]],
+        });
+    }
+    let version = reader.read_byte()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    Ok(())
+}
+
+fn read_string(reader: &mut Reader<'_>) -> Result<String, CodecError> {
+    let len = read_u64(reader)?;
+    if len > reader.remaining() as u64 {
+        return Err(CodecError::LengthTooLarge(len));
+    }
+    let bytes = reader.read_bytes(len as usize)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+}
+
+fn read_string_table(reader: &mut Reader<'_>) -> Result<Vec<String>, CodecError> {
+    let count = read_u64(reader)?;
+    if count > reader.remaining() as u64 {
+        return Err(CodecError::LengthTooLarge(count));
+    }
+    let mut names = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        names.push(read_string(reader)?);
+    }
+    Ok(names)
+}
+
+fn read_comm(reader: &mut Reader<'_>) -> Result<CommInfo, CodecError> {
+    let tag = reader.read_byte()?;
+    Ok(match tag {
+        tags::COMM_COMPUTE => CommInfo::Compute,
+        tags::COMM_SEND => CommInfo::Send {
+            peer: Rank(read_u64(reader)? as u32),
+            tag: read_u64(reader)? as u32,
+            bytes: read_u64(reader)?,
+        },
+        tags::COMM_RECV => CommInfo::Recv {
+            peer: Rank(read_u64(reader)? as u32),
+            tag: read_u64(reader)? as u32,
+            bytes: read_u64(reader)?,
+        },
+        tags::COMM_SENDRECV => CommInfo::SendRecv {
+            to: Rank(read_u64(reader)? as u32),
+            from: Rank(read_u64(reader)? as u32),
+            tag: read_u64(reader)? as u32,
+            bytes: read_u64(reader)?,
+        },
+        tags::COMM_COLLECTIVE => {
+            let op = collective_op_from_tag(reader.read_byte()?)?;
+            CommInfo::Collective {
+                op,
+                root: Rank(read_u64(reader)? as u32),
+                comm_size: read_u64(reader)? as u32,
+                bytes: read_u64(reader)?,
+            }
+        }
+        tag => return Err(CodecError::BadTag { what: "comm info", tag }),
+    })
+}
+
+/// Reads one event with its start delta-encoded against `prev_time`; returns
+/// the event and the new `prev_time`.
+fn read_event(reader: &mut Reader<'_>, prev_time: Time) -> Result<(Event, Time), CodecError> {
+    let region = RegionId(read_u64(reader)? as u32);
+    let delta = read_i64(reader)?;
+    let start_ns = prev_time.as_nanos() as i64 + delta;
+    if start_ns < 0 {
+        return Err(CodecError::NegativeTime);
+    }
+    let start = Time::from_nanos(start_ns as u64);
+    let duration = Time::from_nanos(read_u64(reader)?);
+    let wait = Time::from_nanos(read_u64(reader)?);
+    let comm = read_comm(reader)?;
+    let event = Event {
+        region,
+        start,
+        end: start + duration,
+        comm,
+        wait,
+    };
+    Ok((event, start))
+}
+
+fn read_marker_time(reader: &mut Reader<'_>, prev_time: Time) -> Result<Time, CodecError> {
+    let delta = read_i64(reader)?;
+    let ns = prev_time.as_nanos() as i64 + delta;
+    if ns < 0 {
+        return Err(CodecError::NegativeTime);
+    }
+    Ok(Time::from_nanos(ns as u64))
+}
+
+/// Decodes a full application trace produced by
+/// [`super::encode_app_trace`].
+pub fn decode_app_trace(bytes: &[u8]) -> Result<AppTrace, CodecError> {
+    let mut reader = Reader::new(bytes);
+    read_header(&mut reader, APP_TRACE_MAGIC)?;
+    let name = read_string(&mut reader)?;
+    let regions = RegionTable::from_names(read_string_table(&mut reader)?);
+    let contexts = ContextTable::from_names(read_string_table(&mut reader)?);
+    let rank_count = read_u64(&mut reader)?;
+    let mut ranks = Vec::with_capacity(rank_count.min(1 << 20) as usize);
+    for _ in 0..rank_count {
+        let rank = Rank(read_u64(&mut reader)? as u32);
+        let record_count = read_u64(&mut reader)?;
+        if record_count > (reader.remaining() as u64 + 1) * 8 {
+            return Err(CodecError::LengthTooLarge(record_count));
+        }
+        let mut trace = RankTrace::new(rank);
+        trace.records.reserve(record_count as usize);
+        let mut prev_time = Time::ZERO;
+        for _ in 0..record_count {
+            let tag = reader.read_byte()?;
+            match tag {
+                tags::RECORD_SEGMENT_BEGIN => {
+                    let context = ContextId(read_u64(&mut reader)? as u32);
+                    let time = read_marker_time(&mut reader, prev_time)?;
+                    prev_time = time;
+                    trace.begin_segment(context, time);
+                }
+                tags::RECORD_SEGMENT_END => {
+                    let context = ContextId(read_u64(&mut reader)? as u32);
+                    let time = read_marker_time(&mut reader, prev_time)?;
+                    prev_time = time;
+                    trace.end_segment(context, time);
+                }
+                tags::RECORD_EVENT => {
+                    let (event, new_prev) = read_event(&mut reader, prev_time)?;
+                    prev_time = new_prev;
+                    trace.push_event(event);
+                }
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "trace record",
+                        tag,
+                    })
+                }
+            }
+        }
+        ranks.push(trace);
+    }
+    Ok(AppTrace {
+        name,
+        regions,
+        contexts,
+        ranks,
+    })
+}
+
+fn read_segment(reader: &mut Reader<'_>) -> Result<Segment, CodecError> {
+    let context = ContextId(read_u64(reader)? as u32);
+    let start = Time::from_nanos(read_u64(reader)?);
+    let end = Time::from_nanos(read_u64(reader)?);
+    let event_count = read_u64(reader)?;
+    if event_count > (reader.remaining() as u64 + 1) * 8 {
+        return Err(CodecError::LengthTooLarge(event_count));
+    }
+    let mut events = Vec::with_capacity(event_count as usize);
+    let mut prev_time = Time::ZERO;
+    for _ in 0..event_count {
+        let (event, new_prev) = read_event(reader, prev_time)?;
+        prev_time = new_prev;
+        events.push(event);
+    }
+    Ok(Segment {
+        context,
+        start,
+        end,
+        events,
+    })
+}
+
+/// Decodes a reduced application trace produced by
+/// [`super::encode_reduced_trace`].
+pub fn decode_reduced_trace(bytes: &[u8]) -> Result<ReducedAppTrace, CodecError> {
+    let mut reader = Reader::new(bytes);
+    read_header(&mut reader, REDUCED_TRACE_MAGIC)?;
+    let name = read_string(&mut reader)?;
+    let regions = RegionTable::from_names(read_string_table(&mut reader)?);
+    let contexts = ContextTable::from_names(read_string_table(&mut reader)?);
+    let rank_count = read_u64(&mut reader)?;
+    let mut ranks = Vec::with_capacity(rank_count.min(1 << 20) as usize);
+    for _ in 0..rank_count {
+        let rank = Rank(read_u64(&mut reader)? as u32);
+        let mut reduced = ReducedRankTrace::new(rank);
+        let stored_count = read_u64(&mut reader)?;
+        if stored_count > (reader.remaining() as u64 + 1) * 4 {
+            return Err(CodecError::LengthTooLarge(stored_count));
+        }
+        for _ in 0..stored_count {
+            let id = read_u64(&mut reader)? as u32;
+            let represented = read_u64(&mut reader)? as u32;
+            let segment = read_segment(&mut reader)?;
+            reduced.stored.push(StoredSegment {
+                id,
+                segment,
+                represented,
+            });
+        }
+        let exec_count = read_u64(&mut reader)?;
+        if exec_count > (reader.remaining() as u64 + 1) * 2 {
+            return Err(CodecError::LengthTooLarge(exec_count));
+        }
+        let mut prev_start = Time::ZERO;
+        for _ in 0..exec_count {
+            let segment = read_u64(&mut reader)? as u32;
+            let delta = read_i64(&mut reader)?;
+            let ns = prev_start.as_nanos() as i64 + delta;
+            if ns < 0 {
+                return Err(CodecError::NegativeTime);
+            }
+            let start = Time::from_nanos(ns as u64);
+            prev_start = start;
+            reduced.execs.push(SegmentExec { segment, start });
+        }
+        ranks.push(reduced);
+    }
+    Ok(ReducedAppTrace {
+        name,
+        regions,
+        contexts,
+        ranks,
+    })
+}

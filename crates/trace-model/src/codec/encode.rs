@@ -1,0 +1,185 @@
+//! Encoders for full and reduced application traces.
+
+use super::varint::{write_i64, write_u64};
+use super::{APP_TRACE_MAGIC, FORMAT_VERSION, REDUCED_TRACE_MAGIC};
+use crate::event::{CollectiveOp, CommInfo, Event};
+use crate::record::TraceRecord;
+use crate::reduced::ReducedAppTrace;
+use crate::segment::Segment;
+use crate::time::Time;
+use crate::trace::AppTrace;
+
+/// Comm-info tag bytes shared by the encoder and decoder.
+pub(super) mod tags {
+    pub const RECORD_SEGMENT_BEGIN: u8 = 0;
+    pub const RECORD_SEGMENT_END: u8 = 1;
+    pub const RECORD_EVENT: u8 = 2;
+
+    pub const COMM_COMPUTE: u8 = 0;
+    pub const COMM_SEND: u8 = 1;
+    pub const COMM_RECV: u8 = 2;
+    pub const COMM_SENDRECV: u8 = 3;
+    pub const COMM_COLLECTIVE: u8 = 4;
+}
+
+pub(super) fn collective_op_tag(op: CollectiveOp) -> u8 {
+    match op {
+        CollectiveOp::Barrier => 0,
+        CollectiveOp::Bcast => 1,
+        CollectiveOp::Scatter => 2,
+        CollectiveOp::Gather => 3,
+        CollectiveOp::Reduce => 4,
+        CollectiveOp::Allgather => 5,
+        CollectiveOp::Allreduce => 6,
+        CollectiveOp::Alltoall => 7,
+    }
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_string_table(out: &mut Vec<u8>, names: &[String]) {
+    write_u64(out, names.len() as u64);
+    for name in names {
+        write_string(out, name);
+    }
+}
+
+fn write_comm(out: &mut Vec<u8>, comm: &CommInfo) {
+    match comm {
+        CommInfo::Compute => out.push(tags::COMM_COMPUTE),
+        CommInfo::Send { peer, tag, bytes } => {
+            out.push(tags::COMM_SEND);
+            write_u64(out, u64::from(peer.as_u32()));
+            write_u64(out, u64::from(*tag));
+            write_u64(out, *bytes);
+        }
+        CommInfo::Recv { peer, tag, bytes } => {
+            out.push(tags::COMM_RECV);
+            write_u64(out, u64::from(peer.as_u32()));
+            write_u64(out, u64::from(*tag));
+            write_u64(out, *bytes);
+        }
+        CommInfo::SendRecv { to, from, tag, bytes } => {
+            out.push(tags::COMM_SENDRECV);
+            write_u64(out, u64::from(to.as_u32()));
+            write_u64(out, u64::from(from.as_u32()));
+            write_u64(out, u64::from(*tag));
+            write_u64(out, *bytes);
+        }
+        CommInfo::Collective {
+            op,
+            root,
+            comm_size,
+            bytes,
+        } => {
+            out.push(tags::COMM_COLLECTIVE);
+            out.push(collective_op_tag(*op));
+            write_u64(out, u64::from(root.as_u32()));
+            write_u64(out, u64::from(*comm_size));
+            write_u64(out, *bytes);
+        }
+    }
+}
+
+/// Writes an event whose `start` is delta-encoded against `prev_time`, and
+/// returns the new `prev_time` (the event start).
+fn write_event(out: &mut Vec<u8>, event: &Event, prev_time: Time) -> Time {
+    write_u64(out, u64::from(event.region.as_u32()));
+    write_i64(
+        out,
+        event.start.as_nanos() as i64 - prev_time.as_nanos() as i64,
+    );
+    write_u64(out, event.duration().as_nanos());
+    write_u64(out, event.wait.as_nanos());
+    write_comm(out, &event.comm);
+    event.start
+}
+
+/// Encodes a full application trace.
+pub fn encode_app_trace(app: &AppTrace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + app.total_records() * 8);
+    out.extend_from_slice(&APP_TRACE_MAGIC);
+    out.push(FORMAT_VERSION);
+    write_string(&mut out, &app.name);
+    write_string_table(&mut out, app.regions.names());
+    write_string_table(&mut out, app.contexts.names());
+    write_u64(&mut out, app.ranks.len() as u64);
+    for rank in &app.ranks {
+        write_u64(&mut out, u64::from(rank.rank.as_u32()));
+        write_u64(&mut out, rank.records.len() as u64);
+        let mut prev_time = Time::ZERO;
+        for record in &rank.records {
+            match record {
+                TraceRecord::SegmentBegin { context, time } => {
+                    out.push(tags::RECORD_SEGMENT_BEGIN);
+                    write_u64(&mut out, u64::from(context.as_u32()));
+                    write_i64(
+                        &mut out,
+                        time.as_nanos() as i64 - prev_time.as_nanos() as i64,
+                    );
+                    prev_time = *time;
+                }
+                TraceRecord::SegmentEnd { context, time } => {
+                    out.push(tags::RECORD_SEGMENT_END);
+                    write_u64(&mut out, u64::from(context.as_u32()));
+                    write_i64(
+                        &mut out,
+                        time.as_nanos() as i64 - prev_time.as_nanos() as i64,
+                    );
+                    prev_time = *time;
+                }
+                TraceRecord::Event(event) => {
+                    out.push(tags::RECORD_EVENT);
+                    prev_time = write_event(&mut out, event, prev_time);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Writes one rebased segment (used for stored representatives).
+pub(super) fn write_segment(out: &mut Vec<u8>, segment: &Segment) {
+    write_u64(out, u64::from(segment.context.as_u32()));
+    write_u64(out, segment.start.as_nanos());
+    write_u64(out, segment.end.as_nanos());
+    write_u64(out, segment.events.len() as u64);
+    let mut prev_time = Time::ZERO;
+    for event in &segment.events {
+        prev_time = write_event(out, event, prev_time);
+    }
+}
+
+/// Encodes a reduced application trace.
+pub fn encode_reduced_trace(reduced: &ReducedAppTrace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + reduced.total_execs() * 4);
+    out.extend_from_slice(&REDUCED_TRACE_MAGIC);
+    out.push(FORMAT_VERSION);
+    write_string(&mut out, &reduced.name);
+    write_string_table(&mut out, reduced.regions.names());
+    write_string_table(&mut out, reduced.contexts.names());
+    write_u64(&mut out, reduced.ranks.len() as u64);
+    for rank in &reduced.ranks {
+        write_u64(&mut out, u64::from(rank.rank.as_u32()));
+        write_u64(&mut out, rank.stored.len() as u64);
+        for stored in &rank.stored {
+            write_u64(&mut out, u64::from(stored.id));
+            write_u64(&mut out, u64::from(stored.represented));
+            write_segment(&mut out, &stored.segment);
+        }
+        write_u64(&mut out, rank.execs.len() as u64);
+        let mut prev_start = Time::ZERO;
+        for exec in &rank.execs {
+            write_u64(&mut out, u64::from(exec.segment));
+            write_i64(
+                &mut out,
+                exec.start.as_nanos() as i64 - prev_start.as_nanos() as i64,
+            );
+            prev_start = exec.start;
+        }
+    }
+    out
+}

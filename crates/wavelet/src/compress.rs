@@ -1,0 +1,228 @@
+//! Wavelet-based signal compression (Gamblin et al., SC'08).
+//!
+//! Gamblin et al. compress per-rank load signals by wavelet-transforming them
+//! and keeping only the largest coefficients; the reconstruction error is
+//! reported as a root-mean-square measure.  The paper under reproduction
+//! cites that work as a signal-processing alternative to pattern-based
+//! reduction, and its evaluation borrows the RMS-error idea.  This module
+//! provides the keep-top-k compression and the error measures so the
+//! extension experiments can compare against it.
+
+use crate::transform::WaveletKind;
+use crate::{cdf97, transform};
+
+/// A wavelet-compressed signal: the retained coefficients (index, value)
+/// plus enough metadata to reconstruct an approximation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressedSignal {
+    /// Which transform produced the coefficients.
+    pub kind: WaveletKind,
+    /// Length of the padded coefficient vector (a power of two).
+    pub padded_len: usize,
+    /// Length of the original, unpadded signal.
+    pub original_len: usize,
+    /// Retained `(index, coefficient)` pairs, sorted by index.
+    pub coefficients: Vec<(u32, f64)>,
+}
+
+impl CompressedSignal {
+    /// Number of retained coefficients.
+    pub fn retained(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Compression ratio: original length over retained coefficient count
+    /// (`inf` when nothing was retained).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.coefficients.is_empty() {
+            f64::INFINITY
+        } else {
+            self.original_len as f64 / self.coefficients.len() as f64
+        }
+    }
+
+    /// Reconstructs an approximation of the original signal (truncated back
+    /// to the original length).
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let mut coefficients = vec![0.0; self.padded_len];
+        for &(index, value) in &self.coefficients {
+            if (index as usize) < self.padded_len {
+                coefficients[index as usize] = value;
+            }
+        }
+        let mut signal = match self.kind {
+            WaveletKind::Average => transform::inverse_average_transform(&coefficients),
+            WaveletKind::Haar => transform::inverse_haar_transform(&coefficients),
+            WaveletKind::Cdf97 => cdf97::inverse_cdf97_transform(&coefficients),
+        };
+        signal.truncate(self.original_len);
+        signal
+    }
+}
+
+/// Compresses `signal` by keeping the `keep` coefficients with the largest
+/// magnitude of its wavelet transform.
+///
+/// The overall approximation coefficient (index 0) is always kept when
+/// `keep > 0`, because dropping it shifts the whole reconstruction.
+pub fn compress_top_k(signal: &[f64], kind: WaveletKind, keep: usize) -> CompressedSignal {
+    let transformed = kind.transform(signal);
+    let padded_len = transformed.len();
+    let mut indexed: Vec<(u32, f64)> = transformed
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u32, v))
+        .collect();
+
+    let mut coefficients: Vec<(u32, f64)> = Vec::new();
+    if keep > 0 && !indexed.is_empty() {
+        // Always retain the overall approximation.
+        coefficients.push(indexed[0]);
+        indexed.remove(0);
+        indexed.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+        coefficients.extend(indexed.into_iter().take(keep.saturating_sub(1)));
+        coefficients.sort_by_key(|&(i, _)| i);
+        // Drop retained zeros — they carry no information.
+        coefficients.retain(|&(i, v)| i == 0 || v != 0.0);
+    }
+
+    CompressedSignal {
+        kind,
+        padded_len,
+        original_len: signal.len(),
+        coefficients,
+    }
+}
+
+/// Root-mean-square error between a signal and its approximation (compared
+/// over the shorter length; missing samples count as zero in the longer one).
+pub fn rms_error(original: &[f64], approximation: &[f64]) -> f64 {
+    let n = original.len().max(approximation.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 = (0..n)
+        .map(|i| {
+            let a = original.get(i).copied().unwrap_or(0.0);
+            let b = approximation.get(i).copied().unwrap_or(0.0);
+            (a - b) * (a - b)
+        })
+        .sum();
+    (sum / n as f64).sqrt()
+}
+
+/// RMS error normalized by the RMS magnitude of the original signal
+/// (0 = perfect, 1 ≈ as wrong as predicting zero everywhere).
+pub fn normalized_rms_error(original: &[f64], approximation: &[f64]) -> f64 {
+    let magnitude = rms_error(original, &vec![0.0; original.len()]);
+    if magnitude == 0.0 {
+        rms_error(original, approximation)
+    } else {
+        rms_error(original, approximation) / magnitude
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn keeping_all_coefficients_is_lossless() {
+        let signal = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        for kind in [WaveletKind::Average, WaveletKind::Haar, WaveletKind::Cdf97] {
+            let compressed = compress_top_k(&signal, kind, signal.len());
+            let rebuilt = compressed.reconstruct();
+            assert!(
+                rms_error(&signal, &rebuilt) < 1e-9,
+                "{kind:?}: {rebuilt:?} != {signal:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_decreases_as_more_coefficients_are_kept() {
+        let signal: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.3).sin() * 100.0 + i as f64)
+            .collect();
+        for kind in [WaveletKind::Haar, WaveletKind::Cdf97] {
+            let mut previous = f64::INFINITY;
+            for keep in [2usize, 8, 16, 64] {
+                let compressed = compress_top_k(&signal, kind, keep);
+                let err = rms_error(&signal, &compressed.reconstruct());
+                assert!(
+                    err <= previous + 1e-9,
+                    "{kind:?}: error {err} at keep={keep} exceeds {previous}"
+                );
+                previous = err;
+            }
+        }
+    }
+
+    #[test]
+    fn cdf97_compresses_smooth_signals_better_than_haar() {
+        // The motivating property from Gamblin et al.: for smooth load
+        // curves, the 9/7 filters concentrate energy in fewer coefficients.
+        let signal = ramp(64);
+        let keep = 8;
+        let haar = compress_top_k(&signal, WaveletKind::Haar, keep);
+        let cdf = compress_top_k(&signal, WaveletKind::Cdf97, keep);
+        let haar_err = rms_error(&signal, &haar.reconstruct());
+        let cdf_err = rms_error(&signal, &cdf.reconstruct());
+        assert!(
+            cdf_err <= haar_err,
+            "CDF 9/7 error {cdf_err} should not exceed Haar error {haar_err} on a smooth ramp"
+        );
+    }
+
+    #[test]
+    fn compression_ratio_and_retained_counts() {
+        let signal = ramp(32);
+        let compressed = compress_top_k(&signal, WaveletKind::Haar, 4);
+        assert!(compressed.retained() <= 4);
+        assert!(compressed.compression_ratio() >= 8.0);
+        let empty = compress_top_k(&signal, WaveletKind::Haar, 0);
+        assert_eq!(empty.retained(), 0);
+        assert!(empty.compression_ratio().is_infinite());
+        assert_eq!(empty.reconstruct().len(), 32);
+    }
+
+    #[test]
+    fn constant_signals_compress_to_one_coefficient() {
+        let signal = vec![42.0; 16];
+        // The average and Haar transforms produce exactly-zero details for a
+        // constant signal, so only the overall approximation survives.
+        for kind in [WaveletKind::Average, WaveletKind::Haar] {
+            let compressed = compress_top_k(&signal, kind, 3);
+            assert_eq!(compressed.retained(), 1, "{kind:?}");
+            let rebuilt = compressed.reconstruct();
+            assert!(rms_error(&signal, &rebuilt) < 1e-9, "{kind:?}");
+        }
+        // The lifting arithmetic of CDF 9/7 leaves rounding-noise details, so
+        // only near-losslessness (not an exact coefficient count) is checked.
+        let compressed = compress_top_k(&signal, WaveletKind::Cdf97, 3);
+        assert!(compressed.retained() <= 3);
+        assert!(rms_error(&signal, &compressed.reconstruct()) < 1e-6);
+    }
+
+    #[test]
+    fn rms_error_edge_cases() {
+        assert_eq!(rms_error(&[], &[]), 0.0);
+        assert_eq!(rms_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rms_error(&[3.0], &[]) - 3.0).abs() < 1e-12);
+        assert!((normalized_rms_error(&[2.0, 2.0], &[0.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(normalized_rms_error(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn non_power_of_two_signals_round_trip_their_prefix() {
+        let signal = ramp(11);
+        let compressed = compress_top_k(&signal, WaveletKind::Cdf97, 16);
+        let rebuilt = compressed.reconstruct();
+        assert_eq!(rebuilt.len(), 11);
+        assert!(rms_error(&signal, &rebuilt) < 1e-9);
+    }
+}

@@ -1,0 +1,55 @@
+//! Zero-padding helpers.
+//!
+//! Both wavelet transforms require an input whose length is a power of two.
+//! The paper allocates a vector whose length is the next power of two after
+//! the number of time stamps and zero-pads the tail; these helpers do the
+//! same.
+
+/// The smallest power of two that is `>= n` (and at least 1).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Returns `values` zero-padded at the end to the next power-of-two length.
+pub fn pad_to_power_of_two(values: &[f64]) -> Vec<f64> {
+    let target = next_power_of_two(values.len());
+    let mut out = Vec::with_capacity(target);
+    out.extend_from_slice(values);
+    out.resize(target, 0.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_power_of_two_values() {
+        assert_eq!(next_power_of_two(0), 1);
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(2), 2);
+        assert_eq!(next_power_of_two(3), 4);
+        assert_eq!(next_power_of_two(6), 8);
+        assert_eq!(next_power_of_two(8), 8);
+        assert_eq!(next_power_of_two(9), 16);
+    }
+
+    #[test]
+    fn padding_preserves_prefix_and_zero_fills() {
+        let padded = pad_to_power_of_two(&[1.0, 2.0, 3.0]);
+        assert_eq!(padded, vec![1.0, 2.0, 3.0, 0.0]);
+        let already = pad_to_power_of_two(&[1.0, 2.0]);
+        assert_eq!(already, vec![1.0, 2.0]);
+        assert_eq!(pad_to_power_of_two(&[]), vec![0.0]);
+    }
+
+    #[test]
+    fn padded_length_is_a_power_of_two() {
+        for n in 0..40 {
+            let v = vec![1.0; n];
+            let padded = pad_to_power_of_two(&v);
+            assert!(padded.len().is_power_of_two());
+            assert!(padded.len() >= n);
+        }
+    }
+}

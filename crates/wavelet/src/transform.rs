@@ -1,0 +1,226 @@
+//! The average and Haar discrete wavelet transforms.
+//!
+//! Both transforms repeatedly decompose a signal of length `L` (a power of
+//! two) into `L/2` *trends* and `L/2* *fluctuations* computed from pairs of
+//! adjacent values, and then recurse on the trends until a single overall
+//! trend remains.  The output layout is
+//!
+//! ```text
+//! [ overall trend | level-k fluctuations | ... | level-1 fluctuations ]
+//! ```
+//!
+//! * Average transform: `trend = (a + b) / 2`, `fluctuation = (a - b) / 2`.
+//! * Haar transform: the same values multiplied by `√2`
+//!   (`trend = (a + b) / √2`, `fluctuation = (a - b) / √2`), which makes the
+//!   transform orthonormal and therefore preserves Euclidean distances.
+
+/// Which wavelet transform to apply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WaveletKind {
+    /// The plain averaging transform (`avgWave` in the paper).
+    Average,
+    /// The Haar transform (`haarWave` in the paper).
+    Haar,
+    /// The CDF 9/7 transform (extension; see [`crate::cdf97`]).
+    Cdf97,
+}
+
+impl WaveletKind {
+    /// Applies this transform to `values` (padding to a power of two first).
+    pub fn transform(self, values: &[f64]) -> Vec<f64> {
+        match self {
+            WaveletKind::Average => average_transform(values),
+            WaveletKind::Haar => haar_transform(values),
+            WaveletKind::Cdf97 => crate::cdf97::cdf97_transform(values),
+        }
+    }
+
+    /// Human-readable name matching the paper (and, for the extension
+    /// transforms, the naming convention of the extended method catalogue).
+    pub fn name(self) -> &'static str {
+        match self {
+            WaveletKind::Average => "avgWave",
+            WaveletKind::Haar => "haarWave",
+            WaveletKind::Cdf97 => "cdf97Wave",
+        }
+    }
+}
+
+/// One decomposition level: splits `values` (even length) into
+/// `(trends, fluctuations)` scaled by `scale`.
+fn decompose_level(values: &[f64], scale: f64) -> (Vec<f64>, Vec<f64>) {
+    debug_assert!(values.len() % 2 == 0);
+    let half = values.len() / 2;
+    let mut trends = Vec::with_capacity(half);
+    let mut fluctuations = Vec::with_capacity(half);
+    for pair in values.chunks_exact(2) {
+        trends.push((pair[0] + pair[1]) * scale);
+        fluctuations.push((pair[0] - pair[1]) * scale);
+    }
+    (trends, fluctuations)
+}
+
+/// Full multi-level decomposition with the given per-level pair scale.
+fn full_transform(values: &[f64], scale: f64) -> Vec<f64> {
+    let padded = crate::pad::pad_to_power_of_two(values);
+    let n = padded.len();
+    if n == 1 {
+        return padded;
+    }
+    // Collect fluctuations from the finest level to the coarsest, then put
+    // the final trend first followed by coarsest..finest fluctuations.
+    let mut levels: Vec<Vec<f64>> = Vec::new();
+    let mut current = padded;
+    while current.len() > 1 {
+        let (trends, fluctuations) = decompose_level(&current, scale);
+        levels.push(fluctuations);
+        current = trends;
+    }
+    let mut out = Vec::with_capacity(n);
+    out.push(current[0]);
+    for fluctuations in levels.into_iter().rev() {
+        out.extend(fluctuations);
+    }
+    out
+}
+
+/// The average wavelet transform (`avgWave`): pairwise averages and halved
+/// differences, applied recursively.  The input is zero-padded to the next
+/// power of two.
+pub fn average_transform(values: &[f64]) -> Vec<f64> {
+    full_transform(values, 0.5)
+}
+
+/// The Haar wavelet transform (`haarWave`): the average transform with every
+/// level multiplied by `√2`, making it orthonormal.  The input is
+/// zero-padded to the next power of two.
+pub fn haar_transform(values: &[f64]) -> Vec<f64> {
+    full_transform(values, std::f64::consts::FRAC_1_SQRT_2)
+}
+
+/// Inverts one reconstruction level.
+fn reconstruct_level(trends: &[f64], fluctuations: &[f64], scale: f64) -> Vec<f64> {
+    debug_assert_eq!(trends.len(), fluctuations.len());
+    let mut out = Vec::with_capacity(trends.len() * 2);
+    // decompose: t = (a+b)*s, f = (a-b)*s  =>  a = (t+f)/(2s), b = (t-f)/(2s)
+    let inv = 1.0 / (2.0 * scale);
+    for (t, f) in trends.iter().zip(fluctuations) {
+        out.push((t + f) * inv);
+        out.push((t - f) * inv);
+    }
+    out
+}
+
+fn full_inverse(coefficients: &[f64], scale: f64) -> Vec<f64> {
+    assert!(
+        coefficients.len().is_power_of_two(),
+        "coefficient vectors have power-of-two lengths"
+    );
+    let mut trends = vec![coefficients[0]];
+    let mut offset = 1;
+    while offset < coefficients.len() {
+        let fluctuations = &coefficients[offset..offset + trends.len()];
+        trends = reconstruct_level(&trends, fluctuations, scale);
+        offset += fluctuations.len();
+    }
+    trends
+}
+
+/// Inverse of [`average_transform`] (up to the zero padding).
+pub fn inverse_average_transform(coefficients: &[f64]) -> Vec<f64> {
+    full_inverse(coefficients, 0.5)
+}
+
+/// Inverse of [`haar_transform`] (up to the zero padding).
+pub fn inverse_haar_transform(coefficients: &[f64]) -> Vec<f64> {
+    full_inverse(coefficients, std::f64::consts::FRAC_1_SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coefficient_distance;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn single_level_average_example() {
+        // [4, 6, 10, 12] -> trends [5, 11], fluctuations [-1, -1]
+        //                -> overall trend 8, coarse fluctuation -3.
+        let t = average_transform(&[4.0, 6.0, 10.0, 12.0]);
+        assert_close(&t, &[8.0, -3.0, -1.0, -1.0], 1e-12);
+    }
+
+    #[test]
+    fn haar_is_average_scaled_by_sqrt_two_per_level() {
+        let avg = average_transform(&[4.0, 6.0, 10.0, 12.0]);
+        let haar = haar_transform(&[4.0, 6.0, 10.0, 12.0]);
+        // Two levels deep: overall trend and coarse fluctuation picked up
+        // (√2)², the finest fluctuations picked up √2.
+        assert!((haar[0] - avg[0] * 2.0).abs() < 1e-12);
+        assert!((haar[1] - avg[1] * 2.0).abs() < 1e-12);
+        assert!((haar[2] - avg[2] * std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!((haar[3] - avg[3] * std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn haar_preserves_euclidean_distance() {
+        let a = [0.0, 1.0, 17.0, 18.0, 48.0, 49.0];
+        let b = [0.0, 1.0, 40.0, 41.0, 50.0, 51.0];
+        let direct = coefficient_distance(
+            &crate::pad::pad_to_power_of_two(&a),
+            &crate::pad::pad_to_power_of_two(&b),
+        );
+        let transformed = coefficient_distance(&haar_transform(&a), &haar_transform(&b));
+        assert!(
+            (direct - transformed).abs() < 1e-9,
+            "Haar must preserve distances: {direct} vs {transformed}"
+        );
+    }
+
+    #[test]
+    fn average_coefficients_are_smaller_than_haar() {
+        let v = [0.0, 1.0, 17.0, 18.0, 48.0, 49.0];
+        let avg_max = crate::max_abs_coefficient(&average_transform(&v), &[]);
+        let haar_max = crate::max_abs_coefficient(&haar_transform(&v), &[]);
+        assert!(avg_max < haar_max);
+    }
+
+    #[test]
+    fn constant_signal_has_zero_fluctuations() {
+        let t = average_transform(&[7.0; 8]);
+        assert!((t[0] - 7.0).abs() < 1e-12);
+        for &f in &t[1..] {
+            assert!(f.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transforms_pad_to_power_of_two_lengths() {
+        assert_eq!(average_transform(&[1.0, 2.0, 3.0]).len(), 4);
+        assert_eq!(haar_transform(&[1.0; 6]).len(), 8);
+        assert_eq!(average_transform(&[5.0]).len(), 1);
+        assert_eq!(average_transform(&[]).len(), 1);
+    }
+
+    #[test]
+    fn inverse_round_trips_power_of_two_inputs() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        assert_close(&inverse_average_transform(&average_transform(&v)), &v, 1e-9);
+        assert_close(&inverse_haar_transform(&haar_transform(&v)), &v, 1e-9);
+    }
+
+    #[test]
+    fn kind_dispatch_matches_free_functions() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(WaveletKind::Average.transform(&v), average_transform(&v));
+        assert_eq!(WaveletKind::Haar.transform(&v), haar_transform(&v));
+        assert_eq!(WaveletKind::Average.name(), "avgWave");
+        assert_eq!(WaveletKind::Haar.name(), "haarWave");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the wavelet transforms.
+
+use proptest::prelude::*;
+
+use trace_wavelet::transform::{
+    average_transform, haar_transform, inverse_average_transform, inverse_haar_transform,
+};
+use trace_wavelet::{
+    cdf97_transform, coefficient_distance, inverse_cdf97_transform, max_abs_coefficient,
+    pad_to_power_of_two,
+};
+
+fn signal() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6f64, 1..64)
+}
+
+fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transforms_produce_power_of_two_lengths(v in signal()) {
+        prop_assert!(average_transform(&v).len().is_power_of_two());
+        prop_assert!(haar_transform(&v).len().is_power_of_two());
+        prop_assert!(average_transform(&v).len() >= v.len());
+    }
+
+    #[test]
+    fn average_then_inverse_recovers_padded_signal(v in signal()) {
+        let padded = pad_to_power_of_two(&v);
+        let recovered = inverse_average_transform(&average_transform(&v));
+        prop_assert!(close(&recovered, &padded, 1e-6 * (1.0 + max_abs_coefficient(&padded, &[]))));
+    }
+
+    #[test]
+    fn haar_then_inverse_recovers_padded_signal(v in signal()) {
+        let padded = pad_to_power_of_two(&v);
+        let recovered = inverse_haar_transform(&haar_transform(&v));
+        prop_assert!(close(&recovered, &padded, 1e-6 * (1.0 + max_abs_coefficient(&padded, &[]))));
+    }
+
+    #[test]
+    fn haar_preserves_euclidean_distance(pair in (1usize..64).prop_flat_map(|len| (
+        prop::collection::vec(-1.0e6..1.0e6f64, len),
+        prop::collection::vec(-1.0e6..1.0e6f64, len),
+    ))) {
+        // Distance preservation holds for equal-length inputs, which is the
+        // only case the similarity metric ever compares (segments must have
+        // the same number of events to be eligible for a match).
+        let (a, b) = pair;
+        let direct = coefficient_distance(&pad_to_power_of_two(&a), &pad_to_power_of_two(&b));
+        let transformed = coefficient_distance(&haar_transform(&a), &haar_transform(&b));
+        let tol = 1e-6 * (1.0 + direct);
+        prop_assert!((direct - transformed).abs() <= tol,
+            "direct {direct} vs transformed {transformed}");
+    }
+
+    #[test]
+    fn identical_signals_have_zero_distance(a in signal()) {
+        prop_assert_eq!(coefficient_distance(&average_transform(&a), &average_transform(&a)), 0.0);
+        prop_assert_eq!(coefficient_distance(&haar_transform(&a), &haar_transform(&a)), 0.0);
+    }
+
+    #[test]
+    fn average_coefficients_never_exceed_haar(a in signal()) {
+        let avg = max_abs_coefficient(&average_transform(&a), &[]);
+        let haar = max_abs_coefficient(&haar_transform(&a), &[]);
+        prop_assert!(avg <= haar + 1e-12);
+    }
+
+    #[test]
+    fn cdf97_then_inverse_recovers_padded_signal(v in signal()) {
+        let padded = pad_to_power_of_two(&v);
+        let recovered = inverse_cdf97_transform(&cdf97_transform(&v));
+        prop_assert!(close(&recovered, &padded, 1e-6 * (1.0 + max_abs_coefficient(&padded, &[]))));
+    }
+
+    #[test]
+    fn cdf97_produces_power_of_two_lengths(v in signal()) {
+        let t = cdf97_transform(&v);
+        prop_assert!(t.len().is_power_of_two());
+        prop_assert!(t.len() >= v.len());
+    }
+
+    #[test]
+    fn transform_is_linear_in_the_signal(a in signal(), k in -4.0..4.0f64) {
+        let scaled: Vec<f64> = a.iter().map(|v| v * k).collect();
+        let t_scaled = average_transform(&scaled);
+        let scaled_t: Vec<f64> = average_transform(&a).iter().map(|v| v * k).collect();
+        let tol = 1e-6 * (1.0 + max_abs_coefficient(&scaled_t, &[]));
+        prop_assert!(close(&t_scaled, &scaled_t, tol));
+    }
+}

@@ -1,0 +1,64 @@
+//! Inter-process clustering demo: group the ranks of a run by behaviour and
+//! keep one representative trace per cluster.
+//!
+//! `dyn_load_balance` makes half the ranks do progressively more work, so the
+//! natural clustering is "upper half vs. lower half"; Sweep3D's wavefront
+//! pipeline gives corner/edge/interior ranks different wait profiles.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example cluster_ranks
+//! ```
+
+use trace_reduction::clustering::{
+    cluster_reduce, euclidean_distance_matrix, hierarchical_clustering, kmeans, rank_features,
+    silhouette_score, KMeansConfig, Linkage, Normalization,
+};
+use trace_reduction::eval::criteria::approximation_distance_us;
+use trace_reduction::model::codec::encode_app_trace;
+use trace_reduction::sim::{SizePreset, Workload, WorkloadKind};
+
+fn main() {
+    for kind in [WorkloadKind::DynLoadBalance, WorkloadKind::Sweep3d32p] {
+        let app = Workload::new(kind, SizePreset::Small).generate();
+        println!("== {} ({} ranks) ==", app.name, app.rank_count());
+
+        let features = rank_features(&app, Normalization::MinMax);
+        let matrix = euclidean_distance_matrix(&features);
+
+        // Pick k by silhouette over a small candidate range, comparing
+        // k-means and average-linkage hierarchical clustering.
+        let mut best: Option<(String, usize, Vec<usize>, f64)> = None;
+        for k in 2..=4usize {
+            let km = kmeans(&features, &KMeansConfig::new(k));
+            let km_score = silhouette_score(&matrix, &km.assignments);
+            let hc = hierarchical_clustering(&matrix, k, Linkage::Average);
+            let hc_score = silhouette_score(&matrix, &hc);
+            for (label, assignments, score) in [
+                ("kmeans", km.assignments, km_score),
+                ("hierarchical", hc, hc_score),
+            ] {
+                if best.as_ref().map(|(_, _, _, s)| score > *s).unwrap_or(true) {
+                    best = Some((label.to_string(), k, assignments, score));
+                }
+            }
+        }
+        let (algorithm, k, assignments, score) = best.expect("candidate range is non-empty");
+        println!("best clustering: {algorithm} with k={k} (silhouette {score:.3})");
+        println!("assignments: {assignments:?}");
+
+        let clustered = cluster_reduce(&app, &assignments, &matrix);
+        let full_bytes = encode_app_trace(&app).len();
+        let retained_bytes = encode_app_trace(&clustered.retained).len();
+        let approx = clustered.reconstruct();
+        println!(
+            "representatives: {:?} -> retained {:.1}% of the encoded trace",
+            clustered.representatives,
+            100.0 * retained_bytes as f64 / full_bytes as f64
+        );
+        println!(
+            "approximation distance after substituting representatives: {:.1} us\n",
+            approximation_distance_us(&app, &approx)
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! The comparative study of Section 5.2 (Figures 5 and 6 plus the method
+//! ranking), over all 18 workloads of the paper.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example comparative_study            # reduced-size runs
+//! TRACE_REPRO_PRESET=paper cargo run --release --example comparative_study
+//! ```
+
+use trace_reduction::eval::comparative::comparative_study;
+use trace_reduction::sim::{SizePreset, Workload};
+
+fn preset_from_env() -> SizePreset {
+    match std::env::var("TRACE_REPRO_PRESET").as_deref() {
+        Ok("paper") => SizePreset::Paper,
+        Ok("tiny") => SizePreset::Tiny,
+        _ => SizePreset::Small,
+    }
+}
+
+fn main() {
+    let preset = preset_from_env();
+    eprintln!("generating the 18 paper workloads ({preset:?} preset)...");
+    let traces: Vec<_> = Workload::all(preset)
+        .iter()
+        .map(|w| {
+            eprintln!("  {}", w.name());
+            w.generate()
+        })
+        .collect();
+
+    eprintln!("running all nine methods at their default thresholds...");
+    let study = comparative_study(&traces);
+
+    println!("{}", study.figure5_table().render());
+    println!("{}", study.figure6_table().render());
+    println!("{}", study.trend_retention_table().render());
+    println!("{}", study.summary_table().render());
+
+    println!("Average file-size ranking (smallest first):");
+    for (method, size) in study.average_file_size_ranking() {
+        println!("  {:<10} {:>7.2}%", method.name(), size);
+    }
+    println!("\nCorrect diagnoses per method (out of {}):", study.workloads().len());
+    for (method, count) in study.correct_diagnosis_counts() {
+        println!("  {:<10} {}", method.name(), count);
+    }
+}

@@ -1,0 +1,52 @@
+//! Export/import demo: move traces between the binary codec and the
+//! OTF-style text format, reduce them, and compare file sizes.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example export_import
+//! ```
+
+use trace_reduction::format::{parse_app_trace, write_app_trace, write_reduced_trace};
+use trace_reduction::model::codec::{encode_app_trace, encode_reduced_trace};
+use trace_reduction::reduce::{Method, Reducer};
+use trace_reduction::sim::{SizePreset, Workload, WorkloadKind};
+
+fn main() {
+    let app = Workload::new(WorkloadKind::Sweep3d8p, SizePreset::Small).generate();
+
+    // Export the full trace in both formats.
+    let binary = encode_app_trace(&app);
+    let text = write_app_trace(&app);
+    println!(
+        "full trace {}: {} events\n  binary codec: {:>9} bytes\n  text format : {:>9} bytes",
+        app.name,
+        app.total_events(),
+        binary.len(),
+        text.len()
+    );
+
+    // Re-import the text form and check it is lossless.
+    let reparsed = parse_app_trace(&text).expect("the writer always produces parsable output");
+    assert_eq!(reparsed, app);
+    println!("  text round trip: lossless");
+
+    // Reduce and export the reduced trace in both formats.
+    for method in [Method::AvgWave, Method::IterAvg, Method::RelDiff] {
+        let reduced = Reducer::with_default_threshold(method).reduce_app(&app);
+        let reduced_binary = encode_reduced_trace(&reduced);
+        let reduced_text = write_reduced_trace(&reduced);
+        println!(
+            "reduced with {:<8}: binary {:>9} bytes ({:>5.1}% of full), text {:>9} bytes",
+            method.name(),
+            reduced_binary.len(),
+            100.0 * reduced_binary.len() as f64 / binary.len() as f64,
+            reduced_text.len()
+        );
+    }
+
+    println!(
+        "\nThe binary codec is what the paper-style file-size percentages are measured\n\
+         against; the text format exists for interoperability and debugging (try\n\
+         `trace-tools convert --in trace.trc --out trace.txt`)."
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: generate a trace, reduce it, reconstruct it, and evaluate the
+//! reduction with all four criteria of the paper.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use trace_reduction::analysis::{compare_diagnoses, diagnose, ComparisonConfig};
+use trace_reduction::eval::criteria::{approximation_distance_us, file_size_percent};
+use trace_reduction::model::codec::{encode_app_trace, encode_reduced_trace};
+use trace_reduction::reduce::{Method, Reducer};
+use trace_reduction::sim::{SizePreset, Workload, WorkloadKind};
+
+fn main() {
+    // 1. "Run" a message-passing program with a known performance problem:
+    //    the receivers of each rank pair block in MPI_Recv because their
+    //    senders are late.
+    let full = Workload::new(WorkloadKind::LateSender, SizePreset::Small).generate();
+    println!(
+        "full trace: {} ranks, {} events, {} bytes encoded",
+        full.rank_count(),
+        full.total_events(),
+        encode_app_trace(&full).len()
+    );
+
+    // 2. Reduce each rank's trace with the average-wavelet similarity metric
+    //    at the paper's recommended threshold (0.2).
+    let reducer = Reducer::with_default_threshold(Method::AvgWave);
+    let reduced = reducer.reduce_app(&full);
+    println!(
+        "reduced trace: {} representative segments for {} segment executions ({} bytes, {:.1}% of full)",
+        reduced.total_stored(),
+        reduced.total_execs(),
+        encode_reduced_trace(&reduced).len(),
+        file_size_percent(&full, &reduced),
+    );
+    println!("degree of matching: {:.3}", reduced.degree_of_matching());
+
+    // 3. Reconstruct an approximate full trace and measure the error.
+    let approx = reduced.reconstruct();
+    println!(
+        "approximation distance (90th pct time-stamp error): {:.1} us",
+        approximation_distance_us(&full, &approx)
+    );
+
+    // 4. Check that a performance analyst would still reach the same
+    //    conclusion (a Late Sender problem at MPI_Recv on the odd ranks).
+    let reference = diagnose(&full);
+    let candidate = diagnose(&approx);
+    let comparison = compare_diagnoses(&reference, &candidate, &ComparisonConfig::default());
+    println!(
+        "performance trends retained: {} (score {:.2})",
+        comparison.retained, comparison.score
+    );
+    println!("\nFull-trace diagnosis:\n{}", reference.render_chart());
+    println!("Reduced-trace diagnosis:\n{}", candidate.render_chart());
+}

@@ -1,0 +1,56 @@
+//! Extension study: similarity-based reduction versus trace sampling,
+//! periodicity-based reduction and inter-process clustering.
+//!
+//! The paper's conclusion names trace sampling and additional difference
+//! methods as future work; this example runs that comparison over a
+//! representative subset of the paper's workloads and prints the per-workload
+//! detail table plus the per-technique summary.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sampling_vs_similarity
+//! TRACE_REPRO_PRESET=paper cargo run --release --example sampling_vs_similarity
+//! ```
+
+use trace_reduction::eval::{extension_study, extension_summary_table, extension_table};
+use trace_reduction::sim::{SizePreset, Workload, WorkloadKind};
+
+fn preset_from_env() -> SizePreset {
+    match std::env::var("TRACE_REPRO_PRESET").as_deref() {
+        Ok("paper") => SizePreset::Paper,
+        Ok("tiny") => SizePreset::Tiny,
+        _ => SizePreset::Small,
+    }
+}
+
+fn main() {
+    let preset = preset_from_env();
+    // One workload per category: regular, interference, dynamic load
+    // balance, and the Sweep3D application.
+    let kinds = [
+        WorkloadKind::LateSender,
+        WorkloadKind::by_name("NtoN_32").expect("interference workload exists"),
+        WorkloadKind::DynLoadBalance,
+        WorkloadKind::Sweep3d8p,
+    ];
+    eprintln!("generating {} workloads ({preset:?} preset)...", kinds.len());
+    let traces: Vec<_> = kinds
+        .iter()
+        .map(|&kind| {
+            eprintln!("  {}", kind.name());
+            Workload::new(kind, preset).generate()
+        })
+        .collect();
+
+    eprintln!("evaluating the extension catalogue (similarity, sampling, periodicity, clustering)...");
+    let evaluations = extension_study(&traces);
+
+    println!("{}", extension_table(&evaluations).render());
+    println!("{}", extension_summary_table(&evaluations).render());
+
+    println!(
+        "Reading the summary: the similarity methods keep trends at a given size budget,\n\
+         sampling trades error for predictable size, clustering shrinks by the cluster\n\
+         ratio but loses per-rank disparities (compare the dyn_load_balance rows)."
+    );
+}

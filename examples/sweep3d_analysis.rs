@@ -1,0 +1,58 @@
+//! Reducing and analysing the Sweep3D application traces (the paper's
+//! full-application case study, Section 4.2 / 5.2).
+//!
+//! For both the 8-process and the 32-process run this example reports, per
+//! method: file size percentage, degree of matching, approximation distance
+//! and trend retention — the data behind the sweep3d columns of Figures 5
+//! and 6 and the sweep3d rows of the trend-retention discussion.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sweep3d_analysis
+//! TRACE_REPRO_PRESET=paper cargo run --release --example sweep3d_analysis
+//! ```
+
+use trace_reduction::eval::evaluation::evaluate_all_methods;
+use trace_reduction::eval::report::{fmt_f64, fmt_retained, Table};
+use trace_reduction::sim::{SizePreset, Workload, WorkloadKind};
+
+fn preset_from_env() -> SizePreset {
+    match std::env::var("TRACE_REPRO_PRESET").as_deref() {
+        Ok("paper") => SizePreset::Paper,
+        Ok("tiny") => SizePreset::Tiny,
+        _ => SizePreset::Small,
+    }
+}
+
+fn main() {
+    let preset = preset_from_env();
+    for kind in [WorkloadKind::Sweep3d8p, WorkloadKind::Sweep3d32p] {
+        let full = Workload::new(kind, preset).generate();
+        eprintln!(
+            "{}: {} ranks, {} events",
+            full.name,
+            full.rank_count(),
+            full.total_events()
+        );
+        let mut table = Table::new(
+            format!("Sweep3D evaluation — {}", full.name),
+            &[
+                "method",
+                "file size %",
+                "degree of matching",
+                "approx distance (us)",
+                "trends retained",
+            ],
+        );
+        for eval in evaluate_all_methods(&full) {
+            table.push_row(vec![
+                eval.config.method.name().to_string(),
+                fmt_f64(eval.file_size_percent),
+                fmt_f64(eval.degree_of_matching),
+                fmt_f64(eval.approximation_distance_us),
+                fmt_retained(eval.trends_retained),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,56 @@
+//! The threshold study of Section 5.1 (appendix Figures 9–19 and
+//! Tables 1–18): sweep every method over its threshold grid and report file
+//! size, approximation distance and trend retention per workload.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example threshold_study                # reduced-size runs
+//! cargo run --release --example threshold_study -- relDiff     # a single method
+//! TRACE_REPRO_PRESET=paper cargo run --release --example threshold_study
+//! ```
+
+use trace_reduction::eval::threshold::{
+    threshold_figure_table, threshold_study_for_method, trend_retention_by_threshold_table,
+};
+use trace_reduction::reduce::Method;
+use trace_reduction::sim::{SizePreset, Workload};
+
+fn preset_from_env() -> SizePreset {
+    match std::env::var("TRACE_REPRO_PRESET").as_deref() {
+        Ok("paper") => SizePreset::Paper,
+        Ok("tiny") => SizePreset::Tiny,
+        _ => SizePreset::Small,
+    }
+}
+
+fn main() {
+    let preset = preset_from_env();
+    let only_method = std::env::args().nth(1).and_then(|name| Method::by_name(&name));
+    if let Some(m) = only_method {
+        eprintln!("restricting the sweep to {}", m.name());
+    }
+
+    eprintln!("generating the 18 paper workloads ({preset:?} preset)...");
+    let traces: Vec<_> = Workload::all(preset).iter().map(|w| w.generate()).collect();
+    let workload_names: Vec<String> = traces.iter().map(|t| t.name.clone()).collect();
+
+    for method in Method::ALL {
+        if let Some(only) = only_method {
+            if only != method {
+                continue;
+            }
+        }
+        if !method.has_threshold() {
+            continue;
+        }
+        eprintln!("sweeping {} over {:?}...", method.name(), method.threshold_grid());
+        let points = threshold_study_for_method(&traces, method);
+        println!("{}", threshold_figure_table(method, &points).render());
+        for workload in &workload_names {
+            println!(
+                "{}",
+                trend_retention_by_threshold_table(workload, &points).render()
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate re-exporting the trace-reduction workspace public API.
+//!
+//! See the individual crates for details:
+//! * [`trace_model`] — trace/event/segment data model and binary codec.
+//! * [`trace_sim`] — virtual-time message-passing simulator and workloads.
+//! * [`trace_wavelet`] — discrete wavelet transforms used by wavelet metrics.
+//! * [`trace_reduce`] — segmentation, similarity metrics, reduction, reconstruction.
+//! * [`trace_analysis`] — EXPERT-like wait-state analysis and trend comparison.
+//! * [`trace_eval`] — evaluation criteria and the paper's experiment drivers.
+//! * [`trace_sampling`] — sampling-based reduction (segment sampling,
+//!   statistical event profiles, periodicity detection, trace confidence).
+//! * [`trace_clustering`] — inter-process clustering and representative-rank
+//!   reduction.
+//! * [`trace_format`] — OTF-style text trace format writer/parser.
+
+pub use trace_analysis as analysis;
+pub use trace_clustering as clustering;
+pub use trace_eval as eval;
+pub use trace_format as format;
+pub use trace_model as model;
+pub use trace_reduce as reduce;
+pub use trace_sampling as sampling;
+pub use trace_sim as sim;
+pub use trace_wavelet as wavelet;
