@@ -75,11 +75,7 @@ fn pattern_distance(a: &SeverityEntry, b: &SeverityEntry) -> f64 {
     if na.is_empty() {
         return 0.0;
     }
-    na.iter()
-        .zip(&nb)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
-        / na.len() as f64
+    na.iter().zip(&nb).map(|(x, y)| (x - y).abs()).sum::<f64>() / na.len() as f64
 }
 
 /// Compares a candidate diagnosis against the reference diagnosis.

@@ -113,7 +113,7 @@ fn point_to_point(app: &AppTrace, diagnosis: &mut Diagnosis) {
 /// instance index, and attributes the per-pattern waiting times.
 fn collectives(app: &AppTrace, diagnosis: &mut Diagnosis) {
     type Key = (CollectiveOp, u32, u32); // (op, root, comm_size)
-    // key -> per-rank ordered list of events
+                                         // key -> per-rank ordered list of events
     let mut groups: HashMap<Key, Vec<Vec<&Event>>> = HashMap::new();
     for (rank_idx, rank) in app.ranks.iter().enumerate() {
         for event in rank.events() {
@@ -208,10 +208,9 @@ fn sendrecv_exchanges(app: &AppTrace, diagnosis: &mut Diagnosis) {
         }
     }
     for ((low, high, _tag), slots) in &groups {
-        let instances = slots[0].len().min(slots[1].len());
-        for i in 0..instances {
-            let a = slots[0][i];
-            let b = slots[1][i];
+        // Unmatched trailing instances are dropped, as zip stops at the
+        // shorter side.
+        for (&a, &b) in slots[0].iter().zip(slots[1].iter()) {
             let reference = if a.start >= b.start { a } else { b };
             for (rank, event) in [(*low, a), (*high, b)] {
                 let region = app.regions.name_or_unknown(event.region);
@@ -241,7 +240,9 @@ mod tests {
     fn late_sender_is_diagnosed_at_the_receive() {
         let app = ats::late_sender(&params());
         let d = diagnose(&app);
-        let entry = d.entry(MetricKind::LateSender, "MPI_Recv").expect("late sender entry");
+        let entry = d
+            .entry(MetricKind::LateSender, "MPI_Recv")
+            .expect("late sender entry");
         // Receivers are the odd ranks.
         assert!(entry.per_rank_ms[1] > 1.0);
         assert!(entry.per_rank_ms[0].abs() < 1e-6);
@@ -309,7 +310,9 @@ mod tests {
         let wait = d
             .entry(MetricKind::WaitAtNxN, "MPI_Alltoall")
             .expect("alltoall entry");
-        let work = d.entry(MetricKind::ExecutionTime, "do_work").expect("work entry");
+        let work = d
+            .entry(MetricKind::ExecutionTime, "do_work")
+            .expect("work entry");
         // The paper's Figure 7: lower ranks wait in MPI_Alltoall because the
         // upper ranks spend more time in do_work.
         assert!(wait.per_rank_ms[0] > wait.per_rank_ms[p.ranks - 1] + 1.0);
@@ -320,7 +323,9 @@ mod tests {
     fn sweep3d_shows_late_sender_in_the_pipeline() {
         let app = sweep3d("sweep3d_test", &Sweep3dParams::small());
         let d = diagnose(&app);
-        let entry = d.entry(MetricKind::LateSender, "MPI_Recv").expect("pipeline waits");
+        let entry = d
+            .entry(MetricKind::LateSender, "MPI_Recv")
+            .expect("pipeline waits");
         assert!(entry.total_ms() > 0.1);
     }
 

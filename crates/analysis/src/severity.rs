@@ -128,10 +128,7 @@ impl Diagnosis {
     /// `-` for negative values).
     pub fn render_chart(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "{} ({} ranks)\n",
-            self.trace_name, self.ranks
-        ));
+        out.push_str(&format!("{} ({} ranks)\n", self.trace_name, self.ranks));
         let global_max = self
             .entries
             .values()
@@ -228,7 +225,13 @@ mod tests {
         let chart = d.render_chart();
         assert!(chart.contains("NN"), "{chart}");
         assert!(chart.contains("MPI_Alltoall"));
-        assert!(chart.contains('-'), "negative severities must be visible: {chart}");
-        assert!(chart.contains('.'), "zero severities must be visible: {chart}");
+        assert!(
+            chart.contains('-'),
+            "negative severities must be visible: {chart}"
+        );
+        assert!(
+            chart.contains('.'),
+            "zero severities must be visible: {chart}"
+        );
     }
 }

@@ -85,7 +85,9 @@ fn bench_text_format_vs_codec(c: &mut Criterion) {
     group.sample_size(20);
     group.throughput(Throughput::Bytes(binary.len() as u64));
     group.bench_function("binary_encode", |b| b.iter(|| encode_app_trace(&full)));
-    group.bench_function("binary_decode", |b| b.iter(|| decode_app_trace(&binary).unwrap()));
+    group.bench_function("binary_decode", |b| {
+        b.iter(|| decode_app_trace(&binary).unwrap())
+    });
     group.bench_function("text_write", |b| b.iter(|| write_app_trace(&full)));
     group.bench_function("text_parse", |b| b.iter(|| parse_app_trace(&text).unwrap()));
     group.finish();

@@ -27,7 +27,10 @@ fn regenerate_figures() {
     for (method, size) in study.average_file_size_ranking() {
         println!("  {:<10} {:>7.2}%", method.name(), size);
     }
-    println!("Correct diagnoses per method (out of {}):", study.workloads().len());
+    println!(
+        "Correct diagnoses per method (out of {}):",
+        study.workloads().len()
+    );
     for (method, count) in study.correct_diagnosis_counts() {
         println!("  {:<10} {}", method.name(), count);
     }

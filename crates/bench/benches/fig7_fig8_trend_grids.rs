@@ -30,9 +30,11 @@ fn bench_diagnosis(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_fig8/diagnose");
     group.sample_size(10);
     for trace in &traces {
-        group.bench_with_input(BenchmarkId::from_parameter(&trace.name), trace, |b, trace| {
-            b.iter(|| diagnose(trace))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&trace.name),
+            trace,
+            |b, trace| b.iter(|| diagnose(trace)),
+        );
     }
     group.finish();
 }

@@ -23,7 +23,10 @@ pub fn preset_from_env(default: SizePreset) -> SizePreset {
 
 /// Generates all 18 paper workloads at the given preset.
 pub fn all_workloads(preset: SizePreset) -> Vec<trace_model::AppTrace> {
-    Workload::all(preset).iter().map(Workload::generate).collect()
+    Workload::all(preset)
+        .iter()
+        .map(Workload::generate)
+        .collect()
 }
 
 /// Generates the 16 benchmark workloads (everything except Sweep3D).

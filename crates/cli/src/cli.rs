@@ -69,7 +69,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         .next()
         .ok_or_else(|| "no subcommand given".to_string())?
         .clone();
-    if command.starts_with("--") {
+    // `--help`/`-h` look like flags but are dispatched as the `help`
+    // subcommand (commands::run already accepts them).
+    if command.starts_with('-') && command != "--help" && command != "-h" {
         return Err(format!("expected a subcommand, found flag {command:?}"));
     }
     let mut options = BTreeMap::new();

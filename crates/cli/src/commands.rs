@@ -44,14 +44,19 @@ fn parse_preset(raw: Option<&str>) -> Result<SizePreset, String> {
         "tiny" => Ok(SizePreset::Tiny),
         "small" => Ok(SizePreset::Small),
         "paper" => Ok(SizePreset::Paper),
-        other => Err(format!("unknown preset {other:?} (expected tiny, small or paper)")),
+        other => Err(format!(
+            "unknown preset {other:?} (expected tiny, small or paper)"
+        )),
     }
 }
 
 fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
     WorkloadKind::by_name(name).ok_or_else(|| {
         let known: Vec<String> = WorkloadKind::all_paper().iter().map(|k| k.name()).collect();
-        format!("unknown workload {name:?}; known workloads: {}", known.join(", "))
+        format!(
+            "unknown workload {name:?}; known workloads: {}",
+            known.join(", ")
+        )
     })
 }
 
@@ -59,7 +64,10 @@ fn parse_method(invocation: &Invocation) -> Result<ExtendedConfig, String> {
     let name = invocation.require("method")?;
     let method = ExtendedMethod::by_name(name).ok_or_else(|| {
         let known: Vec<&str> = ExtendedMethod::all().iter().map(|m| m.name()).collect();
-        format!("unknown method {name:?}; known methods: {}", known.join(", "))
+        format!(
+            "unknown method {name:?}; known methods: {}",
+            known.join(", ")
+        )
     })?;
     let threshold = invocation
         .get_f64("threshold")?
@@ -70,9 +78,9 @@ fn parse_method(invocation: &Invocation) -> Result<ExtendedConfig, String> {
 fn parse_policy(invocation: &Invocation) -> Result<SamplingPolicy, String> {
     let raw = invocation.require("policy")?;
     let seed = invocation.get_usize("seed")?.unwrap_or(0x5eed) as u64;
-    let (kind, value) = raw
-        .split_once(':')
-        .ok_or_else(|| format!("policy {raw:?} must look like every:10, random:0.25 or adaptive:0.05"))?;
+    let (kind, value) = raw.split_once(':').ok_or_else(|| {
+        format!("policy {raw:?} must look like every:10, random:0.25 or adaptive:0.05")
+    })?;
     match kind {
         "every" => value
             .parse::<usize>()
@@ -175,7 +183,11 @@ fn cmd_convert(invocation: &Invocation) -> Result<String, String> {
     let out = Path::new(invocation.require("out")?);
     let app = load_app_trace(input)?;
     store_app_trace(out, &app)?;
-    Ok(format!("converted {} -> {}", input.display(), out.display()))
+    Ok(format!(
+        "converted {} -> {}",
+        input.display(),
+        out.display()
+    ))
 }
 
 fn cmd_analyze(invocation: &Invocation) -> Result<String, String> {
@@ -254,7 +266,8 @@ fn cmd_cluster(invocation: &Invocation) -> Result<String, String> {
         "average" => hierarchical_clustering(&matrix, k, Linkage::Average),
         other => {
             return Err(format!(
-                "unknown clustering algorithm {other:?} (expected kmeans, single, complete or average)"
+                "unknown clustering algorithm {other:?} \
+                 (expected kmeans, single, complete or average)"
             ))
         }
     };
@@ -514,7 +527,11 @@ mod tests {
 
         let err = run(&Invocation::new(
             "cluster",
-            &[("in", trace.to_str().unwrap()), ("k", "2"), ("algorithm", "voronoi")],
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("k", "2"),
+                ("algorithm", "voronoi"),
+            ],
         ))
         .unwrap_err();
         assert!(err.contains("clustering algorithm"), "{err}");
@@ -545,7 +562,11 @@ mod tests {
 
         let err = run(&Invocation::new(
             "reduce",
-            &[("in", "/tmp/x.trc"), ("out", "/tmp/y.trc"), ("method", "nope")],
+            &[
+                ("in", "/tmp/x.trc"),
+                ("out", "/tmp/y.trc"),
+                ("method", "nope"),
+            ],
         ))
         .unwrap_err();
         assert!(err.contains("known methods"), "{err}");

@@ -25,8 +25,8 @@ pub fn is_text_path(path: &Path) -> bool {
 /// Loads a full application trace from `path` (text or binary by extension).
 pub fn load_app_trace(path: &Path) -> Result<AppTrace, String> {
     if is_text_path(path) {
-        let text = fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         parse_app_trace(&text).map_err(|e| format!("{}: {e}", path.display()))
     } else {
         let bytes = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -47,8 +47,8 @@ pub fn store_app_trace(path: &Path, app: &AppTrace) -> Result<(), String> {
 /// Loads a reduced trace from `path` (text or binary by extension).
 pub fn load_reduced_trace(path: &Path) -> Result<ReducedAppTrace, String> {
     if is_text_path(path) {
-        let text = fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         parse_reduced_trace(&text).map_err(|e| format!("{}: {e}", path.display()))
     } else {
         let bytes = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;

@@ -10,6 +10,9 @@ use trace_model::{AppTrace, CommInfo};
 use crate::features::FeatureMatrix;
 
 /// Symmetric pairwise Euclidean distance matrix over the feature rows.
+// The i/j index loops fill a symmetric matrix in one pass; iterator forms
+// cannot hold `matrix[i][j]` and `matrix[j][i]` mutably at once.
+#[allow(clippy::needless_range_loop)]
 pub fn euclidean_distance_matrix(features: &FeatureMatrix) -> Vec<Vec<f64>> {
     let n = features.len();
     let mut matrix = vec![vec![0.0; n]; n];
@@ -52,9 +55,9 @@ pub fn comm_volume_matrix(app: &AppTrace) -> Vec<Vec<f64>> {
                     let share = bytes as f64;
                     if op.is_n_to_n() {
                         let per_peer = share / comm_size.max(1) as f64;
-                        for j in 0..n {
+                        for (j, slot) in volume[i].iter_mut().enumerate() {
                             if j != i {
-                                volume[i][j] += per_peer;
+                                *slot += per_peer;
                             }
                         }
                     } else if op.is_n_to_one() {
@@ -63,9 +66,9 @@ pub fn comm_volume_matrix(app: &AppTrace) -> Vec<Vec<f64>> {
                         }
                     } else if op.is_one_to_n() && i == root.as_usize() {
                         let per_peer = share / comm_size.max(1) as f64;
-                        for j in 0..n {
+                        for (j, slot) in volume[i].iter_mut().enumerate() {
                             if j != i {
-                                volume[i][j] += per_peer;
+                                *slot += per_peer;
                             }
                         }
                     }

@@ -60,7 +60,11 @@ impl FeatureMatrix {
                     let max = rows.iter().map(|r| r[c]).fold(f64::NEG_INFINITY, f64::max);
                     let span = max - min;
                     for row in &mut rows {
-                        row[c] = if span > 0.0 { (row[c] - min) / span } else { 0.0 };
+                        row[c] = if span > 0.0 {
+                            (row[c] - min) / span
+                        } else {
+                            0.0
+                        };
                     }
                 }
             }
@@ -96,9 +100,14 @@ pub fn rank_features(app: &AppTrace, normalization: Normalization) -> FeatureMat
         .map(|n| format!("time[{n}]"))
         .collect();
     names.extend(
-        ["comm_time_ns", "wait_time_ns", "message_count", "message_bytes"]
-            .iter()
-            .map(|s| s.to_string()),
+        [
+            "comm_time_ns",
+            "wait_time_ns",
+            "message_count",
+            "message_bytes",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
     );
 
     let rows = app
@@ -195,6 +204,9 @@ mod tests {
         let n = features.len();
         let first = &features.rows[0];
         let last = &features.rows[n - 1];
-        assert_ne!(first, last, "load-imbalanced ranks should have different features");
+        assert_ne!(
+            first, last,
+            "load-imbalanced ranks should have different features"
+        );
     }
 }

@@ -138,8 +138,14 @@ mod tests {
     #[test]
     fn k_is_clamped_and_empty_input_is_empty() {
         let matrix = line_matrix(&[1.0, 2.0]);
-        assert_eq!(hierarchical_clustering(&matrix, 0, Linkage::Average).len(), 2);
-        assert_eq!(hierarchical_clustering(&matrix, 99, Linkage::Average).len(), 2);
+        assert_eq!(
+            hierarchical_clustering(&matrix, 0, Linkage::Average).len(),
+            2
+        );
+        assert_eq!(
+            hierarchical_clustering(&matrix, 99, Linkage::Average).len(),
+            2
+        );
         let empty: Vec<Vec<f64>> = Vec::new();
         assert!(hierarchical_clustering(&empty, 2, Linkage::Average).is_empty());
     }

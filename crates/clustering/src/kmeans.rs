@@ -248,7 +248,10 @@ mod tests {
         assert!(result.inertia < 1e-12);
         // Every row is equally close to every centroid; they all land in
         // cluster 0 and the result is still well formed.
-        assert!(result.assignments.iter().all(|&a| a < result.centroids.len()));
+        assert!(result
+            .assignments
+            .iter()
+            .all(|&a| a < result.centroids.len()));
     }
 
     #[test]
@@ -257,7 +260,13 @@ mod tests {
         let result = kmeans(&empty, &KMeansConfig::new(3));
         assert!(result.assignments.is_empty());
         let features = matrix(vec![vec![1.0]]);
-        let zero_k = kmeans(&features, &KMeansConfig { k: 0, ..KMeansConfig::new(1) });
+        let zero_k = kmeans(
+            &features,
+            &KMeansConfig {
+                k: 0,
+                ..KMeansConfig::new(1)
+            },
+        );
         assert!(zero_k.centroids.is_empty());
     }
 

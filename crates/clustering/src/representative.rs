@@ -98,9 +98,21 @@ fn medoid(members: &[usize], matrix: &[Vec<f64>]) -> usize {
 ///
 /// Panics if `assignments.len()` or the matrix dimensions do not match the
 /// trace's rank count.
-pub fn cluster_reduce(app: &AppTrace, assignments: &[usize], matrix: &[Vec<f64>]) -> ClusteredTrace {
-    assert_eq!(assignments.len(), app.rank_count(), "one assignment per rank");
-    assert_eq!(matrix.len(), app.rank_count(), "distance matrix must match rank count");
+pub fn cluster_reduce(
+    app: &AppTrace,
+    assignments: &[usize],
+    matrix: &[Vec<f64>],
+) -> ClusteredTrace {
+    assert_eq!(
+        assignments.len(),
+        app.rank_count(),
+        "one assignment per rank"
+    );
+    assert_eq!(
+        matrix.len(),
+        app.rank_count(),
+        "distance matrix must match rank count"
+    );
 
     // Group ranks by cluster id and re-label densely in order of first
     // appearance so `retained.ranks[i]` corresponds to dense cluster `i`.
@@ -199,7 +211,10 @@ mod tests {
         for (cluster, &rep) in clustered.representatives.iter().enumerate() {
             let original: Vec<_> = app.ranks[rep].events().copied().collect();
             let rebuilt: Vec<_> = approx.ranks[rep].events().copied().collect();
-            assert_eq!(original, rebuilt, "cluster {cluster} representative must be lossless");
+            assert_eq!(
+                original, rebuilt,
+                "cluster {cluster} representative must be lossless"
+            );
         }
     }
 

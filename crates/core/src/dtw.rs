@@ -93,17 +93,31 @@ mod tests {
         // distance is 2*10; DTW can align the pulse and pay far less.
         let a = [0.0, 10.0, 0.0, 0.0, 0.0];
         let b = [0.0, 0.0, 10.0, 0.0, 0.0];
-        let manhattan: f64 = a.iter().zip(&b).map(|(x, y): (&f64, &f64)| (x - y).abs()).sum();
+        let manhattan: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y): (&f64, &f64)| (x - y).abs())
+            .sum();
         let dtw = dtw_distance(&a, &b, None);
-        assert!(dtw < manhattan, "dtw {dtw} should beat pointwise {manhattan}");
-        assert_eq!(dtw, 0.0, "a single shift of an isolated pulse aligns perfectly");
+        assert!(
+            dtw < manhattan,
+            "dtw {dtw} should beat pointwise {manhattan}"
+        );
+        assert_eq!(
+            dtw, 0.0,
+            "a single shift of an isolated pulse aligns perfectly"
+        );
     }
 
     #[test]
     fn band_zero_equals_manhattan_for_equal_lengths() {
         let a = [1.0, 2.0, 3.0, 4.0];
         let b = [2.0, 2.0, 5.0, 3.0];
-        let manhattan: f64 = a.iter().zip(&b).map(|(x, y): (&f64, &f64)| (x - y).abs()).sum();
+        let manhattan: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y): (&f64, &f64)| (x - y).abs())
+            .sum();
         assert_eq!(dtw_distance(&a, &b, Some(0)), manhattan);
     }
 
@@ -125,10 +139,7 @@ mod tests {
         let a = [1.0, 4.0, 2.0, 9.0, 3.0];
         let b = [2.0, 2.0, 8.0, 3.0, 1.0];
         assert_eq!(dtw_distance(&a, &b, None), dtw_distance(&b, &a, None));
-        assert_eq!(
-            dtw_distance(&a, &b, Some(2)),
-            dtw_distance(&b, &a, Some(2))
-        );
+        assert_eq!(dtw_distance(&a, &b, Some(2)), dtw_distance(&b, &a, Some(2)));
     }
 
     #[test]

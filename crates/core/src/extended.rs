@@ -35,7 +35,9 @@ use trace_wavelet::WaveletKind;
 use crate::dtw::normalized_dtw_distance;
 use crate::method::{Method, MethodConfig};
 use crate::metric::{segments_match, wavelet_match};
-use crate::reducer::{reduce_app_with_predicate, reduce_rank_with_predicate, RankReduction, Reducer};
+use crate::reducer::{
+    reduce_app_with_predicate, reduce_rank_with_predicate, RankReduction, Reducer,
+};
 
 /// Number of bins used by the delta-time histogram method.
 const HISTOGRAM_BINS: usize = 16;
@@ -285,9 +287,7 @@ pub fn normalized_euclidean_match(a: &Segment, b: &Segment, threshold: f64) -> b
 /// Dispatches the similarity test for an extended configuration.
 pub fn segments_match_extended(config: &ExtendedConfig, a: &Segment, b: &Segment) -> bool {
     match config.method {
-        ExtendedMethod::Paper(m) => {
-            segments_match(&MethodConfig::new(m, config.threshold), a, b)
-        }
+        ExtendedMethod::Paper(m) => segments_match(&MethodConfig::new(m, config.threshold), a, b),
         ExtendedMethod::Dtw => dtw_match(a, b, config.threshold),
         ExtendedMethod::Cosine => cosine_match(a, b, config.threshold),
         ExtendedMethod::NormalizedEuclidean => normalized_euclidean_match(a, b, config.threshold),
@@ -540,8 +540,8 @@ mod tests {
         ] {
             let mut previous = 0usize;
             for threshold in [1.0, 0.4, 0.1, 0.01] {
-                let reduced = ExtendedReducer::new(ExtendedConfig::new(method, threshold))
-                    .reduce_app(&app);
+                let reduced =
+                    ExtendedReducer::new(ExtendedConfig::new(method, threshold)).reduce_app(&app);
                 let stored = reduced.total_stored();
                 assert!(
                     stored >= previous,

@@ -53,13 +53,9 @@ pub mod reducer;
 pub mod segmenter;
 
 pub use dtw::{dtw_distance, normalized_dtw_distance};
-pub use extended::{
-    segments_match_extended, ExtendedConfig, ExtendedMethod, ExtendedReducer,
-};
+pub use extended::{segments_match_extended, ExtendedConfig, ExtendedMethod, ExtendedReducer};
 pub use method::{Method, MethodConfig};
 pub use metric::segments_match;
 pub use parallel::reduce_app_parallel;
-pub use reducer::{
-    reduce_app_with_predicate, reduce_rank_with_predicate, RankReduction, Reducer,
-};
+pub use reducer::{reduce_app_with_predicate, reduce_rank_with_predicate, RankReduction, Reducer};
 pub use segmenter::{segments_of_rank, SegmentationStats};

@@ -197,7 +197,10 @@ mod tests {
     #[test]
     fn threshold_grids_match_the_paper() {
         assert_eq!(Method::RelDiff.threshold_grid().len(), 6);
-        assert_eq!(Method::AbsDiff.threshold_grid(), vec![1e1, 1e2, 1e3, 1e4, 1e5, 1e6]);
+        assert_eq!(
+            Method::AbsDiff.threshold_grid(),
+            vec![1e1, 1e2, 1e3, 1e4, 1e5, 1e6]
+        );
         assert_eq!(
             Method::IterK.threshold_grid(),
             vec![1.0, 10.0, 50.0, 100.0, 500.0, 1000.0]

@@ -62,7 +62,12 @@ mod tests {
     #[test]
     fn parallel_reduction_matches_sequential_result() {
         let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
-        for method in [Method::AvgWave, Method::RelDiff, Method::IterAvg, Method::IterK] {
+        for method in [
+            Method::AvgWave,
+            Method::RelDiff,
+            Method::IterAvg,
+            Method::IterK,
+        ] {
             let reducer = Reducer::with_default_threshold(method);
             let sequential = reducer.reduce_app(&app);
             for threads in [2, 4, 16] {

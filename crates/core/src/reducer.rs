@@ -128,13 +128,10 @@ impl Reducer {
                         None
                     }
                 }
-                _ => bucket
-                    .iter()
-                    .copied()
-                    .find(|&id| {
-                        let stored = &reduced.stored[id as usize].segment;
-                        segments_match(&self.config, &segment, stored)
-                    }),
+                _ => bucket.iter().copied().find(|&id| {
+                    let stored = &reduced.stored[id as usize].segment;
+                    segments_match(&self.config, &segment, stored)
+                }),
             };
 
             match matched {
@@ -306,7 +303,9 @@ mod tests {
     #[test]
     fn dissimilar_iterations_are_kept_separate_by_distance_methods() {
         // Alternate short and 10x longer iterations.
-        let durations: Vec<u64> = (0..20).map(|i| if i % 2 == 0 { 1_000 } else { 10_000 }).collect();
+        let durations: Vec<u64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1_000 } else { 10_000 })
+            .collect();
         let rt = looped_trace(&durations);
         for method in [
             Method::RelDiff,
@@ -318,7 +317,11 @@ mod tests {
         ] {
             let reducer = Reducer::with_default_threshold(method);
             let r = reducer.reduce_rank(&rt).reduced;
-            assert_eq!(r.stored_count(), 2, "{method} should keep one representative per behaviour");
+            assert_eq!(
+                r.stored_count(),
+                2,
+                "{method} should keep one representative per behaviour"
+            );
             assert_eq!(r.exec_count(), 20);
         }
         // iter_avg merges everything regardless.
@@ -506,8 +509,7 @@ mod tests {
         let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
         let config = MethodConfig::with_default_threshold(Method::Euclidean);
         let via_reducer = Reducer::new(config).reduce_app(&app);
-        let via_predicate =
-            reduce_app_with_predicate(&app, |a, b| segments_match(&config, a, b));
+        let via_predicate = reduce_app_with_predicate(&app, |a, b| segments_match(&config, a, b));
         assert_eq!(via_reducer.total_stored(), via_predicate.total_stored());
         assert_eq!(via_reducer.total_execs(), via_predicate.total_execs());
     }

@@ -143,7 +143,11 @@ mod tests {
         let (segments, stats) = segments_of_rank_with_stats(&rt);
         assert_eq!(segments.len(), 2);
         assert_eq!(stats.unterminated_segments, 2);
-        assert_eq!(segments[0].end.as_nanos(), 30, "closed at last event end (40) - start (10)");
+        assert_eq!(
+            segments[0].end.as_nanos(),
+            30,
+            "closed at last event end (40) - start (10)"
+        );
         assert_eq!(segments[1].end.as_nanos(), 10);
     }
 

@@ -27,7 +27,11 @@ fn build_trace(iterations: &[(u8, Vec<u16>)]) -> RankTrace {
         for (i, &d) in durations.iter().enumerate() {
             let start = now;
             let end = now + u64::from(d) + 1;
-            rt.push_event(Event::compute(RegionId(i as u32 % 4), Time::from_nanos(start), Time::from_nanos(end)));
+            rt.push_event(Event::compute(
+                RegionId(i as u32 % 4),
+                Time::from_nanos(start),
+                Time::from_nanos(end),
+            ));
             now = end;
         }
         now += 3;

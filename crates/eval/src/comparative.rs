@@ -139,7 +139,7 @@ impl ComparativeStudy {
                 (method, count)
             })
             .collect();
-        counts.sort_by(|a, b| b.1.cmp(&a.1));
+        counts.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         counts
     }
 
@@ -246,7 +246,10 @@ mod tests {
         assert_eq!(study.workloads(), vec!["late_sender", "early_gather"]);
         assert_eq!(study.figure5_table().rows.len(), study.evaluations.len());
         assert_eq!(study.figure6_table().rows.len(), study.evaluations.len());
-        assert_eq!(study.trend_retention_table().rows.len(), study.evaluations.len());
+        assert_eq!(
+            study.trend_retention_table().rows.len(),
+            study.evaluations.len()
+        );
     }
 
     #[test]

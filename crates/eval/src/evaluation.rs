@@ -86,10 +86,11 @@ mod tests {
         let eval = evaluate_method(&full, MethodConfig::with_default_threshold(Method::AvgWave));
         assert_eq!(eval.workload, "early_gather");
         assert!(eval.full_bytes > eval.reduced_bytes);
-        assert!((eval.file_size_percent
-            - 100.0 * eval.reduced_bytes as f64 / eval.full_bytes as f64)
-            .abs()
-            < 1e-9);
+        assert!(
+            (eval.file_size_percent - 100.0 * eval.reduced_bytes as f64 / eval.full_bytes as f64)
+                .abs()
+                < 1e-9
+        );
         assert!(eval.degree_of_matching > 0.0 && eval.degree_of_matching <= 1.0);
         assert!(eval.approximation_distance_us >= 0.0);
         assert!(eval.trend_score > 0.0 && eval.trend_score <= 1.0);

@@ -132,7 +132,10 @@ pub fn evaluate_technique(full: &AppTrace, technique: ExtensionTechnique) -> Ext
         ExtensionTechnique::Clustering { k } => {
             let features = rank_features(full, Normalization::MinMax);
             let matrix = euclidean_distance_matrix(&features);
-            let clusters = kmeans(&features, &KMeansConfig::new(k.min(full.rank_count().max(1))));
+            let clusters = kmeans(
+                &features,
+                &KMeansConfig::new(k.min(full.rank_count().max(1))),
+            );
             let clustered = cluster_reduce(full, &clusters.assignments, &matrix);
             let full_bytes = encode_app_trace(full).len() as f64;
             let retained_bytes = encode_app_trace(&clustered.retained).len() as f64;
@@ -223,7 +226,11 @@ pub fn extension_summary_table(evaluations: &[ExtensionEvaluation]) -> Table {
             .collect();
         let n = rows.len() as f64;
         let avg_size = rows.iter().map(|e| e.file_size_percent).sum::<f64>() / n;
-        let avg_dist = rows.iter().map(|e| e.approximation_distance_us).sum::<f64>() / n;
+        let avg_dist = rows
+            .iter()
+            .map(|e| e.approximation_distance_us)
+            .sum::<f64>()
+            / n;
         let retained = rows.iter().filter(|e| e.trends_retained).count();
         let avg_conf = rows.iter().map(|e| e.confidence).sum::<f64>() / n;
         table.push_row(vec![
@@ -274,20 +281,30 @@ mod tests {
     #[test]
     fn lossless_sampling_has_full_size_and_no_error() {
         let full = workload(WorkloadKind::EarlyGather);
-        let eval = evaluate_technique(&full, ExtensionTechnique::Sampling(SamplingPolicy::EveryNth(1)));
+        let eval = evaluate_technique(
+            &full,
+            ExtensionTechnique::Sampling(SamplingPolicy::EveryNth(1)),
+        );
         assert_eq!(eval.approximation_distance_us, 0.0);
         assert_eq!(eval.confidence, 1.0);
         assert!(eval.trends_retained);
-        assert!(eval.file_size_percent > 50.0, "keeping every segment cannot shrink much");
+        assert!(
+            eval.file_size_percent > 50.0,
+            "keeping every segment cannot shrink much"
+        );
     }
 
     #[test]
     fn coarse_sampling_is_smaller_but_less_confident_than_lossless() {
         let full = workload(WorkloadKind::DynLoadBalance);
-        let lossless =
-            evaluate_technique(&full, ExtensionTechnique::Sampling(SamplingPolicy::EveryNth(1)));
-        let coarse =
-            evaluate_technique(&full, ExtensionTechnique::Sampling(SamplingPolicy::EveryNth(16)));
+        let lossless = evaluate_technique(
+            &full,
+            ExtensionTechnique::Sampling(SamplingPolicy::EveryNth(1)),
+        );
+        let coarse = evaluate_technique(
+            &full,
+            ExtensionTechnique::Sampling(SamplingPolicy::EveryNth(16)),
+        );
         assert!(coarse.file_size_percent < lossless.file_size_percent);
         assert!(coarse.confidence <= lossless.confidence);
         assert!(coarse.approximation_distance_us >= lossless.approximation_distance_us);

@@ -149,7 +149,7 @@ mod tests {
     fn float_formatting_scales_precision() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(0.1234), "0.1234");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(std::f64::consts::PI), "3.14");
         assert_eq!(fmt_f64(123.456), "123.5");
         assert_eq!(fmt_retained(true), "yes");
         assert_eq!(fmt_retained(false), "NO");

@@ -107,9 +107,7 @@ pub fn recommend_threshold(method: Method, points: &[ThresholdPoint]) -> Option<
             Some(current) => {
                 // Higher retention wins; then smaller files; then larger
                 // threshold (more reduction potential).
-                if (candidate.1, -candidate.2, candidate.0)
-                    > (current.1, -current.2, current.0)
-                {
+                if (candidate.1, -candidate.2, candidate.0) > (current.1, -current.2, current.0) {
                     candidate
                 } else {
                     current

@@ -35,7 +35,11 @@ impl fmt::Display for FormatError {
         if self.line == 0 {
             write!(f, "trace format error: {}", self.message)
         } else {
-            write!(f, "trace format error at line {}: {}", self.line, self.message)
+            write!(
+                f,
+                "trace format error at line {}: {}",
+                self.line, self.message
+            )
         }
     }
 }

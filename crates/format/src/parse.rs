@@ -33,8 +33,9 @@ impl<'a> Lines<'a> {
     }
 
     fn expect(&mut self, what: &str) -> Result<(usize, &'a str), FormatError> {
-        self.next()
-            .ok_or_else(|| FormatError::structural(format!("unexpected end of input, expected {what}")))
+        self.next().ok_or_else(|| {
+            FormatError::structural(format!("unexpected end of input, expected {what}"))
+        })
     }
 }
 
@@ -71,11 +72,17 @@ fn parse_header(lines: &mut Lines<'_>) -> Result<Header, FormatError> {
     let (line_no, line) = lines.expect("TRACE line")?;
     let mut tokens = line.split_whitespace();
     if tokens.next() != Some("TRACE") || tokens.next() != Some("RANKS") {
-        return Err(FormatError::at(line_no, "expected `TRACE RANKS <n> NAME <name>`"));
+        return Err(FormatError::at(
+            line_no,
+            "expected `TRACE RANKS <n> NAME <name>`",
+        ));
     }
     let ranks = parse_u64(line_no, tokens.next(), "rank count")? as usize;
     if tokens.next() != Some("NAME") {
-        return Err(FormatError::at(line_no, "expected NAME after the rank count"));
+        return Err(FormatError::at(
+            line_no,
+            "expected NAME after the rank count",
+        ));
     }
     // The name is everything after the literal ` NAME ` marker; a missing
     // remainder (empty program name) is tolerated.
@@ -96,7 +103,10 @@ fn parse_header(lines: &mut Lines<'_>) -> Result<Header, FormatError> {
                 if id != region_names.len() {
                     return Err(FormatError::at(
                         line_no,
-                        format!("region ids must be dense and ascending; expected {} got {id}", region_names.len()),
+                        format!(
+                            "region ids must be dense and ascending; expected {} got {id}",
+                            region_names.len()
+                        ),
                     ));
                 }
                 let rest = line
@@ -114,7 +124,10 @@ fn parse_header(lines: &mut Lines<'_>) -> Result<Header, FormatError> {
                 if id != context_names.len() {
                     return Err(FormatError::at(
                         line_no,
-                        format!("context ids must be dense and ascending; expected {} got {id}", context_names.len()),
+                        format!(
+                            "context ids must be dense and ascending; expected {} got {id}",
+                            context_names.len()
+                        ),
                     ));
                 }
                 let rest = line
@@ -150,12 +163,18 @@ fn parse_event(header: &Header, line_no: usize, line: &str) -> Result<Event, For
     debug_assert_eq!(keyword, Some("EVENT"), "callers only pass EVENT lines");
     let region = parse_u32(line_no, tokens.next(), "region id")?;
     if (region as usize) >= header.regions.len() {
-        return Err(FormatError::at(line_no, format!("event references unknown region {region}")));
+        return Err(FormatError::at(
+            line_no,
+            format!("event references unknown region {region}"),
+        ));
     }
     let start = parse_u64(line_no, tokens.next(), "event start")?;
     let end = parse_u64(line_no, tokens.next(), "event end")?;
     if end < start {
-        return Err(FormatError::at(line_no, format!("event end {end} precedes start {start}")));
+        return Err(FormatError::at(
+            line_no,
+            format!("event end {end} precedes start {start}"),
+        ));
     }
     let wait = parse_u64(line_no, tokens.next(), "event wait time")?;
     let kind = tokens
@@ -191,7 +210,10 @@ fn parse_event(header: &Header, line_no: usize, line: &str) -> Result<Event, For
             }
         }
         other => {
-            return Err(FormatError::at(line_no, format!("unknown event kind {other:?}")));
+            return Err(FormatError::at(
+                line_no,
+                format!("unknown event kind {other:?}"),
+            ));
         }
     };
     Ok(Event {
@@ -203,7 +225,11 @@ fn parse_event(header: &Header, line_no: usize, line: &str) -> Result<Event, For
     })
 }
 
-fn parse_context_ref(header: &Header, line_no: usize, token: Option<&str>) -> Result<ContextId, FormatError> {
+fn parse_context_ref(
+    header: &Header,
+    line_no: usize,
+    token: Option<&str>,
+) -> Result<ContextId, FormatError> {
     let id = parse_u32(line_no, token, "context id")?;
     if (id as usize) >= header.contexts.len() {
         return Err(FormatError::at(line_no, format!("unknown context id {id}")));
@@ -216,7 +242,10 @@ pub fn parse_app_trace(text: &str) -> Result<AppTrace, FormatError> {
     let mut lines = Lines::new(text);
     let (line_no, first) = lines.expect("header")?;
     if first != APP_HEADER {
-        return Err(FormatError::at(line_no, format!("expected header {APP_HEADER:?}, found {first:?}")));
+        return Err(FormatError::at(
+            line_no,
+            format!("expected header {APP_HEADER:?}, found {first:?}"),
+        ));
     }
     let header = parse_header(&mut lines)?;
     let mut app = AppTrace {
@@ -270,7 +299,10 @@ pub fn parse_app_trace(text: &str) -> Result<AppTrace, FormatError> {
                 app.ranks.push(rank);
             }
             other => {
-                return Err(FormatError::at(line_no, format!("expected RANK or END_TRACE, found {other:?}")));
+                return Err(FormatError::at(
+                    line_no,
+                    format!("expected RANK or END_TRACE, found {other:?}"),
+                ));
             }
         }
     }
@@ -290,7 +322,10 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
     let mut lines = Lines::new(text);
     let (line_no, first) = lines.expect("header")?;
     if first != REDUCED_HEADER {
-        return Err(FormatError::at(line_no, format!("expected header {REDUCED_HEADER:?}, found {first:?}")));
+        return Err(FormatError::at(
+            line_no,
+            format!("expected header {REDUCED_HEADER:?}, found {first:?}"),
+        ));
     }
     let header = parse_header(&mut lines)?;
     let mut reduced = ReducedAppTrace {
@@ -325,13 +360,18 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
                             if id as usize != rank.stored.len() {
                                 return Err(FormatError::at(
                                     line_no,
-                                    format!("stored ids must be dense; expected {} got {id}", rank.stored.len()),
+                                    format!(
+                                        "stored ids must be dense; expected {} got {id}",
+                                        rank.stored.len()
+                                    ),
                                 ));
                             }
-                            let represented = parse_u32(line_no, tokens.next(), "represented count")?;
+                            let represented =
+                                parse_u32(line_no, tokens.next(), "represented count")?;
                             let context = parse_context_ref(&header, line_no, tokens.next())?;
                             let end = parse_u64(line_no, tokens.next(), "segment end")?;
-                            let n_events = parse_u64(line_no, tokens.next(), "event count")? as usize;
+                            let n_events =
+                                parse_u64(line_no, tokens.next(), "event count")? as usize;
                             let mut events = Vec::with_capacity(n_events);
                             for _ in 0..n_events {
                                 let (event_line_no, event_line) = lines.expect("EVENT line")?;
@@ -359,7 +399,9 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
                             if segment as usize >= rank.stored.len() {
                                 return Err(FormatError::at(
                                     line_no,
-                                    format!("execution references unknown stored segment {segment}"),
+                                    format!(
+                                        "execution references unknown stored segment {segment}"
+                                    ),
                                 ));
                             }
                             let start = parse_u64(line_no, tokens.next(), "execution start")?;
@@ -379,7 +421,10 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
                 reduced.ranks.push(rank);
             }
             other => {
-                return Err(FormatError::at(line_no, format!("expected RANK or END_TRACE, found {other:?}")));
+                return Err(FormatError::at(
+                    line_no,
+                    format!("expected RANK or END_TRACE, found {other:?}"),
+                ));
             }
         }
     }

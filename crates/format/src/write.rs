@@ -9,7 +9,13 @@ pub const APP_HEADER: &str = "TRACEFORMAT 1";
 /// Magic first line of a reduced-trace file.
 pub const REDUCED_HEADER: &str = "TRACEFORMAT_REDUCED 1";
 
-fn write_tables(out: &mut String, app_name: &str, ranks: usize, regions: &[String], contexts: &[String]) {
+fn write_tables(
+    out: &mut String,
+    app_name: &str,
+    ranks: usize,
+    regions: &[String],
+    contexts: &[String],
+) {
     let _ = writeln!(out, "TRACE RANKS {ranks} NAME {app_name}");
     for (id, name) in regions.iter().enumerate() {
         let _ = writeln!(out, "REGION {id} {name}");
@@ -38,8 +44,18 @@ fn write_event(out: &mut String, event: &Event) {
         CommInfo::Recv { peer, tag, bytes } => {
             let _ = writeln!(out, " RECV {} {tag} {bytes}", peer.as_u32());
         }
-        CommInfo::SendRecv { to, from, tag, bytes } => {
-            let _ = writeln!(out, " SENDRECV {} {} {tag} {bytes}", to.as_u32(), from.as_u32());
+        CommInfo::SendRecv {
+            to,
+            from,
+            tag,
+            bytes,
+        } => {
+            let _ = writeln!(
+                out,
+                " SENDRECV {} {} {tag} {bytes}",
+                to.as_u32(),
+                from.as_u32()
+            );
         }
         CommInfo::Collective {
             op,

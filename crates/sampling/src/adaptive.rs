@@ -152,7 +152,10 @@ mod tests {
         for _ in 0..config.min_samples {
             acc.push(1000.0);
         }
-        assert!(acc.is_satisfied(&config), "zero variance satisfies immediately");
+        assert!(
+            acc.is_satisfied(&config),
+            "zero variance satisfies immediately"
+        );
     }
 
     #[test]
@@ -187,7 +190,10 @@ mod tests {
         };
         let clean = samples_needed(10.0);
         let noisy = samples_needed(400.0);
-        assert!(clean < noisy, "clean {clean} should satisfy before noisy {noisy}");
+        assert!(
+            clean < noisy,
+            "clean {clean} should satisfy before noisy {noisy}"
+        );
     }
 
     #[test]

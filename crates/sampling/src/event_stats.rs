@@ -133,10 +133,11 @@ pub fn statistical_profile(
             let name = app.regions.name_or_unknown(event.region).to_owned();
             let profile = profiles.entry(name).or_default();
             if profile.per_rank.len() < app.rank_count() {
-                profile.per_rank.resize(app.rank_count(), RegionStats::default());
+                profile
+                    .per_rank
+                    .resize(app.rank_count(), RegionStats::default());
             }
-            profile.per_rank[rank_index]
-                .record(event.duration().as_nanos(), event_bytes(event));
+            profile.per_rank[rank_index].record(event.duration().as_nanos(), event_bytes(event));
 
             let retain_examples = !config.communication_only || event.comm.is_communication();
             if retain_examples && config.reservoir_size > 0 {
@@ -265,7 +266,11 @@ mod tests {
         let reference = app.region_time_profile();
         for (region, duration) in reference {
             let profile = &profiles[&region];
-            assert_eq!(profile.total_ms(), duration.as_nanos() as f64 / 1e6, "{region}");
+            assert_eq!(
+                profile.total_ms(),
+                duration.as_nanos() as f64 / 1e6,
+                "{region}"
+            );
         }
     }
 }

@@ -11,8 +11,8 @@
 use std::collections::HashMap;
 
 use trace_model::{
-    AppTrace, ContextId, RankTrace, ReducedAppTrace, ReducedRankTrace, SegmentExec,
-    StoredSegment, Time,
+    AppTrace, ContextId, RankTrace, ReducedAppTrace, ReducedRankTrace, SegmentExec, StoredSegment,
+    Time,
 };
 use trace_reduce::segmenter::segments_of_rank;
 
@@ -109,9 +109,10 @@ pub fn reduce_rank_by_periodicity(
             None
         } else {
             let p = period.expect("instances are only skipped when a period was detected");
-            fill_by_offset.get(&(index % p)).copied().filter(|&id| {
-                reduced.stored[id as usize].segment.key() == segment.key()
-            })
+            fill_by_offset
+                .get(&(index % p))
+                .copied()
+                .filter(|&id| reduced.stored[id as usize].segment.key() == segment.key())
         };
 
         match reuse {
@@ -175,7 +176,7 @@ mod tests {
     #[test]
     fn tolerates_small_disturbances_below_the_match_fraction() {
         // Period 2 with one corrupted position out of 15 comparisons.
-        let mut seq = vec![1, 2].repeat(8);
+        let mut seq = [1, 2].repeat(8);
         seq[7] = 9;
         assert_eq!(detect_period(&seq, 8, 0.8), Some(2));
         assert_eq!(detect_period(&seq, 8, 1.0), None);

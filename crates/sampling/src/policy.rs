@@ -56,7 +56,9 @@ impl PolicyState {
         let rng = match policy {
             SamplingPolicy::Random { seed, .. } => {
                 // Derive a distinct, deterministic stream per rank.
-                Some(StdRng::seed_from_u64(seed ^ (u64::from(rank) << 32 | 0x9e37_79b9)))
+                Some(StdRng::seed_from_u64(
+                    seed ^ (u64::from(rank) << 32 | 0x9e37_79b9),
+                ))
             }
             _ => None,
         };
@@ -68,7 +70,7 @@ impl PolicyState {
     /// confidence target for that pattern has already been reached.
     pub(crate) fn keep(&mut self, index: usize, accumulator_satisfied: bool) -> bool {
         match self.policy {
-            SamplingPolicy::EveryNth(n) => index % n.max(1) == 0,
+            SamplingPolicy::EveryNth(n) => index.is_multiple_of(n.max(1)),
             SamplingPolicy::Random { fraction, .. } => {
                 if index == 0 {
                     return true;

@@ -16,8 +16,8 @@
 use std::collections::HashMap;
 
 use trace_model::{
-    AppTrace, RankTrace, ReducedAppTrace, ReducedRankTrace, SegmentExec, SegmentKey,
-    StoredSegment, Time,
+    AppTrace, RankTrace, ReducedAppTrace, ReducedRankTrace, SegmentExec, SegmentKey, StoredSegment,
+    Time,
 };
 use trace_reduce::segmenter::segments_of_rank;
 
@@ -151,7 +151,10 @@ mod tests {
         let rebuilt = sampled.reconstruct();
         let original: Vec<_> = rt.events().copied().collect();
         let replayed: Vec<_> = rebuilt.events().copied().collect();
-        assert_eq!(original, replayed, "every-1 sampling must reproduce every event exactly");
+        assert_eq!(
+            original, replayed,
+            "every-1 sampling must reproduce every event exactly"
+        );
     }
 
     #[test]
@@ -234,7 +237,12 @@ mod tests {
                 assert_eq!(reduced.exec_count(), full.segment_instance_count());
             }
             let approx = sampled.reconstruct();
-            assert_eq!(approx.total_events(), app.total_events(), "{}", policy.label());
+            assert_eq!(
+                approx.total_events(),
+                app.total_events(),
+                "{}",
+                policy.label()
+            );
         }
     }
 

@@ -148,7 +148,7 @@ pub fn late_receiver(params: &RegularParams) -> AppTrace {
 /// side of each pair gets the extra work.
 fn pairwise(params: &RegularParams, name: &str, mode: P2pMode, slow_sender: bool) -> AppTrace {
     assert!(
-        params.ranks >= 2 && params.ranks % 2 == 0,
+        params.ranks >= 2 && params.ranks.is_multiple_of(2),
         "pairwise benchmarks need an even rank count"
     );
     let mut c = Cluster::new(name, params.ranks, params.seed);

@@ -265,8 +265,7 @@ impl Cluster {
             bytes,
         };
 
-        for rank in 0..self.rank_count() {
-            let arrival = arrivals[rank];
+        for (rank, &arrival) in arrivals.iter().enumerate() {
             let (end, wait) = if op.is_n_to_n() {
                 let end = max_arrival + cost;
                 (end, max_arrival - arrival)
@@ -467,7 +466,10 @@ impl Cluster {
     /// Panics (in debug builds) if any rank trace is not well formed; the
     /// generators in this crate always produce well-formed traces.
     pub fn finish(self) -> AppTrace {
-        debug_assert!(self.app.is_well_formed(), "simulator produced a malformed trace");
+        debug_assert!(
+            self.app.is_well_formed(),
+            "simulator produced a malformed trace"
+        );
         self.app
     }
 }
@@ -640,8 +642,14 @@ mod tests {
         c.wait_recv(2, 1, 0, 4096);
         let app = c.finish();
         assert!(app.is_well_formed());
-        let recv1 = app.ranks[1].events().find(|e| matches!(e.comm, CommInfo::Recv { .. })).unwrap();
-        let recv2 = app.ranks[2].events().find(|e| matches!(e.comm, CommInfo::Recv { .. })).unwrap();
+        let recv1 = app.ranks[1]
+            .events()
+            .find(|e| matches!(e.comm, CommInfo::Recv { .. }))
+            .unwrap();
+        let recv2 = app.ranks[2]
+            .events()
+            .find(|e| matches!(e.comm, CommInfo::Recv { .. }))
+            .unwrap();
         // Rank 1 waits ~1ms for rank 0; rank 2 waits ~2ms for the pipeline.
         assert!(recv1.wait >= Duration::from_millis(1));
         assert!(recv2.wait >= Duration::from_millis(2));

@@ -83,7 +83,10 @@ pub fn dyn_load_balance(params: &DynLoadParams) -> AppTrace {
             let work = if rank >= half {
                 params.base_work + drift
             } else {
-                params.base_work.saturating_sub(drift).max(params.base_work.scale(0.2))
+                params
+                    .base_work
+                    .saturating_sub(drift)
+                    .max(params.base_work.scale(0.2))
             };
             c.compute_jittered(rank, "do_work", work, params.jitter);
         }

@@ -188,7 +188,11 @@ mod tests {
     #[test]
     fn names_match_paper_convention() {
         let p = params();
-        let app = interference(Pattern::OneToOneRecvBlocked, InterferenceScale::Procs1024, &p);
+        let app = interference(
+            Pattern::OneToOneRecvBlocked,
+            InterferenceScale::Procs1024,
+            &p,
+        );
         assert_eq!(app.name, "1to1r_1024");
         let app = interference(Pattern::NTo1, InterferenceScale::Nodes32, &p);
         assert_eq!(app.name, "Nto1_32");

@@ -104,7 +104,11 @@ struct Octant {
 /// The eight octants: four 2-D wavefront directions, each swept twice
 /// (once per k direction).
 fn octants() -> [Octant; 8] {
-    let mut out = [Octant { di: 1, dj: 1, tag: 0 }; 8];
+    let mut out = [Octant {
+        di: 1,
+        dj: 1,
+        tag: 0,
+    }; 8];
     let dirs = [(1, 1), (-1, 1), (1, -1), (-1, -1)];
     for (idx, slot) in out.iter_mut().enumerate() {
         let (di, dj) = dirs[idx % 4];
@@ -158,8 +162,16 @@ fn wavefront_order(params: &Sweep3dParams, octant: &Octant) -> Vec<usize> {
     let mut order: Vec<usize> = (0..params.ranks()).collect();
     order.sort_by_key(|&rank| {
         let (i, j) = coords(rank, params.npe_i);
-        let depth_i = if octant.di > 0 { i } else { params.npe_i - 1 - i };
-        let depth_j = if octant.dj > 0 { j } else { params.npe_j - 1 - j };
+        let depth_i = if octant.di > 0 {
+            i
+        } else {
+            params.npe_i - 1 - i
+        };
+        let depth_j = if octant.dj > 0 {
+            j
+        } else {
+            params.npe_j - 1 - j
+        };
         depth_i + depth_j
     });
     order
@@ -175,7 +187,11 @@ pub fn sweep3d(name: &str, params: &Sweep3dParams) -> AppTrace {
     let ctx_init = c.context("init");
     c.begin_segment_all(ctx_init);
     for rank in 0..ranks {
-        c.local_event(rank, "MPI_Init", Duration::from_micros(250 + 11 * rank as u64));
+        c.local_event(
+            rank,
+            "MPI_Init",
+            Duration::from_micros(250 + 11 * rank as u64),
+        );
         c.compute_jittered(rank, "decomp", Duration::from_micros(120), params.jitter);
     }
     c.collective(CollectiveOp::Bcast, 0, 2048);
@@ -202,7 +218,12 @@ pub fn sweep3d(name: &str, params: &Sweep3dParams) -> AppTrace {
             // the sweep stages below are a separate context.
             for &rank in &order {
                 c.begin_segment(rank, ctx_octant);
-                c.compute_jittered(rank, "octant_setup", Duration::from_micros(40), params.jitter);
+                c.compute_jittered(
+                    rank,
+                    "octant_setup",
+                    Duration::from_micros(40),
+                    params.jitter,
+                );
                 c.end_segment(rank, ctx_octant);
             }
 
@@ -322,7 +343,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(peers.len() >= 2, "corner rank should talk to both grid neighbours");
+        assert!(
+            peers.len() >= 2,
+            "corner rank should talk to both grid neighbours"
+        );
     }
 
     #[test]

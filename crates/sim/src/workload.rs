@@ -182,12 +182,14 @@ impl Workload {
                 interference(pattern, scale, &interference_params(preset))
             }
             WorkloadKind::DynLoadBalance => dyn_load_balance(&dynload_params(preset)),
-            WorkloadKind::Sweep3d8p => {
-                sweep3d("sweep3d_8p", &sweep3d_params(Sweep3dParams::paper_8p(), preset))
-            }
-            WorkloadKind::Sweep3d32p => {
-                sweep3d("sweep3d_32p", &sweep3d_params(Sweep3dParams::paper_32p(), preset))
-            }
+            WorkloadKind::Sweep3d8p => sweep3d(
+                "sweep3d_8p",
+                &sweep3d_params(Sweep3dParams::paper_8p(), preset),
+            ),
+            WorkloadKind::Sweep3d32p => sweep3d(
+                "sweep3d_32p",
+                &sweep3d_params(Sweep3dParams::paper_32p(), preset),
+            ),
         }
     }
 }
@@ -253,7 +255,10 @@ mod tests {
     #[test]
     fn categories_partition_the_workloads() {
         let all = WorkloadKind::all_paper();
-        let regular = all.iter().filter(|k| k.category() == WorkloadCategory::Regular).count();
+        let regular = all
+            .iter()
+            .filter(|k| k.category() == WorkloadCategory::Regular)
+            .count();
         let noise = all
             .iter()
             .filter(|k| k.category() == WorkloadCategory::Interference)

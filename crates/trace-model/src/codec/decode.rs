@@ -20,10 +20,12 @@ fn collective_op_from_tag(tag: u8) -> Result<CollectiveOp, CodecError> {
         5 => CollectiveOp::Allgather,
         6 => CollectiveOp::Allreduce,
         7 => CollectiveOp::Alltoall,
-        tag => return Err(CodecError::BadTag {
-            what: "collective op",
-            tag,
-        }),
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "collective op",
+                tag,
+            })
+        }
     })
 }
 
@@ -91,7 +93,12 @@ fn read_comm(reader: &mut Reader<'_>) -> Result<CommInfo, CodecError> {
                 bytes: read_u64(reader)?,
             }
         }
-        tag => return Err(CodecError::BadTag { what: "comm info", tag }),
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "comm info",
+                tag,
+            })
+        }
     })
 }
 

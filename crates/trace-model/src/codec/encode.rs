@@ -62,7 +62,12 @@ fn write_comm(out: &mut Vec<u8>, comm: &CommInfo) {
             write_u64(out, u64::from(*tag));
             write_u64(out, *bytes);
         }
-        CommInfo::SendRecv { to, from, tag, bytes } => {
+        CommInfo::SendRecv {
+            to,
+            from,
+            tag,
+            bytes,
+        } => {
             out.push(tags::COMM_SENDRECV);
             write_u64(out, u64::from(to.as_u32()));
             write_u64(out, u64::from(from.as_u32()));

@@ -82,14 +82,34 @@ mod tests {
 
     #[test]
     fn unsigned_round_trip() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             assert_eq!(round_trip_u64(v), v);
         }
     }
 
     #[test]
     fn signed_round_trip() {
-        for v in [0i64, 1, -1, 63, -64, 1_000_000, -1_000_000, i64::MAX, i64::MIN] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1_000_000,
+            -1_000_000,
+            i64::MAX,
+            i64::MIN,
+        ] {
             assert_eq!(round_trip_i64(v), v);
         }
     }

@@ -98,11 +98,14 @@ impl ReducedRankTrace {
 
     /// Looks up a stored segment by id.
     pub fn stored_segment(&self, id: StoredSegmentId) -> Option<&StoredSegment> {
-        self.stored.get(id as usize).filter(|s| s.id == id).or_else(|| {
-            // Fall back to a linear scan if ids are not dense (they are dense
-            // for every reducer in this workspace, but the format permits it).
-            self.stored.iter().find(|s| s.id == id)
-        })
+        self.stored
+            .get(id as usize)
+            .filter(|s| s.id == id)
+            .or_else(|| {
+                // Fall back to a linear scan if ids are not dense (they are dense
+                // for every reducer in this workspace, but the format permits it).
+                self.stored.iter().find(|s| s.id == id)
+            })
     }
 
     /// Reconstructs an approximate full rank trace by replaying each
@@ -190,7 +193,11 @@ impl ReducedAppTrace {
             name: self.name.clone(),
             regions: self.regions.clone(),
             contexts: self.contexts.clone(),
-            ranks: self.ranks.iter().map(ReducedRankTrace::reconstruct).collect(),
+            ranks: self
+                .ranks
+                .iter()
+                .map(ReducedRankTrace::reconstruct)
+                .collect(),
         }
     }
 }

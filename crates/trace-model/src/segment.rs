@@ -204,10 +204,7 @@ mod tests {
     #[test]
     fn wavelet_vector_starts_at_zero_and_ends_at_exit() {
         let s = two_event_segment(0, (1, 17), (18, 48), 49);
-        assert_eq!(
-            s.wavelet_vector(),
-            vec![0.0, 1.0, 17.0, 18.0, 48.0, 49.0]
-        );
+        assert_eq!(s.wavelet_vector(), vec![0.0, 1.0, 17.0, 18.0, 48.0, 49.0]);
     }
 
     #[test]

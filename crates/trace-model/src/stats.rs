@@ -62,11 +62,7 @@ pub fn relative_difference(x1: f64, x2: f64) -> f64 {
 /// builds the shorter length is used.
 pub fn minkowski_distance(a: &[f64], b: &[f64], m: f64) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let sum: f64 = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs().powf(m))
-        .sum();
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs().powf(m)).sum();
     sum.powf(1.0 / m)
 }
 

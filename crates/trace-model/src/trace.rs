@@ -100,10 +100,7 @@ impl RankTrace {
     /// True if records are sorted by time stamp and all events are well
     /// formed.  Used by property tests and the simulator's self-checks.
     pub fn is_well_formed(&self) -> bool {
-        let times_ok = self
-            .records
-            .windows(2)
-            .all(|w| w[0].time() <= w[1].time());
+        let times_ok = self.records.windows(2).all(|w| w[0].time() <= w[1].time());
         let events_ok = self.events().all(Event::is_well_formed);
         times_ok && events_ok
     }
@@ -139,7 +136,9 @@ impl AppTrace {
             name: name.into(),
             regions: RegionTable::new(),
             contexts: ContextTable::new(),
-            ranks: (0..n_ranks).map(|r| RankTrace::new(Rank::from(r))).collect(),
+            ranks: (0..n_ranks)
+                .map(|r| RankTrace::new(Rank::from(r)))
+                .collect(),
         }
     }
 

@@ -53,8 +53,10 @@ fn comm_strategy(n_ranks: u32) -> impl Strategy<Value = CommInfo> {
 fn app_trace_strategy() -> impl Strategy<Value = AppTrace> {
     (1usize..4, 1usize..5, 1usize..5).prop_flat_map(|(n_ranks, n_segments, n_events)| {
         let comm = comm_strategy(n_ranks as u32);
-        let event_durations =
-            prop::collection::vec((1u64..1000, 1u64..500, comm), n_ranks * n_segments * n_events);
+        let event_durations = prop::collection::vec(
+            (1u64..1000, 1u64..500, comm),
+            n_ranks * n_segments * n_events,
+        );
         event_durations.prop_map(move |durations| {
             let mut app = AppTrace::new("proptest", n_ranks);
             let work = app.regions.intern("do_work");

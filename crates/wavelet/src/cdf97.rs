@@ -60,7 +60,7 @@ fn lift(values: &mut [f64], coefficient: f64, odd: bool) {
 /// One forward CDF 9/7 level over an even-length slice, returning
 /// `(approximation, detail)` bands of half the length each.
 fn forward_level(values: &[f64]) -> (Vec<f64>, Vec<f64>) {
-    debug_assert!(values.len() % 2 == 0 && !values.is_empty());
+    debug_assert!(values.len().is_multiple_of(2) && !values.is_empty());
     let mut work = values.to_vec();
     lift(&mut work, ALPHA, true);
     lift(&mut work, BETA, false);
@@ -191,7 +191,10 @@ mod tests {
         // a constant signal are (numerically) zero because the predict steps
         // subtract the exact neighbour average.
         for &d in &t[1..] {
-            assert!(d.abs() < 1e-9, "detail {d} should be ~0 for a constant signal");
+            assert!(
+                d.abs() < 1e-9,
+                "detail {d} should be ~0 for a constant signal"
+            );
         }
         assert!(t[0].abs() > 1.0);
     }

@@ -49,7 +49,7 @@ impl WaveletKind {
 /// One decomposition level: splits `values` (even length) into
 /// `(trends, fluctuations)` scaled by `scale`.
 fn decompose_level(values: &[f64], scale: f64) -> (Vec<f64>, Vec<f64>) {
-    debug_assert!(values.len() % 2 == 0);
+    debug_assert!(values.len().is_multiple_of(2));
     let half = values.len() / 2;
     let mut trends = Vec::with_capacity(half);
     let mut fluctuations = Vec::with_capacity(half);

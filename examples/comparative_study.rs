@@ -41,7 +41,10 @@ fn main() {
     for (method, size) in study.average_file_size_ranking() {
         println!("  {:<10} {:>7.2}%", method.name(), size);
     }
-    println!("\nCorrect diagnoses per method (out of {}):", study.workloads().len());
+    println!(
+        "\nCorrect diagnoses per method (out of {}):",
+        study.workloads().len()
+    );
     for (method, count) in study.correct_diagnosis_counts() {
         println!("  {:<10} {}", method.name(), count);
     }

@@ -13,7 +13,9 @@
 //! cargo run --release --example custom_metric
 //! ```
 
-use trace_reduction::eval::criteria::{approximation_distance_us, file_size_percent, trends_retained};
+use trace_reduction::eval::criteria::{
+    approximation_distance_us, file_size_percent, trends_retained,
+};
 use trace_reduction::model::Segment;
 use trace_reduction::reduce::{
     reduce_app_with_predicate, ExtendedMethod, ExtendedReducer, Method, Reducer,

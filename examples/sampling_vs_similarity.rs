@@ -33,7 +33,10 @@ fn main() {
         WorkloadKind::DynLoadBalance,
         WorkloadKind::Sweep3d8p,
     ];
-    eprintln!("generating {} workloads ({preset:?} preset)...", kinds.len());
+    eprintln!(
+        "generating {} workloads ({preset:?} preset)...",
+        kinds.len()
+    );
     let traces: Vec<_> = kinds
         .iter()
         .map(|&kind| {
@@ -42,7 +45,9 @@ fn main() {
         })
         .collect();
 
-    eprintln!("evaluating the extension catalogue (similarity, sampling, periodicity, clustering)...");
+    eprintln!(
+        "evaluating the extension catalogue (similarity, sampling, periodicity, clustering)..."
+    );
     let evaluations = extension_study(&traces);
 
     println!("{}", extension_table(&evaluations).render());

@@ -25,7 +25,9 @@ fn preset_from_env() -> SizePreset {
 
 fn main() {
     let preset = preset_from_env();
-    let only_method = std::env::args().nth(1).and_then(|name| Method::by_name(&name));
+    let only_method = std::env::args()
+        .nth(1)
+        .and_then(|name| Method::by_name(&name));
     if let Some(m) = only_method {
         eprintln!("restricting the sweep to {}", m.name());
     }
@@ -43,7 +45,11 @@ fn main() {
         if !method.has_threshold() {
             continue;
         }
-        eprintln!("sweeping {} over {:?}...", method.name(), method.threshold_grid());
+        eprintln!(
+            "sweeping {} over {:?}...",
+            method.name(),
+            method.threshold_grid()
+        );
         let points = threshold_study_for_method(&traces, method);
         println!("{}", threshold_figure_table(method, &points).render());
         for workload in &workload_names {

@@ -6,9 +6,7 @@
 use trace_reduction::eval::criteria::{
     approximation_distance_us, file_size_percent, trends_retained,
 };
-use trace_reduction::reduce::{
-    ExtendedConfig, ExtendedMethod, ExtendedReducer, Method, Reducer,
-};
+use trace_reduction::reduce::{ExtendedConfig, ExtendedMethod, ExtendedReducer, Method, Reducer};
 use trace_reduction::sim::{SizePreset, Workload, WorkloadKind};
 
 fn generate(kind: WorkloadKind) -> trace_reduction::model::AppTrace {
@@ -28,9 +26,16 @@ fn every_extension_method_completes_the_pipeline_on_every_category() {
         for method in ExtendedMethod::EXTENSIONS {
             let reduced = ExtendedReducer::with_default_threshold(method).reduce_app(&full);
             let percent = file_size_percent(&full, &reduced);
-            assert!(percent > 0.0 && percent < 120.0, "{kind:?}/{method}: {percent}");
+            assert!(
+                percent > 0.0 && percent < 120.0,
+                "{kind:?}/{method}: {percent}"
+            );
             let approx = reduced.reconstruct();
-            assert_eq!(approx.total_events(), full.total_events(), "{kind:?}/{method}");
+            assert_eq!(
+                approx.total_events(),
+                full.total_events(),
+                "{kind:?}/{method}"
+            );
             assert!(approximation_distance_us(&full, &approx).is_finite());
         }
     }
@@ -58,7 +63,8 @@ fn cdf97_wavelet_behaves_like_the_paper_wavelets_on_regular_benchmarks() {
 fn dtw_retains_trends_on_regular_benchmarks_at_its_default_threshold() {
     for kind in [WorkloadKind::LateSender, WorkloadKind::EarlyGather] {
         let full = generate(kind);
-        let reduced = ExtendedReducer::with_default_threshold(ExtendedMethod::Dtw).reduce_app(&full);
+        let reduced =
+            ExtendedReducer::with_default_threshold(ExtendedMethod::Dtw).reduce_app(&full);
         let trend = trends_retained(&full, &reduced.reconstruct());
         assert!(trend.retained, "{kind:?}: {:?}", trend.discrepancies);
     }
@@ -91,10 +97,16 @@ fn normalized_euclidean_matches_at_least_as_much_as_plain_euclidean() {
     // Dividing the distance by sqrt(len) can only make the test easier to
     // pass at the same threshold, so it stores at most as many segments.
     let full = generate(WorkloadKind::Sweep3d8p);
-    let plain = Reducer::new(trace_reduction::reduce::MethodConfig::new(Method::Euclidean, 0.2))
-        .reduce_app(&full);
-    let normalized = ExtendedReducer::new(ExtendedConfig::new(ExtendedMethod::NormalizedEuclidean, 0.2))
-        .reduce_app(&full);
+    let plain = Reducer::new(trace_reduction::reduce::MethodConfig::new(
+        Method::Euclidean,
+        0.2,
+    ))
+    .reduce_app(&full);
+    let normalized = ExtendedReducer::new(ExtendedConfig::new(
+        ExtendedMethod::NormalizedEuclidean,
+        0.2,
+    ))
+    .reduce_app(&full);
     assert!(
         normalized.total_stored() <= plain.total_stored(),
         "normalized ({}) must not store more than plain Euclidean ({})",

@@ -15,8 +15,7 @@ fn all_eighteen_workloads_round_trip_through_the_text_format() {
     for workload in Workload::all(SizePreset::Tiny) {
         let app = workload.generate();
         let text = write_app_trace(&app);
-        let parsed = parse_app_trace(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+        let parsed = parse_app_trace(&text).unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
         assert_eq!(parsed, app, "{}", workload.name());
     }
 }
@@ -61,7 +60,10 @@ fn text_format_is_line_oriented_and_greppable() {
     // trace for a function name and find one line per event.
     let app = Workload::all(SizePreset::Tiny)[0].generate();
     let text = write_app_trace(&app);
-    let barrier_region = app.regions.lookup("MPI_Gather").or_else(|| app.regions.lookup("MPI_Recv"));
+    let barrier_region = app
+        .regions
+        .lookup("MPI_Gather")
+        .or_else(|| app.regions.lookup("MPI_Recv"));
     if let Some(region) = barrier_region {
         let expected: usize = app
             .ranks

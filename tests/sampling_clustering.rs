@@ -11,8 +11,8 @@ use trace_reduction::eval::criteria::{
 };
 use trace_reduction::eval::{evaluate_technique, ExtensionTechnique};
 use trace_reduction::sampling::{
-    reduce_by_periodicity, sample_app, statistical_profile, EventSamplingConfig,
-    PeriodicityConfig, SamplingPolicy,
+    reduce_by_periodicity, sample_app, statistical_profile, EventSamplingConfig, PeriodicityConfig,
+    SamplingPolicy,
 };
 use trace_reduction::sim::{SizePreset, Workload, WorkloadKind};
 
@@ -121,7 +121,10 @@ fn cluster_reduction_shrinks_retained_data_proportionally_to_k() {
         })
         .collect();
     assert!(sizes[0] < sizes[1]);
-    assert!((sizes[1] - 1.0).abs() < 1e-9, "k = rank count retains everything");
+    assert!(
+        (sizes[1] - 1.0).abs() < 1e-9,
+        "k = rank count retains everything"
+    );
 }
 
 #[test]

@@ -1,0 +1,265 @@
+//! Minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of criterion's API the bench targets use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `sample_size`,
+//! `throughput`, `BenchmarkId`, `Throughput` and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs one warm-up
+//! iteration, then `sample_size` timed iterations, and reports min / mean /
+//! max wall-clock time (plus derived throughput when configured).  There is
+//! no statistical analysis, HTML report or baseline comparison — the point
+//! is that `cargo bench` compiles, runs and prints comparable numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark context handed to every registered bench function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_one("", &id.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// elements/sec or bytes/sec reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.into(),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: function name plus parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// The amount of work one benchmark iteration performs.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `f` once as warm-up and then `sample_size` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(
+    group: &str,
+    id: &BenchmarkId,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut bencher);
+    let full_name = if group.is_empty() {
+        id.label.clone()
+    } else {
+        format!("{group}/{}", id.label)
+    };
+    if bencher.samples.is_empty() {
+        println!("  {full_name}: no samples recorded");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64()),
+        Throughput::Bytes(n) => format!(" ({:.0} B/s)", n as f64 / mean.as_secs_f64()),
+    });
+    println!(
+        "  {full_name}: [{min:?} {mean:?} {max:?}]{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundles bench functions into a single runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group_name:path),+ $(,)?) => {
+        fn main() {
+            $( $group_name(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // One warm-up call plus three timed calls.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("sum", 3), &vec![1, 2, 3], |b, v| {
+            b.iter(|| v.iter().sum::<i32>());
+        });
+        group.finish();
+    }
+}

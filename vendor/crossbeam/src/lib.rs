@@ -1,0 +1,76 @@
+//! Minimal stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the one `crossbeam` API the workspace uses — `crossbeam::thread::scope`
+//! with spawn closures that receive the scope — on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantic difference from real crossbeam: a panicking worker propagates
+//! through `std::thread::scope` instead of being collected into the `Err`
+//! variant, so `scope(..)` here never returns `Err`.  Callers that
+//! `.expect()` the result behave identically either way.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A handle to a spawned scoped thread.
+    pub use std::thread::ScopedJoinHandle;
+
+    /// A scope for spawning borrowed threads, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread.  As in crossbeam, the closure receives
+        /// the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which borrowed threads can be spawned; all
+    /// threads are joined before it returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("workers must not panic");
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert!(flag.into_inner());
+    }
+}

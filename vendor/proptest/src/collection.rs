@@ -1,0 +1,54 @@
+//! Collection strategies (`prop::collection`).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// The length specification accepted by [`vec`]: an exact `usize` or a
+/// half-open `Range<usize>`, mirroring `proptest::collection::SizeRange`.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange(exact..exact + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec size range");
+        SizeRange(range)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let range = &self.size.0;
+        let len = if range.start + 1 >= range.end {
+            range.start
+        } else {
+            rng.usize_in(range.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, 1..40)` — vectors of strategy-generated
+/// elements with a length in the given range (or exactly `n` for a plain
+/// `usize`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,26 @@
+//! Sampling helpers (`prop::sample`).
+
+use crate::{Arbitrary, TestRng};
+
+/// A fraction of an as-yet-unknown collection length, mirroring
+/// `proptest::sample::Index`: generate it with `any::<Index>()`, then call
+/// [`Index::index`] with the collection's length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (((self.0 as u128) * (len as u128)) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
