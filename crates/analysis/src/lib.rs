@@ -10,7 +10,7 @@
 //!   paper's benchmarks (Late Sender, Late Receiver, Early Gather/Reduce,
 //!   Late Broadcast/Scatter, Wait at Barrier, Wait at N×N) plus plain
 //!   execution time.
-//! * [`diagnose`] — computes a per-(metric, code location, rank) severity
+//! * [`mod@diagnose`] — computes a per-(metric, code location, rank) severity
 //!   matrix from event time stamps alone, by matching point-to-point
 //!   messages and collective instances across ranks.  Because severities
 //!   are derived from time stamps (not from any simulator ground truth),

@@ -1,0 +1,119 @@
+//! Records the benchmark numbers published in `EXPERIMENTS.md`.
+//!
+//! Run with `TRACE_REPRO_PRESET=paper cargo run --release -p trace_bench
+//! --example record_experiments` and paste the markdown output into
+//! `EXPERIMENTS.md`.  Smaller presets (`small`, `tiny`) produce the same
+//! tables at reduced scale for quick sanity checks.
+
+use std::io::Cursor;
+use std::time::Instant;
+
+use trace_bench::preset_from_env;
+use trace_eval::file_size_percent;
+use trace_format::parse_app_trace;
+use trace_reduce::{Method, MethodConfig, Reducer};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+use trace_stream::{reduce_stream, reduce_stream_sharded};
+
+fn main() {
+    let preset = preset_from_env(SizePreset::Paper);
+    eprintln!("[record_experiments] generating all 18 workloads at {preset:?} preset...");
+    let workloads = Workload::all(preset);
+    let traces: Vec<_> = workloads.iter().map(Workload::generate).collect();
+    let total_events: usize = traces.iter().map(|t| t.total_events()).sum();
+    println!("preset: {preset:?} — 18 workloads, {total_events} events total\n");
+
+    // Table 1: per-method aggregates over all 18 workloads.
+    println!("| method | mean file size (% of full) | mean degree of matching | reduce wall time (ms, 18 workloads) |");
+    println!("|---|---:|---:|---:|");
+    for method in Method::ALL {
+        let config = MethodConfig::with_default_threshold(method);
+        let reducer = Reducer::new(config);
+        let mut size_sum = 0.0;
+        let mut match_sum = 0.0;
+        let started = Instant::now();
+        let reduced: Vec<_> = traces.iter().map(|t| reducer.reduce_app(t)).collect();
+        let wall = started.elapsed();
+        for (full, red) in traces.iter().zip(&reduced) {
+            size_sum += file_size_percent(full, red);
+            match_sum += red.degree_of_matching();
+        }
+        println!(
+            "| {} | {:.2} | {:.3} | {:.1} |",
+            config.label(),
+            size_sum / traces.len() as f64,
+            match_sum / traces.len() as f64,
+            wall.as_secs_f64() * 1e3
+        );
+    }
+
+    // Table 2: per-workload detail at the paper's representative method
+    // (avgWave at its default threshold).
+    let config = MethodConfig::with_default_threshold(Method::AvgWave);
+    let reducer = Reducer::new(config);
+    println!("\n| workload | events | file size (% of full) | degree of matching |");
+    println!("|---|---:|---:|---:|");
+    for (workload, full) in workloads.iter().zip(&traces) {
+        let reduced = reducer.reduce_app(full);
+        println!(
+            "| {} | {} | {:.2} | {:.3} |",
+            workload.name(),
+            full.total_events(),
+            file_size_percent(full, &reduced),
+            reduced.degree_of_matching()
+        );
+    }
+
+    // Table 3: streaming vs in-memory reduction over an amplified trace.
+    let repeats = 10;
+    let workload = Workload::new(WorkloadKind::DynLoadBalance, preset);
+    eprintln!(
+        "[record_experiments] amplifying {} x{repeats} for the streaming comparison...",
+        workload.name()
+    );
+    let text = workload
+        .write_text_amplified_to(Vec::new(), repeats)
+        .expect("writing to a Vec cannot fail");
+
+    let started = Instant::now();
+    let app = parse_app_trace(std::str::from_utf8(&text).unwrap()).unwrap();
+    let in_memory = reducer.reduce_app(&app);
+    let in_memory_wall = started.elapsed();
+
+    let started = Instant::now();
+    let streamed = reduce_stream(config, Cursor::new(text.as_slice())).unwrap();
+    let stream_wall = started.elapsed();
+    assert_eq!(
+        streamed.reduced, in_memory,
+        "streaming must match in-memory"
+    );
+
+    let started = Instant::now();
+    let sharded = reduce_stream_sharded(config, 4, |_| Ok(Cursor::new(text.clone()))).unwrap();
+    let sharded_wall = started.elapsed();
+    assert_eq!(sharded.reduced, in_memory, "sharding must match in-memory");
+
+    println!(
+        "\nstreaming comparison ({} x{repeats}, {} bytes of text, {} segments, avgWave):\n",
+        workload.name(),
+        text.len(),
+        streamed.stats.segments
+    );
+    println!("| pipeline | wall time (ms) | peak resident segments |");
+    println!("|---|---:|---:|");
+    println!(
+        "| parse + in-memory reduce | {:.1} | {} (all segments) |",
+        in_memory_wall.as_secs_f64() * 1e3,
+        streamed.stats.segments
+    );
+    println!(
+        "| streaming reduce | {:.1} | {} |",
+        stream_wall.as_secs_f64() * 1e3,
+        streamed.stats.peak_resident_segments
+    );
+    println!(
+        "| streaming reduce, 4 shards | {:.1} | {} |",
+        sharded_wall.as_secs_f64() * 1e3,
+        sharded.stats.peak_resident_segments
+    );
+}

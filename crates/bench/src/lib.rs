@@ -4,9 +4,10 @@
 //! paper figure/table and prints it before running a Criterion measurement
 //! of the underlying operation.  The workload scale is controlled with the
 //! `TRACE_REPRO_PRESET` environment variable (`paper`, `small`, `tiny`), so
-//! `cargo bench` stays fast by default while
+//! `cargo bench` stays fast by default (CI pins the `tiny` preset) while
 //! `TRACE_REPRO_PRESET=paper cargo bench` reproduces the full-scale numbers
-//! recorded in EXPERIMENTS.md.
+//! recorded in `EXPERIMENTS.md` at the repository root — regenerate them
+//! with the `record_experiments` example in this crate.
 
 use trace_sim::{SizePreset, Workload, WorkloadKind};
 

@@ -28,15 +28,25 @@ impl Invocation {
 
     /// Returns a required option or a descriptive error.
     pub fn require(&self, flag: &str) -> Result<&str, String> {
-        self.options
-            .get(flag)
-            .map(String::as_str)
-            .ok_or_else(|| format!("missing required option --{flag} for `{}`", self.command))
+        match self.options.get(flag).map(String::as_str) {
+            Some("") => Err(format!("option --{flag} needs a value")),
+            Some(value) => Ok(value),
+            None => Err(format!(
+                "missing required option --{flag} for `{}`",
+                self.command
+            )),
+        }
     }
 
     /// Returns an optional option.
     pub fn get(&self, flag: &str) -> Option<&str> {
         self.options.get(flag).map(String::as_str)
+    }
+
+    /// True if the flag was given at all — with or without a value.  This
+    /// is how boolean switches such as `--stream` are tested.
+    pub fn has(&self, flag: &str) -> bool {
+        self.options.contains_key(flag)
     }
 
     /// Returns an optional option parsed as `f64`.
@@ -63,8 +73,12 @@ impl Invocation {
 }
 
 /// Parses raw command-line arguments (without the program name).
+///
+/// Flags take the form `--flag value`; a flag followed by another flag (or
+/// by the end of the arguments) is a boolean switch, stored with an empty
+/// value and tested with [`Invocation::has`] (e.g. `reduce --stream`).
 pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
-    let mut iter = args.iter();
+    let mut iter = args.iter().peekable();
     let command = iter
         .next()
         .ok_or_else(|| "no subcommand given".to_string())?
@@ -82,10 +96,11 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         if name.is_empty() {
             return Err("empty flag name".to_string());
         }
-        let value = iter
-            .next()
-            .ok_or_else(|| format!("flag --{name} is missing its value"))?;
-        if options.insert(name.to_string(), value.clone()).is_some() {
+        let value = match iter.peek() {
+            Some(next) if !next.starts_with("--") => iter.next().expect("just peeked").clone(),
+            _ => String::new(),
+        };
+        if options.insert(name.to_string(), value).is_some() {
             return Err(format!("flag --{name} was given more than once"));
         }
     }
@@ -118,12 +133,27 @@ mod tests {
     }
 
     #[test]
-    fn rejects_missing_subcommand_and_values() {
+    fn rejects_missing_subcommand_and_bad_flags() {
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&strings(&["--method", "x"])).is_err());
-        assert!(parse_args(&strings(&["reduce", "--method"])).is_err());
         assert!(parse_args(&strings(&["reduce", "method", "x"])).is_err());
         assert!(parse_args(&strings(&["reduce", "--", "x"])).is_err());
+    }
+
+    #[test]
+    fn value_less_flags_are_boolean_switches() {
+        let inv = parse_args(&strings(&["reduce", "--stream", "--shards", "4"])).unwrap();
+        assert!(inv.has("stream"));
+        assert!(!inv.has("method"));
+        assert_eq!(inv.get_usize("shards").unwrap(), Some(4));
+        // A switch at the end of the arguments works too.
+        let inv = parse_args(&strings(&["reduce", "--method", "avgWave", "--stream"])).unwrap();
+        assert!(inv.has("stream"));
+        assert_eq!(inv.require("method").unwrap(), "avgWave");
+        // `require` refuses to treat a bare switch as a value.
+        let inv = parse_args(&strings(&["reduce", "--method"])).unwrap();
+        let err = inv.require("method").unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
     }
 
     #[test]

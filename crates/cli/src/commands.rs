@@ -23,6 +23,8 @@ subcommands:
              [--preset tiny|small|paper]
   reduce     --in FILE --out FILE        similarity-based reduction
              --method M [--threshold T]
+             [--stream [--shards N]]     online bounded-memory reduction of a
+                                         text trace (never loads the full trace)
   sample     --in FILE --out FILE        sampling-based reduction
              --policy every:N|random:F|adaptive:E [--seed S]
   reconstruct --in REDUCED --out FILE    rebuild an approximate full trace
@@ -126,7 +128,69 @@ fn cmd_generate(invocation: &Invocation) -> Result<String, String> {
     ))
 }
 
+/// `reduce --stream`: one-pass, bounded-memory reduction of a text trace.
+fn cmd_reduce_stream(invocation: &Invocation) -> Result<String, String> {
+    let config = parse_method(invocation)?;
+    let ExtendedMethod::Paper(method) = config.method else {
+        return Err(format!(
+            "--stream supports the nine paper methods; {} needs the in-memory path \
+             (drop --stream)",
+            config.label()
+        ));
+    };
+    let input = Path::new(invocation.require("in")?);
+    let out = Path::new(invocation.require("out")?);
+    if !crate::io::is_text_path(input) {
+        return Err(format!(
+            "--stream reads the text trace format; convert {} first \
+             (`trace-tools convert --in {} --out trace.txt`)",
+            input.display(),
+            input.display()
+        ));
+    }
+    let shards = invocation.get_usize("shards")?.unwrap_or(1);
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+
+    let method_config = MethodConfig::new(method, config.threshold);
+    let result = trace_stream::reduce_trace_file(method_config, input, shards)
+        .map_err(|e| format!("{}: {e}", input.display()))?;
+    store_reduced_trace(out, &result.reduced)?;
+    // With several shards the stat is the sum of per-worker peaks — an
+    // upper bound on the concurrent total, not a single observation.
+    let peak = if shards > 1 {
+        format!(
+            "resident segments <= {}",
+            result.stats.peak_resident_segments
+        )
+    } else {
+        format!(
+            "peak resident segments {}",
+            result.stats.peak_resident_segments
+        )
+    };
+    Ok(format!(
+        "stream-reduced {} with {} over {} shard(s): {} stored segments for {} executions, \
+         degree of matching {:.3}, {peak} (of {} streamed) -> {}",
+        result.reduced.name,
+        config.label(),
+        shards,
+        result.stats.stored,
+        result.stats.execs,
+        result.reduced.degree_of_matching(),
+        result.stats.segments,
+        out.display()
+    ))
+}
+
 fn cmd_reduce(invocation: &Invocation) -> Result<String, String> {
+    if invocation.has("stream") {
+        return cmd_reduce_stream(invocation);
+    }
+    if invocation.has("shards") {
+        return Err("--shards only applies to streaming reduction; add --stream".to_string());
+    }
     let config = parse_method(invocation)?;
     let input = Path::new(invocation.require("in")?);
     let out = Path::new(invocation.require("out")?);
@@ -412,6 +476,108 @@ mod tests {
         assert!(out.contains("diagnosis of late_sender"), "{out}");
 
         cleanup(&[&trace, &reduced, &rebuilt]);
+    }
+
+    #[test]
+    fn stream_reduce_matches_the_in_memory_path() {
+        let text = temp_path("stream_in.txt");
+        let reduced_mem = temp_path("stream_mem.trc");
+        let reduced_stream = temp_path("stream_out.trc");
+
+        run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "dyn_load_balance"),
+                ("preset", "tiny"),
+                ("out", text.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+
+        run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", text.to_str().unwrap()),
+                ("out", reduced_mem.to_str().unwrap()),
+                ("method", "relDiff"),
+            ],
+        ))
+        .unwrap();
+
+        let out = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", text.to_str().unwrap()),
+                ("out", reduced_stream.to_str().unwrap()),
+                ("method", "relDiff"),
+                ("stream", ""),
+                ("shards", "3"),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("stream-reduced"), "{out}");
+        assert!(out.contains("resident segments <="), "{out}");
+
+        // The streamed output file is byte-identical to the in-memory one.
+        assert_eq!(
+            std::fs::read(&reduced_mem).unwrap(),
+            std::fs::read(&reduced_stream).unwrap()
+        );
+
+        cleanup(&[&text, &reduced_mem, &reduced_stream]);
+    }
+
+    #[test]
+    fn stream_reduce_rejects_binary_inputs_and_extension_methods() {
+        let err = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", "/tmp/x.trc"),
+                ("out", "/tmp/y.trc"),
+                ("method", "relDiff"),
+                ("stream", ""),
+            ],
+        ))
+        .unwrap_err();
+        assert!(err.contains("text trace format"), "{err}");
+
+        let err = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", "/tmp/x.txt"),
+                ("out", "/tmp/y.trc"),
+                ("method", "dtw"),
+                ("stream", ""),
+            ],
+        ))
+        .unwrap_err();
+        assert!(err.contains("paper methods"), "{err}");
+
+        let err = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", "/tmp/x.txt"),
+                ("out", "/tmp/y.trc"),
+                ("method", "relDiff"),
+                ("stream", ""),
+                ("shards", "0"),
+            ],
+        ))
+        .unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+
+        // --shards without --stream would otherwise be silently ignored.
+        let err = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", "/tmp/x.txt"),
+                ("out", "/tmp/y.trc"),
+                ("method", "relDiff"),
+                ("shards", "4"),
+            ],
+        ))
+        .unwrap_err();
+        assert!(err.contains("add --stream"), "{err}");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   normalization.
 //! * [`distance`] — Euclidean feature distance and the communication-volume
 //!   distance of Aguilera et al.
-//! * [`kmeans`] — deterministic k-means with k-means++ seeding.
+//! * [`mod@kmeans`] — deterministic k-means with k-means++ seeding.
 //! * [`hierarchical`] — agglomerative clustering with single, complete or
 //!   average linkage.
 //! * [`silhouette`] — cluster-quality scoring used to pick `k`.

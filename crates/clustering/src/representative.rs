@@ -89,7 +89,7 @@ fn medoid(members: &[usize], matrix: &[Vec<f64>]) -> usize {
 /// cluster.
 ///
 /// `assignments` gives the cluster index of every rank (as produced by
-/// [`crate::kmeans`] or [`crate::hierarchical_clustering`]); `matrix` is the
+/// [`crate::kmeans()`] or [`crate::hierarchical_clustering`]); `matrix` is the
 /// distance matrix used for medoid selection (typically the same one used
 /// for clustering).  Cluster ids may be sparse; they are re-labelled
 /// densely in the result.

@@ -56,6 +56,9 @@ pub use dtw::{dtw_distance, normalized_dtw_distance};
 pub use extended::{segments_match_extended, ExtendedConfig, ExtendedMethod, ExtendedReducer};
 pub use method::{Method, MethodConfig};
 pub use metric::segments_match;
-pub use parallel::reduce_app_parallel;
-pub use reducer::{reduce_app_with_predicate, reduce_rank_with_predicate, RankReduction, Reducer};
-pub use segmenter::{segments_of_rank, SegmentationStats};
+pub use parallel::{reduce_app_parallel, scoped_workers};
+pub use reducer::{
+    reduce_app_with_predicate, reduce_rank_with_predicate, OnlineRankReducer, RankReduction,
+    Reducer,
+};
+pub use segmenter::{segments_of_rank, OnlineSegmenter, SegmentationStats};

@@ -14,6 +14,31 @@ use trace_model::{AppTrace, ReducedAppTrace, ReducedRankTrace};
 
 use crate::reducer::Reducer;
 
+/// Runs `work(worker_index)` on `workers` crossbeam scoped threads and
+/// joins them all.  A worker count of 0 or 1 runs `work(0)` on the calling
+/// thread.  This is the scoped-thread fan-out shared by the in-memory
+/// parallel reduction below and the sharded streaming driver in the
+/// `trace_stream` crate.
+///
+/// # Panics
+/// Propagates a panic from any worker.
+pub fn scoped_workers<F>(workers: usize, work: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if workers <= 1 {
+        work(0);
+        return;
+    }
+    thread::scope(|scope| {
+        for worker in 0..workers {
+            let work = &work;
+            scope.spawn(move |_| work(worker));
+        }
+    })
+    .expect("scoped worker panicked");
+}
+
 /// Reduces every rank of `app` in parallel using up to `threads` worker
 /// threads (values of 0 or 1 fall back to the sequential path).
 ///
@@ -24,25 +49,19 @@ pub fn reduce_app_parallel(reducer: &Reducer, app: &AppTrace, threads: usize) ->
     if threads <= 1 || n_ranks <= 1 {
         return reducer.reduce_app(app);
     }
-    let workers = threads.min(n_ranks);
 
     let slots: Vec<Mutex<Option<ReducedRankTrace>>> =
         (0..n_ranks).map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if index >= n_ranks {
-                    break;
-                }
-                let reduction = reducer.reduce_rank(&app.ranks[index]);
-                *slots[index].lock() = Some(reduction.reduced);
-            });
+    scoped_workers(threads.min(n_ranks), |_| loop {
+        let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if index >= n_ranks {
+            break;
         }
-    })
-    .expect("rank-reduction worker panicked");
+        let reduction = reducer.reduce_rank(&app.ranks[index]);
+        *slots[index].lock() = Some(reduction.reduced);
+    });
 
     let mut reduced = ReducedAppTrace::for_app(app);
     for slot in slots {

@@ -81,6 +81,114 @@ impl AverageState {
     }
 }
 
+/// Online (segment-at-a-time) form of the stored-segments algorithm.
+///
+/// [`Reducer::reduce_rank`] and the streaming reduction path (the
+/// `trace_stream` crate) both drive this state machine, so a rank is
+/// reduced identically whether its segments arrive from an in-memory
+/// [`RankTrace`] or one at a time from a file.  The state held between
+/// segments is exactly the reduced trace under construction (stored
+/// representatives plus the execution log) and the per-key match buckets —
+/// never the full segment stream.
+#[derive(Clone, Debug)]
+pub struct OnlineRankReducer {
+    config: MethodConfig,
+    reduced: ReducedRankTrace,
+    // Stored-representative ids grouped by segment key (structural
+    // identity); scanning a bucket in insertion order is equivalent to
+    // the paper's linear scan restricted to eligible segments.
+    buckets: HashMap<SegmentKey, Vec<u32>>,
+    // Running averages for iter_avg, indexed by stored id.
+    averages: HashMap<u32, AverageState>,
+}
+
+impl OnlineRankReducer {
+    /// Creates an empty reduction state for one rank.
+    pub fn new(config: MethodConfig, rank: trace_model::Rank) -> Self {
+        OnlineRankReducer {
+            config,
+            reduced: ReducedRankTrace::new(rank),
+            buckets: HashMap::new(),
+            averages: HashMap::new(),
+        }
+    }
+
+    /// Feeds the next segment in trace order.
+    pub fn push_segment(&mut self, segment: Segment) {
+        let key = segment.key();
+        let start = segment.start;
+        let bucket = self.buckets.entry(key).or_default();
+
+        let matched: Option<u32> = match self.config.method {
+            Method::IterAvg => bucket.first().copied(),
+            Method::IterK => {
+                if bucket.len() >= self.config.iter_k() {
+                    bucket.last().copied()
+                } else {
+                    None
+                }
+            }
+            _ => bucket.iter().copied().find(|&id| {
+                let stored = &self.reduced.stored[id as usize].segment;
+                segments_match(&self.config, &segment, stored)
+            }),
+        };
+
+        match matched {
+            Some(id) => {
+                self.reduced.execs.push(SegmentExec { segment: id, start });
+                self.reduced.stored[id as usize].represented += 1;
+                if self.config.method == Method::IterAvg {
+                    self.averages
+                        .get_mut(&id)
+                        .expect("iter_avg representative must have an accumulator")
+                        .accumulate(&segment);
+                }
+            }
+            None => {
+                let id = self.reduced.stored.len() as u32;
+                bucket.push(id);
+                if self.config.method == Method::IterAvg {
+                    self.averages.insert(id, AverageState::new(&segment));
+                }
+                let mut stored_segment = segment;
+                // Representatives are stored rebased; keep the absolute
+                // start only in the execution log.
+                stored_segment.start = Time::ZERO;
+                self.reduced.stored.push(StoredSegment {
+                    id,
+                    segment: stored_segment,
+                    represented: 1,
+                });
+                self.reduced.execs.push(SegmentExec { segment: id, start });
+            }
+        }
+    }
+
+    /// Number of stored representatives so far.
+    pub fn stored_count(&self) -> usize {
+        self.reduced.stored_count()
+    }
+
+    /// Number of segment executions so far.
+    pub fn exec_count(&self) -> usize {
+        self.reduced.exec_count()
+    }
+
+    /// Completes the reduction (finalizing `iter_avg` running averages) and
+    /// returns the reduced rank trace.
+    pub fn finish(mut self) -> ReducedRankTrace {
+        if self.config.method == Method::IterAvg {
+            for stored in &mut self.reduced.stored {
+                if let Some(avg) = self.averages.get(&stored.id) {
+                    avg.finalize_into(&mut stored.segment);
+                }
+            }
+        }
+        self.reduced
+    }
+}
+
 /// Reduces traces with a configured similarity method.
 #[derive(Clone, Copy, Debug)]
 pub struct Reducer {
@@ -106,75 +214,12 @@ impl Reducer {
     /// Reduces a single rank trace.
     pub fn reduce_rank(&self, trace: &RankTrace) -> RankReduction {
         let (segments, segmentation) = segments_of_rank_with_stats(trace);
-        let mut reduced = ReducedRankTrace::new(trace.rank);
-        // Stored-representative ids grouped by segment key (structural
-        // identity); scanning a bucket in insertion order is equivalent to
-        // the paper's linear scan restricted to eligible segments.
-        let mut buckets: HashMap<SegmentKey, Vec<u32>> = HashMap::new();
-        // Running averages for iter_avg, indexed by stored id.
-        let mut averages: HashMap<u32, AverageState> = HashMap::new();
-
+        let mut online = OnlineRankReducer::new(self.config, trace.rank);
         for segment in segments {
-            let key = segment.key();
-            let start = segment.start;
-            let bucket = buckets.entry(key).or_default();
-
-            let matched: Option<u32> = match self.config.method {
-                Method::IterAvg => bucket.first().copied(),
-                Method::IterK => {
-                    if bucket.len() >= self.config.iter_k() {
-                        bucket.last().copied()
-                    } else {
-                        None
-                    }
-                }
-                _ => bucket.iter().copied().find(|&id| {
-                    let stored = &reduced.stored[id as usize].segment;
-                    segments_match(&self.config, &segment, stored)
-                }),
-            };
-
-            match matched {
-                Some(id) => {
-                    reduced.execs.push(SegmentExec { segment: id, start });
-                    reduced.stored[id as usize].represented += 1;
-                    if self.config.method == Method::IterAvg {
-                        averages
-                            .get_mut(&id)
-                            .expect("iter_avg representative must have an accumulator")
-                            .accumulate(&segment);
-                    }
-                }
-                None => {
-                    let id = reduced.stored.len() as u32;
-                    bucket.push(id);
-                    if self.config.method == Method::IterAvg {
-                        averages.insert(id, AverageState::new(&segment));
-                    }
-                    let mut stored_segment = segment;
-                    // Representatives are stored rebased; keep the absolute
-                    // start only in the execution log.
-                    stored_segment.start = Time::ZERO;
-                    reduced.stored.push(StoredSegment {
-                        id,
-                        segment: stored_segment,
-                        represented: 1,
-                    });
-                    reduced.execs.push(SegmentExec { segment: id, start });
-                }
-            }
+            online.push_segment(segment);
         }
-
-        if self.config.method == Method::IterAvg {
-            for stored in &mut reduced.stored {
-                if let Some(avg) = averages.get(&stored.id) {
-                    avg.finalize_into(&mut stored.segment);
-                }
-            }
-        }
-
         RankReduction {
-            reduced,
+            reduced: online.finish(),
             segmentation,
         }
     }

@@ -22,60 +22,112 @@ pub struct SegmentationStats {
     pub unterminated_segments: usize,
 }
 
-/// Cuts a rank trace into rebased segments; also returns statistics about
-/// malformed marker structure (orphan events, unterminated segments).
-pub fn segments_of_rank_with_stats(trace: &RankTrace) -> (Vec<Segment>, SegmentationStats) {
-    let mut segments = Vec::new();
-    let mut stats = SegmentationStats::default();
+/// Online (record-at-a-time) segmenter.
+///
+/// The batch helpers below and the streaming reduction path (the
+/// `trace_stream` crate) both drive this state machine, so a record stream
+/// is segmented identically whether it arrives from an in-memory
+/// [`RankTrace`] or one line at a time from a file.  At most one segment is
+/// in flight per segmenter — the bounded-memory guarantee the streaming
+/// reducer relies on.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineSegmenter {
+    current: Option<(trace_model::ContextId, Time, Vec<trace_model::Event>)>,
+    stats: SegmentationStats,
+}
 
-    let mut current: Option<(trace_model::ContextId, Time, Vec<trace_model::Event>)> = None;
-    for record in &trace.records {
+impl OnlineSegmenter {
+    /// Creates a segmenter with no segment in flight.
+    pub fn new() -> Self {
+        OnlineSegmenter::default()
+    }
+
+    /// Feeds one record, returning a segment if this record completed one.
+    pub fn push(&mut self, record: &TraceRecord) -> Option<Segment> {
         match record {
             TraceRecord::SegmentBegin { context, time } => {
-                if let Some((ctx, start, events)) = current.take() {
+                let closed = self.current.take().map(|(ctx, start, events)| {
                     // Unterminated segment: close it at the latest known time.
-                    stats.unterminated_segments += 1;
+                    self.stats.unterminated_segments += 1;
                     let end = events.iter().map(|e| e.end).max().unwrap_or(start);
-                    stats.events_in_segments += events.len();
-                    segments.push(Segment::from_absolute(ctx, start, end, events));
-                }
-                current = Some((*context, *time, Vec::new()));
+                    self.emit(ctx, start, end, events)
+                });
+                self.current = Some((*context, *time, Vec::new()));
+                closed
             }
             TraceRecord::SegmentEnd { context, time } => {
-                match current.take() {
-                    Some((ctx, start, events)) if ctx == *context => {
-                        stats.events_in_segments += events.len();
-                        segments.push(Segment::from_absolute(ctx, start, *time, events));
-                    }
+                match self.current.take() {
                     Some((ctx, start, events)) => {
-                        // Mismatched end marker: close the open segment at the
-                        // marker time anyway, attributing it to its own context.
-                        stats.unterminated_segments += 1;
-                        stats.events_in_segments += events.len();
-                        segments.push(Segment::from_absolute(ctx, start, *time, events));
+                        if ctx != *context {
+                            // Mismatched end marker: close the open segment at
+                            // the marker time anyway, attributing it to its
+                            // own context.
+                            self.stats.unterminated_segments += 1;
+                        }
+                        Some(self.emit(ctx, start, *time, events))
                     }
-                    None => {
-                        // End without a begin: ignore.
-                    }
+                    // End without a begin: ignore.
+                    None => None,
                 }
             }
             TraceRecord::Event(event) => {
-                if let Some((_, _, events)) = current.as_mut() {
+                if let Some((_, _, events)) = self.current.as_mut() {
                     events.push(*event);
                 } else {
-                    stats.orphan_events += 1;
+                    self.stats.orphan_events += 1;
                 }
+                None
             }
         }
     }
-    if let Some((ctx, start, events)) = current.take() {
-        stats.unterminated_segments += 1;
-        let end = events.iter().map(|e| e.end).max().unwrap_or(start);
-        stats.events_in_segments += events.len();
-        segments.push(Segment::from_absolute(ctx, start, end, events));
+
+    /// Closes the in-flight segment (if any) at its latest known time.  Call
+    /// once at the end of the record stream.
+    pub fn finish(&mut self) -> Option<Segment> {
+        self.current.take().map(|(ctx, start, events)| {
+            self.stats.unterminated_segments += 1;
+            let end = events.iter().map(|e| e.end).max().unwrap_or(start);
+            self.emit(ctx, start, end, events)
+        })
     }
-    stats.segments = segments.len();
-    (segments, stats)
+
+    /// True if a segment is currently in flight.
+    pub fn has_open_segment(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SegmentationStats {
+        self.stats
+    }
+
+    fn emit(
+        &mut self,
+        ctx: trace_model::ContextId,
+        start: Time,
+        end: Time,
+        events: Vec<trace_model::Event>,
+    ) -> Segment {
+        self.stats.events_in_segments += events.len();
+        self.stats.segments += 1;
+        Segment::from_absolute(ctx, start, end, events)
+    }
+}
+
+/// Cuts a rank trace into rebased segments; also returns statistics about
+/// malformed marker structure (orphan events, unterminated segments).
+pub fn segments_of_rank_with_stats(trace: &RankTrace) -> (Vec<Segment>, SegmentationStats) {
+    let mut segmenter = OnlineSegmenter::new();
+    let mut segments = Vec::new();
+    for record in &trace.records {
+        if let Some(segment) = segmenter.push(record) {
+            segments.push(segment);
+        }
+    }
+    if let Some(segment) = segmenter.finish() {
+        segments.push(segment);
+    }
+    (segments, segmenter.stats())
 }
 
 /// Cuts a rank trace into rebased segments.

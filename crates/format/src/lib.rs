@@ -8,10 +8,13 @@
 //! EPILOG) for both full application traces and reduced traces, with a
 //! strict parser that reports the line number and cause of every error.
 //!
-//! * [`write`] — serialize [`trace_model::AppTrace`] /
-//!   [`trace_model::ReducedAppTrace`] to the text format.
+//! * [`mod@write`] — serialize [`trace_model::AppTrace`] /
+//!   [`trace_model::ReducedAppTrace`] to the text format, either whole or
+//!   record by record via [`write::AppTraceTextWriter`].
 //! * [`parse`] — parse them back, validating record structure, identifier
 //!   references and time-stamp ordering.
+//! * [`record`] — the line-level record grammar shared by [`parse`] and the
+//!   streaming parser in the `trace_stream` crate.
 //! * [`error::FormatError`] — the error type carrying the offending line.
 //!
 //! The binary codec in `trace-model` remains the format used for file-size
@@ -23,8 +26,13 @@
 
 pub mod error;
 pub mod parse;
+pub mod record;
 pub mod write;
 
 pub use error::FormatError;
 pub use parse::{parse_app_trace, parse_reduced_trace};
-pub use write::{write_app_trace, write_reduced_trace};
+pub use record::{parse_app_body_line, AppBodyLine, HeaderBuilder, TraceTables};
+pub use write::{
+    write_app_trace, write_app_trace_to, write_reduced_trace, write_reduced_trace_to,
+    AppTraceTextWriter,
+};

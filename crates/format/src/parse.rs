@@ -1,12 +1,20 @@
 //! Parsers for the text trace format.
+//!
+//! These parsers materialize a whole trace from an in-memory `&str`.  The
+//! line-level record parsing is shared with the streaming path (the
+//! `trace_stream` crate) via [`crate::record`], so both parsers accept
+//! exactly the same language.
 
 use trace_model::{
-    AppTrace, CollectiveOp, CommInfo, ContextId, ContextTable, Duration, Event, Rank, RankTrace,
-    ReducedAppTrace, ReducedRankTrace, RegionId, RegionTable, Segment, SegmentExec, StoredSegment,
+    AppTrace, RankTrace, ReducedAppTrace, ReducedRankTrace, Segment, SegmentExec, StoredSegment,
     Time,
 };
 
 use crate::error::FormatError;
+use crate::record::{
+    parse_app_body_line, parse_context_ref, parse_event_line, parse_u32, parse_u64, AppBodyLine,
+    HeaderBuilder, TraceTables,
+};
 use crate::write::{APP_HEADER, REDUCED_HEADER};
 
 /// A line with its 1-based number, with blank and comment lines skipped.
@@ -23,11 +31,9 @@ impl<'a> Lines<'a> {
 
     fn next(&mut self) -> Option<(usize, &'a str)> {
         for (index, line) in self.inner.by_ref() {
-            let trimmed = line.trim();
-            if trimmed.is_empty() || trimmed.starts_with('#') {
-                continue;
+            if let Some(trimmed) = crate::record::meaningful_line(line) {
+                return Some((index + 1, trimmed));
             }
-            return Some((index + 1, trimmed));
         }
         None
     }
@@ -39,278 +45,77 @@ impl<'a> Lines<'a> {
     }
 }
 
-fn parse_u64(line: usize, token: Option<&str>, what: &str) -> Result<u64, FormatError> {
-    let token = token.ok_or_else(|| FormatError::at(line, format!("missing {what}")))?;
-    token
-        .parse::<u64>()
-        .map_err(|_| FormatError::at(line, format!("invalid {what}: {token:?}")))
-}
-
-fn parse_u32(line: usize, token: Option<&str>, what: &str) -> Result<u32, FormatError> {
-    Ok(parse_u64(line, token, what)? as u32)
-}
-
-fn collective_op(line: usize, name: &str) -> Result<CollectiveOp, FormatError> {
-    CollectiveOp::ALL
-        .into_iter()
-        .find(|op| op.mpi_name() == name)
-        .ok_or_else(|| FormatError::at(line, format!("unknown collective operation {name:?}")))
-}
-
-/// Shared header: `TRACE RANKS <n> NAME <name>` plus REGION/CONTEXT tables.
-struct Header {
-    name: String,
-    ranks: usize,
-    regions: RegionTable,
-    contexts: ContextTable,
-    /// First non-table line (already consumed from the iterator) to be
-    /// processed by the caller.
-    pending: Option<(usize, String)>,
-}
-
-fn parse_header(lines: &mut Lines<'_>) -> Result<Header, FormatError> {
-    let (line_no, line) = lines.expect("TRACE line")?;
-    let mut tokens = line.split_whitespace();
-    if tokens.next() != Some("TRACE") || tokens.next() != Some("RANKS") {
+/// Checks the magic first line of a trace file.
+fn expect_magic(lines: &mut Lines<'_>, magic: &str) -> Result<(), FormatError> {
+    let (line_no, first) = lines.expect("header")?;
+    if first != magic {
         return Err(FormatError::at(
             line_no,
-            "expected `TRACE RANKS <n> NAME <name>`",
+            format!("expected header {magic:?}, found {first:?}"),
         ));
     }
-    let ranks = parse_u64(line_no, tokens.next(), "rank count")? as usize;
-    if tokens.next() != Some("NAME") {
-        return Err(FormatError::at(
-            line_no,
-            "expected NAME after the rank count",
-        ));
-    }
-    // The name is everything after the literal ` NAME ` marker; a missing
-    // remainder (empty program name) is tolerated.
-    let name = line
-        .find(" NAME ")
-        .map(|idx| line[idx + " NAME ".len()..].to_string())
-        .unwrap_or_default();
+    Ok(())
+}
 
-    let mut region_names: Vec<String> = Vec::new();
-    let mut context_names: Vec<String> = Vec::new();
-    let pending;
+/// Parses the shared header, returning the tables plus the first body line
+/// (already consumed from the iterator) for the caller to process.
+fn parse_header(
+    lines: &mut Lines<'_>,
+) -> Result<(TraceTables, Option<(usize, String)>), FormatError> {
+    let mut builder = HeaderBuilder::new();
     loop {
-        let (line_no, line) = lines.expect("REGION/CONTEXT table or rank data")?;
-        let mut tokens = line.split_whitespace();
-        match tokens.next() {
-            Some("REGION") => {
-                let id = parse_u64(line_no, tokens.next(), "region id")? as usize;
-                if id != region_names.len() {
-                    return Err(FormatError::at(
-                        line_no,
-                        format!(
-                            "region ids must be dense and ascending; expected {} got {id}",
-                            region_names.len()
-                        ),
-                    ));
-                }
-                let rest = line
-                    .splitn(3, char::is_whitespace)
-                    .nth(2)
-                    .unwrap_or("")
-                    .to_string();
-                if rest.is_empty() {
-                    return Err(FormatError::at(line_no, "missing region name"));
-                }
-                region_names.push(rest);
-            }
-            Some("CONTEXT") => {
-                let id = parse_u64(line_no, tokens.next(), "context id")? as usize;
-                if id != context_names.len() {
-                    return Err(FormatError::at(
-                        line_no,
-                        format!(
-                            "context ids must be dense and ascending; expected {} got {id}",
-                            context_names.len()
-                        ),
-                    ));
-                }
-                let rest = line
-                    .splitn(3, char::is_whitespace)
-                    .nth(2)
-                    .unwrap_or("")
-                    .to_string();
-                if rest.is_empty() {
-                    return Err(FormatError::at(line_no, "missing context name"));
-                }
-                context_names.push(rest);
-            }
-            _ => {
-                pending = Some((line_no, line.to_string()));
-                break;
-            }
+        let (line_no, line) = lines.expect(builder.expecting())?;
+        if !builder.feed(line_no, line)? {
+            return Ok((builder.finish()?, Some((line_no, line.to_string()))));
         }
     }
-
-    Ok(Header {
-        name,
-        ranks,
-        regions: RegionTable::from_names(region_names),
-        contexts: ContextTable::from_names(context_names),
-        pending,
-    })
-}
-
-/// Parses one `EVENT …` line against the header's tables.
-fn parse_event(header: &Header, line_no: usize, line: &str) -> Result<Event, FormatError> {
-    let mut tokens = line.split_whitespace();
-    let keyword = tokens.next();
-    debug_assert_eq!(keyword, Some("EVENT"), "callers only pass EVENT lines");
-    let region = parse_u32(line_no, tokens.next(), "region id")?;
-    if (region as usize) >= header.regions.len() {
-        return Err(FormatError::at(
-            line_no,
-            format!("event references unknown region {region}"),
-        ));
-    }
-    let start = parse_u64(line_no, tokens.next(), "event start")?;
-    let end = parse_u64(line_no, tokens.next(), "event end")?;
-    if end < start {
-        return Err(FormatError::at(
-            line_no,
-            format!("event end {end} precedes start {start}"),
-        ));
-    }
-    let wait = parse_u64(line_no, tokens.next(), "event wait time")?;
-    let kind = tokens
-        .next()
-        .ok_or_else(|| FormatError::at(line_no, "missing event kind"))?;
-    let comm = match kind {
-        "COMPUTE" => CommInfo::Compute,
-        "SEND" => CommInfo::Send {
-            peer: Rank(parse_u32(line_no, tokens.next(), "peer rank")?),
-            tag: parse_u32(line_no, tokens.next(), "tag")?,
-            bytes: parse_u64(line_no, tokens.next(), "byte count")?,
-        },
-        "RECV" => CommInfo::Recv {
-            peer: Rank(parse_u32(line_no, tokens.next(), "peer rank")?),
-            tag: parse_u32(line_no, tokens.next(), "tag")?,
-            bytes: parse_u64(line_no, tokens.next(), "byte count")?,
-        },
-        "SENDRECV" => CommInfo::SendRecv {
-            to: Rank(parse_u32(line_no, tokens.next(), "destination rank")?),
-            from: Rank(parse_u32(line_no, tokens.next(), "source rank")?),
-            tag: parse_u32(line_no, tokens.next(), "tag")?,
-            bytes: parse_u64(line_no, tokens.next(), "byte count")?,
-        },
-        "COLLECTIVE" => {
-            let op_name = tokens
-                .next()
-                .ok_or_else(|| FormatError::at(line_no, "missing collective operation name"))?;
-            CommInfo::Collective {
-                op: collective_op(line_no, op_name)?,
-                root: Rank(parse_u32(line_no, tokens.next(), "root rank")?),
-                comm_size: parse_u32(line_no, tokens.next(), "communicator size")?,
-                bytes: parse_u64(line_no, tokens.next(), "byte count")?,
-            }
-        }
-        other => {
-            return Err(FormatError::at(
-                line_no,
-                format!("unknown event kind {other:?}"),
-            ));
-        }
-    };
-    Ok(Event {
-        region: RegionId(region),
-        start: Time::from_nanos(start),
-        end: Time::from_nanos(end),
-        comm,
-        wait: Duration::from_nanos(wait),
-    })
-}
-
-fn parse_context_ref(
-    header: &Header,
-    line_no: usize,
-    token: Option<&str>,
-) -> Result<ContextId, FormatError> {
-    let id = parse_u32(line_no, token, "context id")?;
-    if (id as usize) >= header.contexts.len() {
-        return Err(FormatError::at(line_no, format!("unknown context id {id}")));
-    }
-    Ok(ContextId(id))
 }
 
 /// Parses the text form of a full application trace.
 pub fn parse_app_trace(text: &str) -> Result<AppTrace, FormatError> {
     let mut lines = Lines::new(text);
-    let (line_no, first) = lines.expect("header")?;
-    if first != APP_HEADER {
-        return Err(FormatError::at(
-            line_no,
-            format!("expected header {APP_HEADER:?}, found {first:?}"),
-        ));
-    }
-    let header = parse_header(&mut lines)?;
+    expect_magic(&mut lines, APP_HEADER)?;
+    let (tables, mut pending) = parse_header(&mut lines)?;
     let mut app = AppTrace {
-        name: header.name.clone(),
-        regions: header.regions.clone(),
-        contexts: header.contexts.clone(),
-        ranks: Vec::with_capacity(header.ranks),
+        name: tables.name.clone(),
+        regions: tables.regions.clone(),
+        contexts: tables.contexts.clone(),
+        ranks: Vec::with_capacity(tables.declared_ranks),
     };
 
-    let mut pending = header.pending.clone();
+    let mut open_rank: Option<RankTrace> = None;
     loop {
         let (line_no, line) = match pending.take() {
             Some((n, l)) => (n, l),
             None => {
-                let (n, l) = lines.expect("RANK or END_TRACE")?;
+                let what = if open_rank.is_some() {
+                    "rank records or END_RANK"
+                } else {
+                    "RANK or END_TRACE"
+                };
+                let (n, l) = lines.expect(what)?;
                 (n, l.to_string())
             }
         };
-        let mut tokens = line.split_whitespace();
-        match tokens.next() {
-            Some("END_TRACE") => break,
-            Some("RANK") => {
-                let rank_id = parse_u32(line_no, tokens.next(), "rank id")?;
-                let mut rank = RankTrace::new(Rank(rank_id));
-                loop {
-                    let (line_no, line) = lines.expect("rank records or END_RANK")?;
-                    let mut tokens = line.split_whitespace();
-                    match tokens.next() {
-                        Some("END_RANK") => break,
-                        Some("SEG_BEGIN") => {
-                            let context = parse_context_ref(&header, line_no, tokens.next())?;
-                            let time = parse_u64(line_no, tokens.next(), "time stamp")?;
-                            rank.begin_segment(context, Time::from_nanos(time));
-                        }
-                        Some("SEG_END") => {
-                            let context = parse_context_ref(&header, line_no, tokens.next())?;
-                            let time = parse_u64(line_no, tokens.next(), "time stamp")?;
-                            rank.end_segment(context, Time::from_nanos(time));
-                        }
-                        Some("EVENT") => {
-                            rank.push_event(parse_event(&header, line_no, line)?);
-                        }
-                        other => {
-                            return Err(FormatError::at(
-                                line_no,
-                                format!("unexpected record {other:?} inside a rank section"),
-                            ));
-                        }
-                    }
-                }
-                app.ranks.push(rank);
-            }
-            other => {
-                return Err(FormatError::at(
-                    line_no,
-                    format!("expected RANK or END_TRACE, found {other:?}"),
-                ));
-            }
+        match parse_app_body_line(&tables, line_no, &line, open_rank.is_some())? {
+            AppBodyLine::RankStart(rank) => open_rank = Some(RankTrace::new(rank)),
+            AppBodyLine::Record(record) => open_rank
+                .as_mut()
+                .expect("records are only parsed inside a rank section")
+                .push(record),
+            AppBodyLine::EndRank => app.ranks.push(
+                open_rank
+                    .take()
+                    .expect("END_RANK is only parsed inside a rank section"),
+            ),
+            AppBodyLine::EndTrace => break,
         }
     }
 
-    if app.ranks.len() != header.ranks {
+    if app.ranks.len() != tables.declared_ranks {
         return Err(FormatError::structural(format!(
             "header declares {} ranks but {} rank sections were found",
-            header.ranks,
+            tables.declared_ranks,
             app.ranks.len()
         )));
     }
@@ -320,22 +125,15 @@ pub fn parse_app_trace(text: &str) -> Result<AppTrace, FormatError> {
 /// Parses the text form of a reduced application trace.
 pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
     let mut lines = Lines::new(text);
-    let (line_no, first) = lines.expect("header")?;
-    if first != REDUCED_HEADER {
-        return Err(FormatError::at(
-            line_no,
-            format!("expected header {REDUCED_HEADER:?}, found {first:?}"),
-        ));
-    }
-    let header = parse_header(&mut lines)?;
+    expect_magic(&mut lines, REDUCED_HEADER)?;
+    let (tables, mut pending) = parse_header(&mut lines)?;
     let mut reduced = ReducedAppTrace {
-        name: header.name.clone(),
-        regions: header.regions.clone(),
-        contexts: header.contexts.clone(),
-        ranks: Vec::with_capacity(header.ranks),
+        name: tables.name.clone(),
+        regions: tables.regions.clone(),
+        contexts: tables.contexts.clone(),
+        ranks: Vec::with_capacity(tables.declared_ranks),
     };
 
-    let mut pending = header.pending.clone();
     loop {
         let (line_no, line) = match pending.take() {
             Some((n, l)) => (n, l),
@@ -349,7 +147,7 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
             Some("END_TRACE") => break,
             Some("RANK") => {
                 let rank_id = parse_u32(line_no, tokens.next(), "rank id")?;
-                let mut rank = ReducedRankTrace::new(Rank(rank_id));
+                let mut rank = ReducedRankTrace::new(trace_model::Rank(rank_id));
                 loop {
                     let (line_no, line) = lines.expect("STORED/EXEC records or END_RANK")?;
                     let mut tokens = line.split_whitespace();
@@ -368,7 +166,7 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
                             }
                             let represented =
                                 parse_u32(line_no, tokens.next(), "represented count")?;
-                            let context = parse_context_ref(&header, line_no, tokens.next())?;
+                            let context = parse_context_ref(&tables, line_no, tokens.next())?;
                             let end = parse_u64(line_no, tokens.next(), "segment end")?;
                             let n_events =
                                 parse_u64(line_no, tokens.next(), "event count")? as usize;
@@ -381,7 +179,7 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
                                         "expected EVENT line inside a STORED segment",
                                     ));
                                 }
-                                events.push(parse_event(&header, event_line_no, event_line)?);
+                                events.push(parse_event_line(&tables, event_line_no, event_line)?);
                             }
                             rank.stored.push(StoredSegment {
                                 id,
@@ -429,10 +227,10 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
         }
     }
 
-    if reduced.ranks.len() != header.ranks {
+    if reduced.ranks.len() != tables.declared_ranks {
         return Err(FormatError::structural(format!(
             "header declares {} ranks but {} rank sections were found",
-            header.ranks,
+            tables.declared_ranks,
             reduced.ranks.len()
         )));
     }

@@ -1,0 +1,425 @@
+//! Line-level record parsing shared by the in-memory parser and streaming
+//! consumers.
+//!
+//! [`crate::parse`] materializes whole traces from a `&str`; the
+//! `trace_stream` crate feeds lines one at a time from a `BufRead` source.
+//! Both paths go through the functions in this module, so a trace record is
+//! parsed by exactly one piece of code regardless of how it arrives:
+//!
+//! * [`HeaderBuilder`] — an incremental state machine for the shared header
+//!   (`TRACE RANKS <n> NAME <name>` plus the REGION/CONTEXT tables),
+//!   producing the [`TraceTables`] every later record is validated against.
+//! * [`parse_event_line`] — one `EVENT …` line.
+//! * [`parse_app_body_line`] — one line of a full-trace body (`RANK`,
+//!   `SEG_BEGIN`, `SEG_END`, `EVENT`, `END_RANK`, `END_TRACE`), classified
+//!   as an [`AppBodyLine`].
+
+use trace_model::{
+    CollectiveOp, CommInfo, ContextId, ContextTable, Duration, Event, Rank, RegionId, RegionTable,
+    Time, TraceRecord,
+};
+
+use crate::error::FormatError;
+
+/// The metadata shared by every record of a trace file: program name,
+/// declared rank count and the interned region/context name tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceTables {
+    /// Human-readable name of the traced program.
+    pub name: String,
+    /// Number of rank sections the header declares.
+    pub declared_ranks: usize,
+    /// Region (function) name table.
+    pub regions: RegionTable,
+    /// Segment-context name table.
+    pub contexts: ContextTable,
+}
+
+/// Classifies one raw input line: `Some(trimmed)` if it carries a record,
+/// `None` if the line is skipped (blank or `#` comment).  Both the
+/// in-memory parser and the streaming parser route every line through this
+/// single rule, so the two accept exactly the same language at the line
+/// level too.
+pub fn meaningful_line(raw: &str) -> Option<&str> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        None
+    } else {
+        Some(trimmed)
+    }
+}
+
+/// Parses a whitespace token as `u64`, reporting `what` on failure.
+pub fn parse_u64(line: usize, token: Option<&str>, what: &str) -> Result<u64, FormatError> {
+    let token = token.ok_or_else(|| FormatError::at(line, format!("missing {what}")))?;
+    token
+        .parse::<u64>()
+        .map_err(|_| FormatError::at(line, format!("invalid {what}: {token:?}")))
+}
+
+/// Parses a whitespace token as `u32`, reporting `what` on failure.
+pub fn parse_u32(line: usize, token: Option<&str>, what: &str) -> Result<u32, FormatError> {
+    Ok(parse_u64(line, token, what)? as u32)
+}
+
+fn collective_op(line: usize, name: &str) -> Result<CollectiveOp, FormatError> {
+    CollectiveOp::ALL
+        .into_iter()
+        .find(|op| op.mpi_name() == name)
+        .ok_or_else(|| FormatError::at(line, format!("unknown collective operation {name:?}")))
+}
+
+/// Incremental parser for the shared trace header.
+///
+/// Feed it (blank/comment-stripped) lines one at a time: it consumes the
+/// `TRACE` line and the REGION/CONTEXT table lines and reports the first
+/// line that belongs to the trace body, at which point [`HeaderBuilder::finish`]
+/// yields the [`TraceTables`].  The reporting is pull-free so both the
+/// in-memory parser and a `BufRead`-driven stream parser can drive it.
+#[derive(Debug, Default)]
+pub struct HeaderBuilder {
+    saw_trace_line: bool,
+    name: String,
+    ranks: usize,
+    region_names: Vec<String>,
+    context_names: Vec<String>,
+}
+
+impl HeaderBuilder {
+    /// Creates an empty builder expecting the `TRACE` line first.
+    pub fn new() -> Self {
+        HeaderBuilder::default()
+    }
+
+    /// What the builder expects next, for end-of-input error messages.
+    pub fn expecting(&self) -> &'static str {
+        if self.saw_trace_line {
+            "REGION/CONTEXT table or rank data"
+        } else {
+            "TRACE line"
+        }
+    }
+
+    /// Feeds one line.  Returns `true` if the line was part of the header
+    /// (and consumed), `false` if the header is complete and the line must
+    /// be re-processed by the caller as a body record.
+    pub fn feed(&mut self, line_no: usize, line: &str) -> Result<bool, FormatError> {
+        let mut tokens = line.split_whitespace();
+        if !self.saw_trace_line {
+            if tokens.next() != Some("TRACE") || tokens.next() != Some("RANKS") {
+                return Err(FormatError::at(
+                    line_no,
+                    "expected `TRACE RANKS <n> NAME <name>`",
+                ));
+            }
+            self.ranks = parse_u64(line_no, tokens.next(), "rank count")? as usize;
+            if tokens.next() != Some("NAME") {
+                return Err(FormatError::at(
+                    line_no,
+                    "expected NAME after the rank count",
+                ));
+            }
+            // The name is everything after the literal ` NAME ` marker; a
+            // missing remainder (empty program name) is tolerated.
+            self.name = line
+                .find(" NAME ")
+                .map(|idx| line[idx + " NAME ".len()..].to_string())
+                .unwrap_or_default();
+            self.saw_trace_line = true;
+            return Ok(true);
+        }
+        match tokens.next() {
+            Some("REGION") => {
+                let name = Self::table_entry(line_no, line, tokens.next(), &self.region_names)?;
+                self.region_names.push(name);
+                Ok(true)
+            }
+            Some("CONTEXT") => {
+                let name = Self::table_entry(line_no, line, tokens.next(), &self.context_names)?;
+                self.context_names.push(name);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Validates one REGION/CONTEXT line against the table built so far and
+    /// returns the entry's name.
+    fn table_entry(
+        line_no: usize,
+        line: &str,
+        id_token: Option<&str>,
+        existing: &[String],
+    ) -> Result<String, FormatError> {
+        let kind = if line.starts_with("REGION") {
+            "region"
+        } else {
+            "context"
+        };
+        let id = parse_u64(line_no, id_token, &format!("{kind} id"))? as usize;
+        if id != existing.len() {
+            return Err(FormatError::at(
+                line_no,
+                format!(
+                    "{kind} ids must be dense and ascending; expected {} got {id}",
+                    existing.len()
+                ),
+            ));
+        }
+        let rest = line
+            .splitn(3, char::is_whitespace)
+            .nth(2)
+            .unwrap_or("")
+            .to_string();
+        if rest.is_empty() {
+            return Err(FormatError::at(line_no, format!("missing {kind} name")));
+        }
+        Ok(rest)
+    }
+
+    /// Completes the header, yielding the tables every later record is
+    /// validated against.  Errors if the `TRACE` line was never seen.
+    pub fn finish(self) -> Result<TraceTables, FormatError> {
+        if !self.saw_trace_line {
+            return Err(FormatError::structural(
+                "unexpected end of input, expected TRACE line",
+            ));
+        }
+        Ok(TraceTables {
+            name: self.name,
+            declared_ranks: self.ranks,
+            regions: RegionTable::from_names(self.region_names),
+            contexts: ContextTable::from_names(self.context_names),
+        })
+    }
+}
+
+/// Parses one `EVENT …` line against the tables.
+pub fn parse_event_line(
+    tables: &TraceTables,
+    line_no: usize,
+    line: &str,
+) -> Result<Event, FormatError> {
+    let mut tokens = line.split_whitespace();
+    let keyword = tokens.next();
+    debug_assert_eq!(keyword, Some("EVENT"), "callers only pass EVENT lines");
+    let region = parse_u32(line_no, tokens.next(), "region id")?;
+    if (region as usize) >= tables.regions.len() {
+        return Err(FormatError::at(
+            line_no,
+            format!("event references unknown region {region}"),
+        ));
+    }
+    let start = parse_u64(line_no, tokens.next(), "event start")?;
+    let end = parse_u64(line_no, tokens.next(), "event end")?;
+    if end < start {
+        return Err(FormatError::at(
+            line_no,
+            format!("event end {end} precedes start {start}"),
+        ));
+    }
+    let wait = parse_u64(line_no, tokens.next(), "event wait time")?;
+    let kind = tokens
+        .next()
+        .ok_or_else(|| FormatError::at(line_no, "missing event kind"))?;
+    let comm = match kind {
+        "COMPUTE" => CommInfo::Compute,
+        "SEND" => CommInfo::Send {
+            peer: Rank(parse_u32(line_no, tokens.next(), "peer rank")?),
+            tag: parse_u32(line_no, tokens.next(), "tag")?,
+            bytes: parse_u64(line_no, tokens.next(), "byte count")?,
+        },
+        "RECV" => CommInfo::Recv {
+            peer: Rank(parse_u32(line_no, tokens.next(), "peer rank")?),
+            tag: parse_u32(line_no, tokens.next(), "tag")?,
+            bytes: parse_u64(line_no, tokens.next(), "byte count")?,
+        },
+        "SENDRECV" => CommInfo::SendRecv {
+            to: Rank(parse_u32(line_no, tokens.next(), "destination rank")?),
+            from: Rank(parse_u32(line_no, tokens.next(), "source rank")?),
+            tag: parse_u32(line_no, tokens.next(), "tag")?,
+            bytes: parse_u64(line_no, tokens.next(), "byte count")?,
+        },
+        "COLLECTIVE" => {
+            let op_name = tokens
+                .next()
+                .ok_or_else(|| FormatError::at(line_no, "missing collective operation name"))?;
+            CommInfo::Collective {
+                op: collective_op(line_no, op_name)?,
+                root: Rank(parse_u32(line_no, tokens.next(), "root rank")?),
+                comm_size: parse_u32(line_no, tokens.next(), "communicator size")?,
+                bytes: parse_u64(line_no, tokens.next(), "byte count")?,
+            }
+        }
+        other => {
+            return Err(FormatError::at(
+                line_no,
+                format!("unknown event kind {other:?}"),
+            ));
+        }
+    };
+    Ok(Event {
+        region: RegionId(region),
+        start: Time::from_nanos(start),
+        end: Time::from_nanos(end),
+        comm,
+        wait: Duration::from_nanos(wait),
+    })
+}
+
+/// Validates a context-id token against the tables.
+pub fn parse_context_ref(
+    tables: &TraceTables,
+    line_no: usize,
+    token: Option<&str>,
+) -> Result<ContextId, FormatError> {
+    let id = parse_u32(line_no, token, "context id")?;
+    if (id as usize) >= tables.contexts.len() {
+        return Err(FormatError::at(line_no, format!("unknown context id {id}")));
+    }
+    Ok(ContextId(id))
+}
+
+/// One classified line of a full-trace body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AppBodyLine {
+    /// A `RANK <id>` section opener.
+    RankStart(Rank),
+    /// A record inside a rank section (marker or event).
+    Record(TraceRecord),
+    /// The `END_RANK` section closer.
+    EndRank,
+    /// The `END_TRACE` trailer.
+    EndTrace,
+}
+
+/// Parses one line of a full-trace body.  `in_rank` selects the records that
+/// are valid at this point (and the error message when none applies): inside
+/// a rank section only `SEG_BEGIN`/`SEG_END`/`EVENT`/`END_RANK` are allowed,
+/// outside only `RANK`/`END_TRACE`.
+pub fn parse_app_body_line(
+    tables: &TraceTables,
+    line_no: usize,
+    line: &str,
+    in_rank: bool,
+) -> Result<AppBodyLine, FormatError> {
+    let mut tokens = line.split_whitespace();
+    let keyword = tokens.next();
+    if in_rank {
+        match keyword {
+            Some("END_RANK") => Ok(AppBodyLine::EndRank),
+            Some("SEG_BEGIN") => {
+                let context = parse_context_ref(tables, line_no, tokens.next())?;
+                let time = parse_u64(line_no, tokens.next(), "time stamp")?;
+                Ok(AppBodyLine::Record(TraceRecord::SegmentBegin {
+                    context,
+                    time: Time::from_nanos(time),
+                }))
+            }
+            Some("SEG_END") => {
+                let context = parse_context_ref(tables, line_no, tokens.next())?;
+                let time = parse_u64(line_no, tokens.next(), "time stamp")?;
+                Ok(AppBodyLine::Record(TraceRecord::SegmentEnd {
+                    context,
+                    time: Time::from_nanos(time),
+                }))
+            }
+            Some("EVENT") => Ok(AppBodyLine::Record(TraceRecord::Event(parse_event_line(
+                tables, line_no, line,
+            )?))),
+            other => Err(FormatError::at(
+                line_no,
+                format!("unexpected record {other:?} inside a rank section"),
+            )),
+        }
+    } else {
+        match keyword {
+            Some("END_TRACE") => Ok(AppBodyLine::EndTrace),
+            Some("RANK") => {
+                let rank_id = parse_u32(line_no, tokens.next(), "rank id")?;
+                Ok(AppBodyLine::RankStart(Rank(rank_id)))
+            }
+            other => Err(FormatError::at(
+                line_no,
+                format!("expected RANK or END_TRACE, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables() -> TraceTables {
+        TraceTables {
+            name: "t".into(),
+            declared_ranks: 1,
+            regions: RegionTable::from_names(vec!["work".into()]),
+            contexts: ContextTable::from_names(vec!["main.1".into()]),
+        }
+    }
+
+    #[test]
+    fn header_builder_consumes_tables_and_stops_at_body() {
+        let mut b = HeaderBuilder::new();
+        assert_eq!(b.expecting(), "TRACE line");
+        assert!(b.feed(2, "TRACE RANKS 3 NAME prog with spaces").unwrap());
+        assert_eq!(b.expecting(), "REGION/CONTEXT table or rank data");
+        assert!(b.feed(3, "REGION 0 do work").unwrap());
+        assert!(b.feed(4, "CONTEXT 0 main.1").unwrap());
+        assert!(!b.feed(5, "RANK 0").unwrap(), "body line not consumed");
+        let t = b.finish().unwrap();
+        assert_eq!(t.name, "prog with spaces");
+        assert_eq!(t.declared_ranks, 3);
+        assert_eq!(t.regions.names(), ["do work"]);
+        assert_eq!(t.contexts.names(), ["main.1"]);
+    }
+
+    #[test]
+    fn header_builder_rejects_sparse_ids_and_missing_trace_line() {
+        let mut b = HeaderBuilder::new();
+        assert!(b.feed(1, "REGION 0 x").is_err());
+        let mut b = HeaderBuilder::new();
+        b.feed(1, "TRACE RANKS 0 NAME x").unwrap();
+        let err = b.feed(2, "CONTEXT 1 late").unwrap_err();
+        assert!(err.message.contains("dense"), "{err}");
+        let err = HeaderBuilder::new().finish().unwrap_err();
+        assert_eq!(err.line, 0);
+    }
+
+    #[test]
+    fn body_lines_are_classified_by_section_state() {
+        let t = tables();
+        assert_eq!(
+            parse_app_body_line(&t, 1, "RANK 2", false).unwrap(),
+            AppBodyLine::RankStart(Rank(2))
+        );
+        assert_eq!(
+            parse_app_body_line(&t, 1, "END_TRACE", false).unwrap(),
+            AppBodyLine::EndTrace
+        );
+        assert!(matches!(
+            parse_app_body_line(&t, 1, "SEG_BEGIN 0 5", true).unwrap(),
+            AppBodyLine::Record(TraceRecord::SegmentBegin { .. })
+        ));
+        assert_eq!(
+            parse_app_body_line(&t, 1, "END_RANK", true).unwrap(),
+            AppBodyLine::EndRank
+        );
+        // Section-state violations are errors with the section's message.
+        let err = parse_app_body_line(&t, 9, "SEG_BEGIN 0 5", false).unwrap_err();
+        assert!(err.message.contains("expected RANK or END_TRACE"), "{err}");
+        let err = parse_app_body_line(&t, 9, "RANK 1", true).unwrap_err();
+        assert!(err.message.contains("inside a rank section"), "{err}");
+    }
+
+    #[test]
+    fn event_lines_validate_region_references() {
+        let t = tables();
+        let ev = parse_event_line(&t, 1, "EVENT 0 5 10 2 COMPUTE").unwrap();
+        assert_eq!(ev.start.as_nanos(), 5);
+        let err = parse_event_line(&t, 1, "EVENT 7 5 10 2 COMPUTE").unwrap_err();
+        assert!(err.message.contains("unknown region"), "{err}");
+    }
+}

@@ -1,123 +1,213 @@
 //! Writers for the text trace format.
+//!
+//! Two styles are provided:
+//!
+//! * whole-trace convenience functions ([`write_app_trace`],
+//!   [`write_reduced_trace`]) that serialize an in-memory trace to a
+//!   `String`, and their [`std::io::Write`] counterparts
+//!   ([`write_app_trace_to`], [`write_reduced_trace_to`]);
+//! * an incremental [`AppTraceTextWriter`] that emits a full-trace file
+//!   record by record, so producers (e.g. the workload simulator) can
+//!   stream a trace to disk without ever holding its text in memory.
 
-use std::fmt::Write as _;
+use std::io::{self, Write};
 
-use trace_model::{AppTrace, CommInfo, Event, ReducedAppTrace, TraceRecord};
+use trace_model::{AppTrace, CommInfo, Event, Rank, ReducedAppTrace, TraceRecord};
 
 /// Magic first line of a full-trace file.
 pub const APP_HEADER: &str = "TRACEFORMAT 1";
 /// Magic first line of a reduced-trace file.
 pub const REDUCED_HEADER: &str = "TRACEFORMAT_REDUCED 1";
 
-fn write_tables(
-    out: &mut String,
+fn write_tables<W: Write>(
+    out: &mut W,
     app_name: &str,
     ranks: usize,
     regions: &[String],
     contexts: &[String],
-) {
-    let _ = writeln!(out, "TRACE RANKS {ranks} NAME {app_name}");
+) -> io::Result<()> {
+    writeln!(out, "TRACE RANKS {ranks} NAME {app_name}")?;
     for (id, name) in regions.iter().enumerate() {
-        let _ = writeln!(out, "REGION {id} {name}");
+        writeln!(out, "REGION {id} {name}")?;
     }
     for (id, name) in contexts.iter().enumerate() {
-        let _ = writeln!(out, "CONTEXT {id} {name}");
+        writeln!(out, "CONTEXT {id} {name}")?;
     }
+    Ok(())
 }
 
-fn write_event(out: &mut String, event: &Event) {
-    let _ = write!(
+fn write_event<W: Write>(out: &mut W, event: &Event) -> io::Result<()> {
+    write!(
         out,
         "EVENT {} {} {} {}",
         event.region.as_u32(),
         event.start.as_nanos(),
         event.end.as_nanos(),
         event.wait.as_nanos()
-    );
+    )?;
     match event.comm {
-        CommInfo::Compute => {
-            let _ = writeln!(out, " COMPUTE");
-        }
+        CommInfo::Compute => writeln!(out, " COMPUTE"),
         CommInfo::Send { peer, tag, bytes } => {
-            let _ = writeln!(out, " SEND {} {tag} {bytes}", peer.as_u32());
+            writeln!(out, " SEND {} {tag} {bytes}", peer.as_u32())
         }
         CommInfo::Recv { peer, tag, bytes } => {
-            let _ = writeln!(out, " RECV {} {tag} {bytes}", peer.as_u32());
+            writeln!(out, " RECV {} {tag} {bytes}", peer.as_u32())
         }
         CommInfo::SendRecv {
             to,
             from,
             tag,
             bytes,
-        } => {
-            let _ = writeln!(
-                out,
-                " SENDRECV {} {} {tag} {bytes}",
-                to.as_u32(),
-                from.as_u32()
-            );
-        }
+        } => writeln!(
+            out,
+            " SENDRECV {} {} {tag} {bytes}",
+            to.as_u32(),
+            from.as_u32()
+        ),
         CommInfo::Collective {
             op,
             root,
             comm_size,
             bytes,
-        } => {
-            let _ = writeln!(
-                out,
-                " COLLECTIVE {} {} {comm_size} {bytes}",
-                op.mpi_name(),
-                root.as_u32()
-            );
-        }
+        } => writeln!(
+            out,
+            " COLLECTIVE {} {} {comm_size} {bytes}",
+            op.mpi_name(),
+            root.as_u32()
+        ),
     }
 }
 
-/// Serializes a full application trace to the text format.
-pub fn write_app_trace(app: &AppTrace) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{APP_HEADER}");
-    write_tables(
-        &mut out,
+fn write_record<W: Write>(out: &mut W, record: &TraceRecord) -> io::Result<()> {
+    match record {
+        TraceRecord::SegmentBegin { context, time } => {
+            writeln!(out, "SEG_BEGIN {} {}", context.as_u32(), time.as_nanos())
+        }
+        TraceRecord::SegmentEnd { context, time } => {
+            writeln!(out, "SEG_END {} {}", context.as_u32(), time.as_nanos())
+        }
+        TraceRecord::Event(event) => write_event(out, event),
+    }
+}
+
+/// Incremental text writer for a full application trace.
+///
+/// The header (magic line, `TRACE` line, REGION/CONTEXT tables) is written
+/// up front; rank sections are then emitted record by record.  The writer
+/// tracks how many rank sections were written and refuses to finish unless
+/// it matches the declared count, so a streamed file is always parseable.
+pub struct AppTraceTextWriter<W: Write> {
+    out: W,
+    declared_ranks: usize,
+    ranks_written: usize,
+    in_rank: bool,
+}
+
+impl<W: Write> AppTraceTextWriter<W> {
+    /// Writes the file header and tables, ready for rank sections.
+    pub fn new(
+        mut out: W,
+        app_name: &str,
+        declared_ranks: usize,
+        regions: &[String],
+        contexts: &[String],
+    ) -> io::Result<Self> {
+        writeln!(out, "{APP_HEADER}")?;
+        write_tables(&mut out, app_name, declared_ranks, regions, contexts)?;
+        Ok(AppTraceTextWriter {
+            out,
+            declared_ranks,
+            ranks_written: 0,
+            in_rank: false,
+        })
+    }
+
+    /// Opens the next rank section.
+    ///
+    /// # Panics
+    /// Panics if a rank section is already open.
+    pub fn begin_rank(&mut self, rank: Rank) -> io::Result<()> {
+        assert!(!self.in_rank, "previous rank section is still open");
+        self.in_rank = true;
+        writeln!(self.out, "RANK {}", rank.as_u32())
+    }
+
+    /// Writes one record into the open rank section.
+    ///
+    /// # Panics
+    /// Panics if no rank section is open.
+    pub fn record(&mut self, record: &TraceRecord) -> io::Result<()> {
+        assert!(self.in_rank, "no open rank section");
+        write_record(&mut self.out, record)
+    }
+
+    /// Closes the open rank section.
+    ///
+    /// # Panics
+    /// Panics if no rank section is open.
+    pub fn end_rank(&mut self) -> io::Result<()> {
+        assert!(self.in_rank, "no open rank section");
+        self.in_rank = false;
+        self.ranks_written += 1;
+        writeln!(self.out, "END_RANK")
+    }
+
+    /// Writes the trailer and returns the underlying writer.
+    ///
+    /// # Panics
+    /// Panics if a rank section is still open or the number of rank
+    /// sections written differs from the declared count.
+    pub fn finish(mut self) -> io::Result<W> {
+        assert!(!self.in_rank, "a rank section is still open");
+        assert_eq!(
+            self.ranks_written, self.declared_ranks,
+            "declared {} ranks but wrote {}",
+            self.declared_ranks, self.ranks_written
+        );
+        writeln!(self.out, "END_TRACE")?;
+        Ok(self.out)
+    }
+}
+
+/// Serializes a full application trace to the text format via `out`.
+pub fn write_app_trace_to<W: Write>(out: W, app: &AppTrace) -> io::Result<W> {
+    let mut writer = AppTraceTextWriter::new(
+        out,
         &app.name,
         app.rank_count(),
         app.regions.names(),
         app.contexts.names(),
-    );
+    )?;
     for rank in &app.ranks {
-        let _ = writeln!(out, "RANK {}", rank.rank.as_u32());
+        writer.begin_rank(rank.rank)?;
         for record in &rank.records {
-            match record {
-                TraceRecord::SegmentBegin { context, time } => {
-                    let _ = writeln!(out, "SEG_BEGIN {} {}", context.as_u32(), time.as_nanos());
-                }
-                TraceRecord::SegmentEnd { context, time } => {
-                    let _ = writeln!(out, "SEG_END {} {}", context.as_u32(), time.as_nanos());
-                }
-                TraceRecord::Event(event) => write_event(&mut out, event),
-            }
+            writer.record(record)?;
         }
-        let _ = writeln!(out, "END_RANK");
+        writer.end_rank()?;
     }
-    let _ = writeln!(out, "END_TRACE");
-    out
+    writer.finish()
 }
 
-/// Serializes a reduced application trace to the text format.
-pub fn write_reduced_trace(reduced: &ReducedAppTrace) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{REDUCED_HEADER}");
+/// Serializes a full application trace to the text format.
+pub fn write_app_trace(app: &AppTrace) -> String {
+    let bytes = write_app_trace_to(Vec::new(), app).expect("writing to a Vec cannot fail");
+    String::from_utf8(bytes).expect("the text format is valid UTF-8")
+}
+
+/// Serializes a reduced application trace to the text format via `out`.
+pub fn write_reduced_trace_to<W: Write>(mut out: W, reduced: &ReducedAppTrace) -> io::Result<W> {
+    writeln!(out, "{REDUCED_HEADER}")?;
     write_tables(
         &mut out,
         &reduced.name,
         reduced.rank_count(),
         reduced.regions.names(),
         reduced.contexts.names(),
-    );
+    )?;
     for rank in &reduced.ranks {
-        let _ = writeln!(out, "RANK {}", rank.rank.as_u32());
+        writeln!(out, "RANK {}", rank.rank.as_u32())?;
         for stored in &rank.stored {
-            let _ = writeln!(
+            writeln!(
                 out,
                 "STORED {} {} {} {} {}",
                 stored.id,
@@ -125,23 +215,30 @@ pub fn write_reduced_trace(reduced: &ReducedAppTrace) -> String {
                 stored.segment.context.as_u32(),
                 stored.segment.end.as_nanos(),
                 stored.segment.events.len()
-            );
+            )?;
             for event in &stored.segment.events {
-                write_event(&mut out, event);
+                write_event(&mut out, event)?;
             }
         }
         for exec in &rank.execs {
-            let _ = writeln!(out, "EXEC {} {}", exec.segment, exec.start.as_nanos());
+            writeln!(out, "EXEC {} {}", exec.segment, exec.start.as_nanos())?;
         }
-        let _ = writeln!(out, "END_RANK");
+        writeln!(out, "END_RANK")?;
     }
-    let _ = writeln!(out, "END_TRACE");
-    out
+    writeln!(out, "END_TRACE")?;
+    Ok(out)
+}
+
+/// Serializes a reduced application trace to the text format.
+pub fn write_reduced_trace(reduced: &ReducedAppTrace) -> String {
+    let bytes = write_reduced_trace_to(Vec::new(), reduced).expect("writing to a Vec cannot fail");
+    String::from_utf8(bytes).expect("the text format is valid UTF-8")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parse::parse_app_trace;
     use trace_reduce::{Method, Reducer};
     use trace_sim::{SizePreset, Workload, WorkloadKind};
 
@@ -183,5 +280,42 @@ mod tests {
         assert_eq!(text.matches("STORED ").count(), reduced.total_stored());
         assert_eq!(text.matches("EXEC ").count(), reduced.total_execs());
         assert!(text.ends_with("END_TRACE\n"));
+    }
+
+    #[test]
+    fn incremental_writer_matches_whole_trace_writer() {
+        let app = Workload::new(WorkloadKind::EarlyGather, SizePreset::Tiny).generate();
+        let mut writer = AppTraceTextWriter::new(
+            Vec::new(),
+            &app.name,
+            app.rank_count(),
+            app.regions.names(),
+            app.contexts.names(),
+        )
+        .unwrap();
+        for rank in &app.ranks {
+            writer.begin_rank(rank.rank).unwrap();
+            for record in &rank.records {
+                writer.record(record).unwrap();
+            }
+            writer.end_rank().unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), write_app_trace(&app));
+    }
+
+    #[test]
+    fn io_writers_round_trip_through_the_parser() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let bytes = write_app_trace_to(Vec::new(), &app).unwrap();
+        let parsed = parse_app_trace(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(parsed, app);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared 3 ranks but wrote 0")]
+    fn incremental_writer_enforces_the_declared_rank_count() {
+        let writer = AppTraceTextWriter::new(Vec::new(), "x", 3, &[], &[]).unwrap();
+        let _ = writer.finish();
     }
 }

@@ -17,7 +17,8 @@ use crate::sweep3d::{sweep3d, Sweep3dParams};
 /// How large a run to generate.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SizePreset {
-    /// Paper-scale runs (what the benches and EXPERIMENTS.md use).
+    /// Paper-scale runs: what `TRACE_REPRO_PRESET=paper cargo bench` and
+    /// the recorded numbers in `EXPERIMENTS.md` (repository root) use.
     Paper,
     /// Reduced iteration counts; keeps every behaviour but runs quickly.
     /// Used by the integration tests and examples.
@@ -194,6 +195,68 @@ impl Workload {
     }
 }
 
+impl Workload {
+    /// Generates the workload and writes it to `out` in the text trace
+    /// format, ready for streaming consumers (`trace-tools reduce --stream`,
+    /// the `trace_stream` crate).
+    pub fn write_text_to<W: std::io::Write>(&self, out: W) -> std::io::Result<W> {
+        trace_format::write_app_trace_to(out, &self.generate())
+    }
+
+    /// Writes the workload to `out` in the text trace format with every
+    /// rank's run replayed `repeats` times back-to-back (time stamps offset
+    /// so each rank stays monotone).
+    ///
+    /// Only one in-memory copy of the workload is generated regardless of
+    /// `repeats`, and the amplified trace is streamed out record by record
+    /// — this is how the end-to-end big-trace tests and benches produce
+    /// traces much larger than the generator's working set.  A `repeats`
+    /// of 0 is treated as 1.
+    pub fn write_text_amplified_to<W: std::io::Write>(
+        &self,
+        out: W,
+        repeats: usize,
+    ) -> std::io::Result<W> {
+        use trace_model::{Time, TraceRecord};
+
+        let repeats = repeats.max(1);
+        let app = self.generate();
+        // Any per-repeat offset >= the run's end keeps each rank's record
+        // stream monotone; the app-wide end keeps ranks aligned.
+        let period = app.end_time().as_nanos();
+
+        let mut writer = trace_format::AppTraceTextWriter::new(
+            out,
+            &app.name,
+            app.rank_count(),
+            app.regions.names(),
+            app.contexts.names(),
+        )?;
+        for rank in &app.ranks {
+            writer.begin_rank(rank.rank)?;
+            for repeat in 0..repeats {
+                let offset = Time::from_nanos(period * repeat as u64);
+                for record in &rank.records {
+                    let shifted = match record {
+                        TraceRecord::SegmentBegin { context, time } => TraceRecord::SegmentBegin {
+                            context: *context,
+                            time: *time + offset,
+                        },
+                        TraceRecord::SegmentEnd { context, time } => TraceRecord::SegmentEnd {
+                            context: *context,
+                            time: *time + offset,
+                        },
+                        TraceRecord::Event(event) => TraceRecord::Event(event.offset(offset)),
+                    };
+                    writer.record(&shifted)?;
+                }
+            }
+            writer.end_rank()?;
+        }
+        writer.finish()
+    }
+}
+
 fn regular_params(preset: SizePreset) -> RegularParams {
     let paper = RegularParams::paper();
     RegularParams {
@@ -284,6 +347,29 @@ mod tests {
             assert!(app.is_well_formed(), "{} malformed", app.name);
             assert!(app.total_events() > 0);
         }
+    }
+
+    #[test]
+    fn write_text_to_round_trips_through_the_format_parser() {
+        let workload = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny);
+        let bytes = workload.write_text_to(Vec::new()).unwrap();
+        let parsed = trace_format::parse_app_trace(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(parsed, workload.generate());
+    }
+
+    #[test]
+    fn amplified_traces_replay_the_run_and_stay_well_formed() {
+        let workload = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny);
+        let app = workload.generate();
+        let bytes = workload.write_text_amplified_to(Vec::new(), 5).unwrap();
+        let parsed = trace_format::parse_app_trace(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert!(parsed.is_well_formed());
+        assert_eq!(parsed.rank_count(), app.rank_count());
+        assert_eq!(parsed.total_events(), 5 * app.total_events());
+        // repeats = 0 degrades to a single copy.
+        let once = workload.write_text_amplified_to(Vec::new(), 0).unwrap();
+        let single = trace_format::parse_app_trace(std::str::from_utf8(&once).unwrap()).unwrap();
+        assert_eq!(single, app);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Error type for streaming reduction.
+
+use std::fmt;
+use std::io;
+
+use trace_format::FormatError;
+
+/// An error encountered while streaming a trace: either the underlying
+/// reader failed or a line did not parse.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line failed to parse or the trace structure is invalid.
+    Format(FormatError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "trace stream i/o error: {e}"),
+            StreamError::Format(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<FormatError> for StreamError {
+    fn from(e: FormatError) -> Self {
+        StreamError::Format(e)
+    }
+}
+
+impl StreamError {
+    /// The format error, if this is a parse failure.
+    pub fn as_format(&self) -> Option<&FormatError> {
+        match self {
+            StreamError::Format(e) => Some(e),
+            StreamError::Io(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_distinguishes_the_two_causes() {
+        let io_err = StreamError::from(io::Error::other("boom"));
+        assert!(io_err.to_string().contains("i/o error"));
+        assert!(io_err.as_format().is_none());
+        let fmt_err = StreamError::from(FormatError::at(3, "bad"));
+        assert!(fmt_err.to_string().contains("line 3"));
+        assert_eq!(fmt_err.as_format().unwrap().line, 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Streaming, bounded-memory trace reduction.
+//!
+//! The paper's stored-segments reducer exists because full event traces are
+//! too large to keep around — yet reducing a trace by first materializing a
+//! full [`trace_model::AppTrace`] reintroduces exactly that memory wall.
+//! This crate removes it for the text trace format:
+//!
+//! * [`parser::StreamParser`] — an incremental, line-oriented pull parser
+//!   over any [`std::io::BufRead`] source, built on the same record grammar
+//!   as `trace_format` (one line resident at a time).
+//! * [`reduce::reduce_stream`] — feeds each completed segment straight into
+//!   the stored-segments loop ([`trace_reduce::OnlineRankReducer`]) as it
+//!   arrives.  Resident segment state is O(stored representatives + one
+//!   in-flight segment per active rank), never O(total events), and the
+//!   output is identical to the in-memory [`trace_reduce::Reducer`] —
+//!   both paths drive the same state machines.
+//! * [`shard::reduce_stream_sharded`] / [`shard::reduce_trace_file`] —
+//!   batch rank sections across crossbeam worker threads
+//!   ([`trace_reduce::scoped_workers`]), each worker streaming its own
+//!   reader and skipping the sections owned by other workers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::io::Cursor;
+//! use trace_format::write_app_trace;
+//! use trace_reduce::{Method, MethodConfig, Reducer};
+//! use trace_sim::{SizePreset, Workload, WorkloadKind};
+//! use trace_stream::reduce_stream;
+//!
+//! let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+//! let text = write_app_trace(&app);
+//!
+//! let config = MethodConfig::with_default_threshold(Method::AvgWave);
+//! let streamed = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
+//!
+//! // Identical to the in-memory path, with bounded resident state.
+//! assert_eq!(streamed.reduced, Reducer::new(config).reduce_app(&app));
+//! assert!(streamed.stats.peak_resident_segments <= streamed.stats.stored + 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod parser;
+pub mod reduce;
+pub mod shard;
+
+pub use error::StreamError;
+pub use parser::{AppItem, StreamParser};
+pub use reduce::{reduce_stream, StreamReduction, StreamStats};
+pub use shard::{reduce_stream_sharded, reduce_trace_file};

@@ -1,0 +1,231 @@
+//! Online, bounded-memory reduction of a streamed trace.
+//!
+//! The reducer consumes [`StreamParser`] items and feeds each completed
+//! segment straight into the stored-segments loop
+//! ([`trace_reduce::OnlineRankReducer`]) as it arrives.  At any instant the
+//! resident segment state is the stored representatives accumulated so far
+//! plus at most one in-flight segment per active rank — never the full
+//! event stream.  [`StreamStats::peak_resident_segments`] instruments
+//! exactly that quantity so tests can assert the bound.
+
+use std::io::BufRead;
+
+use trace_model::{ReducedAppTrace, ReducedRankTrace, TraceRecord};
+use trace_reduce::{MethodConfig, OnlineRankReducer, OnlineSegmenter};
+
+use crate::error::StreamError;
+use crate::parser::{AppItem, StreamParser};
+
+/// Instrumentation counters from one streaming reduction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Rank sections reduced (excludes ranks skipped by other shards).
+    pub ranks: usize,
+    /// Event records seen in reduced ranks.
+    pub events: usize,
+    /// Segments cut from the stream and fed to the reducer.
+    pub segments: usize,
+    /// Stored representative segments in the output.
+    pub stored: usize,
+    /// Segment executions in the output.
+    pub execs: usize,
+    /// Peak number of segments resident at once: stored representatives
+    /// accumulated so far plus in-flight segments.  The streaming guarantee
+    /// is `peak_resident_segments ≤ total stored + active ranks`, however
+    /// long the trace is.  For sharded runs this is the *sum* of the
+    /// per-worker peaks — an upper bound on the true concurrent total,
+    /// since workers generally peak at different moments.
+    pub peak_resident_segments: usize,
+    /// Events encountered outside any segment (dropped).
+    pub orphan_events: usize,
+    /// Segments closed implicitly (missing or mismatched end markers).
+    pub unterminated_segments: usize,
+}
+
+impl StreamStats {
+    /// Merges counters from another (concurrently collected) run.  Counts
+    /// add up exactly; the peaks are also summed, which over-approximates
+    /// the true concurrent peak (each worker's resident set coexists with
+    /// the others', but their maxima need not coincide in time), so the
+    /// merged value is a safe upper bound rather than an observation.
+    pub fn absorb(&mut self, other: &StreamStats) {
+        self.ranks += other.ranks;
+        self.events += other.events;
+        self.segments += other.segments;
+        self.stored += other.stored;
+        self.execs += other.execs;
+        self.peak_resident_segments += other.peak_resident_segments;
+        self.orphan_events += other.orphan_events;
+        self.unterminated_segments += other.unterminated_segments;
+    }
+}
+
+/// The outcome of a streaming reduction: the reduced trace plus the
+/// instrumentation counters.
+#[derive(Clone, Debug)]
+pub struct StreamReduction {
+    /// The reduced application trace (identical to the in-memory path).
+    pub reduced: ReducedAppTrace,
+    /// Instrumentation counters.
+    pub stats: StreamStats,
+}
+
+/// Reduces the rank sections selected by `take` (by 0-based section index),
+/// skipping the rest, and returns `(index, reduced rank)` pairs in stream
+/// order together with the instrumentation counters.
+pub(crate) fn reduce_selected_ranks<R: BufRead>(
+    config: MethodConfig,
+    parser: &mut StreamParser<R>,
+    mut take: impl FnMut(usize) -> bool,
+) -> Result<(Vec<(usize, ReducedRankTrace)>, StreamStats), StreamError> {
+    let mut out: Vec<(usize, ReducedRankTrace)> = Vec::new();
+    let mut stats = StreamStats::default();
+    let mut next_index = 0usize;
+    // Stored representatives retained by already-finished ranks; the final
+    // ReducedAppTrace keeps them, so they count toward resident state.
+    let mut stored_retained = 0usize;
+    let mut active: Option<(usize, OnlineSegmenter, OnlineRankReducer)> = None;
+
+    while let Some(item) = parser.next_item()? {
+        match item {
+            AppItem::RankStart(rank) => {
+                let index = next_index;
+                next_index += 1;
+                if take(index) {
+                    active = Some((
+                        index,
+                        OnlineSegmenter::new(),
+                        OnlineRankReducer::new(config, rank),
+                    ));
+                } else {
+                    parser.skip_current_rank()?;
+                }
+            }
+            AppItem::Record(record) => {
+                let (_, segmenter, reducer) = active
+                    .as_mut()
+                    .expect("records only arrive inside a processed rank");
+                if matches!(record, TraceRecord::Event(_)) {
+                    stats.events += 1;
+                }
+                if let Some(segment) = segmenter.push(&record) {
+                    stats.segments += 1;
+                    reducer.push_segment(segment);
+                }
+                let resident = stored_retained
+                    + reducer.stored_count()
+                    + usize::from(segmenter.has_open_segment());
+                stats.peak_resident_segments = stats.peak_resident_segments.max(resident);
+            }
+            AppItem::RankEnd(_) => {
+                let (index, mut segmenter, mut reducer) = active
+                    .take()
+                    .expect("END_RANK only arrives inside a processed rank");
+                if let Some(segment) = segmenter.finish() {
+                    stats.segments += 1;
+                    reducer.push_segment(segment);
+                }
+                let seg_stats = segmenter.stats();
+                stats.orphan_events += seg_stats.orphan_events;
+                stats.unterminated_segments += seg_stats.unterminated_segments;
+                let reduced = reducer.finish();
+                stored_retained += reduced.stored_count();
+                stats.peak_resident_segments = stats.peak_resident_segments.max(stored_retained);
+                stats.ranks += 1;
+                out.push((index, reduced));
+            }
+        }
+    }
+
+    stats.stored = out.iter().map(|(_, r)| r.stored_count()).sum();
+    stats.execs = out.iter().map(|(_, r)| r.exec_count()).sum();
+    Ok((out, stats))
+}
+
+/// Reduces a full-trace text stream with one pass and bounded memory.
+///
+/// The output [`ReducedAppTrace`] is semantically identical to parsing the
+/// whole trace and running [`trace_reduce::Reducer::reduce_app`] — both
+/// paths drive the same online segmenter and stored-segments state
+/// machines — but the full [`trace_model::AppTrace`] is never constructed.
+pub fn reduce_stream<R: BufRead>(
+    config: MethodConfig,
+    reader: R,
+) -> Result<StreamReduction, StreamError> {
+    let mut parser = StreamParser::new(reader)?;
+    let tables = parser.tables().clone();
+    let (ranks, stats) = reduce_selected_ranks(config, &mut parser, |_| true)?;
+    Ok(StreamReduction {
+        reduced: ReducedAppTrace {
+            name: tables.name,
+            regions: tables.regions,
+            contexts: tables.contexts,
+            ranks: ranks.into_iter().map(|(_, rank)| rank).collect(),
+        },
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use trace_format::write_app_trace;
+    use trace_reduce::{Method, Reducer};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    #[test]
+    fn streamed_reduction_equals_in_memory_reduction_for_every_method() {
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        let text = write_app_trace(&app);
+        for method in Method::ALL {
+            let config = MethodConfig::with_default_threshold(method);
+            let in_memory = Reducer::new(config).reduce_app(&app);
+            let streamed = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
+            assert_eq!(streamed.reduced, in_memory, "{method}");
+            assert_eq!(streamed.stats.execs, in_memory.total_execs(), "{method}");
+            assert_eq!(streamed.stats.stored, in_memory.total_stored(), "{method}");
+        }
+    }
+
+    #[test]
+    fn stats_count_ranks_events_and_segments() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let text = write_app_trace(&app);
+        let config = MethodConfig::with_default_threshold(Method::RelDiff);
+        let streamed = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(streamed.stats.ranks, app.rank_count());
+        assert_eq!(streamed.stats.events, app.total_events());
+        let segment_instances: usize = app
+            .ranks
+            .iter()
+            .map(|r| r.segment_instance_count())
+            .sum::<usize>();
+        assert_eq!(streamed.stats.segments, segment_instances);
+        assert_eq!(streamed.stats.orphan_events, 0);
+        assert_eq!(streamed.stats.unterminated_segments, 0);
+    }
+
+    #[test]
+    fn resident_state_is_bounded_by_stored_plus_inflight() {
+        // 200 identical iterations on one rank: one representative total,
+        // so the peak resident count must stay at 2 (the representative
+        // plus the in-flight segment) even though 200 segments stream by.
+        let mut text = String::from("TRACEFORMAT 1\nTRACE RANKS 1 NAME loop\n");
+        text.push_str("REGION 0 work\nCONTEXT 0 main.1\nRANK 0\n");
+        let mut now = 0u64;
+        for _ in 0..200 {
+            text.push_str(&format!("SEG_BEGIN 0 {now}\n"));
+            text.push_str(&format!("EVENT 0 {} {} 0 COMPUTE\n", now + 10, now + 90));
+            text.push_str(&format!("SEG_END 0 {}\n", now + 100));
+            now += 100;
+        }
+        text.push_str("END_RANK\nEND_TRACE\n");
+
+        let config = MethodConfig::with_default_threshold(Method::RelDiff);
+        let streamed = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(streamed.stats.segments, 200);
+        assert_eq!(streamed.stats.stored, 1);
+        assert_eq!(streamed.stats.peak_resident_segments, 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Sharded streaming reduction: ranks batched across worker threads.
+//!
+//! Every worker opens its own reader over the same trace (a fresh
+//! [`std::fs::File`] handle, a cloned in-memory cursor, …), stream-parses
+//! it, and reduces only the rank sections assigned to it (`section index %
+//! shards == worker`), skipping the others without parsing their record
+//! payloads.  The per-rank reductions are merged back in stream order, so
+//! the result is bit-identical to the sequential streaming path — sharding
+//! changes wall-clock time, never the output.  Workers run on the same
+//! crossbeam scoped-thread fan-out as the in-memory parallel reducer
+//! ([`trace_reduce::scoped_workers`]).
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+use parking_lot::Mutex;
+use trace_format::record::TraceTables;
+use trace_model::{ReducedAppTrace, ReducedRankTrace};
+use trace_reduce::{scoped_workers, MethodConfig};
+
+use crate::error::StreamError;
+use crate::parser::StreamParser;
+use crate::reduce::{reduce_selected_ranks, reduce_stream, StreamReduction, StreamStats};
+
+/// Reduces a trace stream with `shards` worker threads, each reading its
+/// own source from `open(worker_index)`.
+///
+/// All readers must yield the same bytes; `shards <= 1` falls back to the
+/// single-pass [`reduce_stream`].
+pub fn reduce_stream_sharded<R, F>(
+    config: MethodConfig,
+    shards: usize,
+    open: F,
+) -> Result<StreamReduction, StreamError>
+where
+    R: BufRead,
+    F: Fn(usize) -> io::Result<R> + Sync,
+{
+    if shards <= 1 {
+        return reduce_stream(config, open(0)?);
+    }
+
+    type WorkerOut = (Vec<(usize, ReducedRankTrace)>, StreamStats, TraceTables);
+    let slots: Vec<Mutex<Option<Result<WorkerOut, StreamError>>>> =
+        (0..shards).map(|_| Mutex::new(None)).collect();
+
+    scoped_workers(shards, |worker| {
+        let result = (|| {
+            let mut parser = StreamParser::new(open(worker)?)?;
+            let tables = parser.tables().clone();
+            let (ranks, stats) =
+                reduce_selected_ranks(config, &mut parser, |index| index % shards == worker)?;
+            Ok((ranks, stats, tables))
+        })();
+        *slots[worker].lock() = Some(result);
+    });
+
+    let mut all: Vec<(usize, ReducedRankTrace)> = Vec::new();
+    let mut stats = StreamStats::default();
+    let mut tables: Option<TraceTables> = None;
+    for slot in slots {
+        let (ranks, worker_stats, worker_tables) =
+            slot.into_inner().expect("every worker fills its slot")?;
+        all.extend(ranks);
+        stats.absorb(&worker_stats);
+        tables.get_or_insert(worker_tables);
+    }
+    let tables = tables.expect("at least one worker ran");
+
+    all.sort_by_key(|(index, _)| *index);
+    debug_assert!(
+        all.iter().enumerate().all(|(i, (index, _))| i == *index),
+        "every rank section is reduced exactly once"
+    );
+
+    Ok(StreamReduction {
+        reduced: ReducedAppTrace {
+            name: tables.name,
+            regions: tables.regions,
+            contexts: tables.contexts,
+            ranks: all.into_iter().map(|(_, rank)| rank).collect(),
+        },
+        stats,
+    })
+}
+
+/// Reduces a trace file with `shards` worker threads, each with its own
+/// buffered file handle.
+pub fn reduce_trace_file(
+    config: MethodConfig,
+    path: impl AsRef<Path>,
+    shards: usize,
+) -> Result<StreamReduction, StreamError> {
+    let path = path.as_ref();
+    reduce_stream_sharded(config, shards.max(1), |_| {
+        File::open(path).map(BufReader::new)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use trace_format::write_app_trace;
+    use trace_reduce::{Method, Reducer};
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    #[test]
+    fn sharded_reduction_is_identical_to_sequential_for_any_shard_count() {
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        let text = write_app_trace(&app);
+        for method in [Method::AvgWave, Method::RelDiff, Method::IterAvg] {
+            let config = MethodConfig::with_default_threshold(method);
+            let in_memory = Reducer::new(config).reduce_app(&app);
+            for shards in [1, 2, 3, 8, 64] {
+                let sharded = reduce_stream_sharded(config, shards, |_| {
+                    Ok(Cursor::new(text.as_bytes().to_vec()))
+                })
+                .unwrap();
+                assert_eq!(sharded.reduced, in_memory, "{method} with {shards} shards");
+                assert_eq!(sharded.stats.ranks, app.rank_count());
+                assert_eq!(sharded.stats.events, app.total_events());
+            }
+        }
+    }
+
+    #[test]
+    fn file_driver_round_trips_through_a_real_file() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let mut path = std::env::temp_dir();
+        path.push(format!("trace_stream_shard_{}.txt", std::process::id()));
+        std::fs::write(&path, write_app_trace(&app)).unwrap();
+
+        let config = MethodConfig::with_default_threshold(Method::Euclidean);
+        let expected = Reducer::new(config).reduce_app(&app);
+        for shards in [1, 4] {
+            let result = reduce_trace_file(config, &path, shards).unwrap();
+            assert_eq!(result.reduced, expected, "{shards} shards");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn worker_errors_are_reported() {
+        let err = reduce_stream_sharded(
+            MethodConfig::with_default_threshold(Method::RelDiff),
+            3,
+            |_| Ok(Cursor::new(b"BOGUS\n".to_vec())),
+        )
+        .unwrap_err();
+        assert!(err.as_format().is_some(), "{err}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Property: streaming reduction ≡ in-memory reduction.
+//!
+//! Random multi-rank traces (mixed contexts, event shapes and timings,
+//! including repeated same-shape segments so matching actually happens) are
+//! serialized to the text format and reduced twice — once in memory via
+//! [`trace_reduce::Reducer`], once via [`trace_stream::reduce_stream`] —
+//! for every `Method` variant.  Stored segments and execution logs must be
+//! identical, and the sharded driver must agree with both.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use trace_format::write_app_trace;
+use trace_model::{AppTrace, CommInfo, Event, Rank, Time};
+use trace_reduce::{Method, MethodConfig, Reducer};
+use trace_stream::{reduce_stream, reduce_stream_sharded};
+
+/// One generated segment: which context it runs in, which event-shape
+/// template it instantiates, and a timing jitter applied to its events.
+type SegmentSpec = (u8, u8, u16);
+
+/// Builds a deterministic multi-rank trace from generated segment specs.
+fn build_trace(rank_specs: &[Vec<SegmentSpec>]) -> AppTrace {
+    let mut app = AppTrace::new("proptrace", rank_specs.len());
+    let regions: Vec<_> = (0..3)
+        .map(|i| app.regions.intern(&format!("region_{i}")))
+        .collect();
+    let contexts: Vec<_> = (0..2)
+        .map(|i| app.contexts.intern(&format!("loop.{i}")))
+        .collect();
+
+    for (rank_index, specs) in rank_specs.iter().enumerate() {
+        let rank = &mut app.ranks[rank_index];
+        let mut now = 0u64;
+        for &(ctx, shape, jitter) in specs {
+            let context = contexts[(ctx as usize) % contexts.len()];
+            let jitter = jitter as u64;
+            rank.begin_segment(context, Time::from_nanos(now));
+            let mut cursor = now + 5;
+            // The shape selects the event template; the same shape always
+            // produces the same regions/comm parameters, so same-shape
+            // segments are eligible to match and the jitter decides whether
+            // the similarity metric accepts them.
+            match shape % 3 {
+                0 => {
+                    rank.push_event(Event::compute(
+                        regions[0],
+                        Time::from_nanos(cursor),
+                        Time::from_nanos(cursor + 100 + jitter),
+                    ));
+                    cursor += 100 + jitter;
+                }
+                1 => {
+                    rank.push_event(Event::compute(
+                        regions[1],
+                        Time::from_nanos(cursor),
+                        Time::from_nanos(cursor + 50),
+                    ));
+                    cursor += 50;
+                    rank.push_event(Event::with_comm(
+                        regions[2],
+                        Time::from_nanos(cursor),
+                        Time::from_nanos(cursor + 200 + 2 * jitter),
+                        CommInfo::Send {
+                            peer: Rank(((rank_index + 1) % rank_specs.len().max(1)) as u32),
+                            tag: 7,
+                            bytes: 1024,
+                        },
+                    ));
+                    cursor += 200 + 2 * jitter;
+                }
+                _ => {
+                    rank.push_event(Event::with_comm(
+                        regions[2],
+                        Time::from_nanos(cursor),
+                        Time::from_nanos(cursor + 300 + jitter),
+                        CommInfo::Recv {
+                            peer: Rank(0),
+                            tag: 7,
+                            bytes: 1024,
+                        },
+                    ));
+                    cursor += 300 + jitter;
+                }
+            }
+            rank.end_segment(context, Time::from_nanos(cursor + 5));
+            now = cursor + 10;
+        }
+    }
+    app
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streaming_reducer_equals_in_memory_reducer(rank_specs in prop::collection::vec(
+        prop::collection::vec((0u8..4, 0u8..4, 0u16..2000), 0..10),
+        1..4,
+    )) {
+        let app = build_trace(&rank_specs);
+        prop_assert!(app.is_well_formed());
+        let text = write_app_trace(&app);
+
+        for method in Method::ALL {
+            let config = MethodConfig::with_default_threshold(method);
+            let in_memory = Reducer::new(config).reduce_app(&app);
+            let streamed = reduce_stream(config, Cursor::new(text.as_bytes()))
+                .expect("generated traces parse");
+            // Same stored segments, same execution logs, for every rank.
+            prop_assert_eq!(&streamed.reduced, &in_memory, "{}", method);
+            // And the resident bound holds: stored + one in-flight segment
+            // per (single) active rank.
+            prop_assert!(
+                streamed.stats.peak_resident_segments <= streamed.stats.stored + 1,
+                "{}: peak {} vs stored {}",
+                method,
+                streamed.stats.peak_resident_segments,
+                streamed.stats.stored
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_streaming_agrees_with_sequential(rank_specs in prop::collection::vec(
+        prop::collection::vec((0u8..4, 0u8..4, 0u16..2000), 0..8),
+        1..5,
+    )) {
+        let app = build_trace(&rank_specs);
+        let text = write_app_trace(&app);
+        let config = MethodConfig::with_default_threshold(Method::AvgWave);
+        let sequential = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
+        for shards in [2usize, 3] {
+            let sharded = reduce_stream_sharded(config, shards, |_| {
+                Ok(Cursor::new(text.as_bytes().to_vec()))
+            })
+            .unwrap();
+            prop_assert_eq!(&sharded.reduced, &sequential.reduced, "{} shards", shards);
+        }
+    }
+}
+
+#[test]
+fn thresholded_methods_agree_across_the_threshold_grid() {
+    // Sweep the paper's threshold grids on one fixed trace: the streaming
+    // and in-memory reducers must agree at every operating point, not just
+    // the defaults.
+    let specs: Vec<Vec<SegmentSpec>> = vec![
+        (0..20)
+            .map(|i| (0u8, (i % 3) as u8, (i * 97 % 1500) as u16))
+            .collect(),
+        (0..15)
+            .map(|i| (1u8, (i % 2) as u8, (i * 131 % 900) as u16))
+            .collect(),
+    ];
+    let app = build_trace(&specs);
+    let text = write_app_trace(&app);
+    for method in Method::ALL {
+        for threshold in method.threshold_grid() {
+            let config = MethodConfig::new(method, threshold);
+            let in_memory = Reducer::new(config).reduce_app(&app);
+            let streamed = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
+            assert_eq!(streamed.reduced, in_memory, "{method} @ {threshold}");
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`trace_clustering`] — inter-process clustering and representative-rank
 //!   reduction.
 //! * [`trace_format`] — OTF-style text trace format writer/parser.
+//! * [`trace_stream`] — online, bounded-memory streaming reduction over
+//!   text trace files (incremental parser, online reducer, sharded driver).
 
 pub use trace_analysis as analysis;
 pub use trace_clustering as clustering;
@@ -21,4 +23,5 @@ pub use trace_model as model;
 pub use trace_reduce as reduce;
 pub use trace_sampling as sampling;
 pub use trace_sim as sim;
+pub use trace_stream as stream;
 pub use trace_wavelet as wavelet;

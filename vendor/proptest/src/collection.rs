@@ -4,7 +4,7 @@ use std::ops::Range;
 
 use crate::{Strategy, TestRng};
 
-/// The length specification accepted by [`vec`]: an exact `usize` or a
+/// The length specification accepted by [`vec()`]: an exact `usize` or a
 /// half-open `Range<usize>`, mirroring `proptest::collection::SizeRange`.
 #[derive(Debug, Clone)]
 pub struct SizeRange(Range<usize>);

@@ -11,16 +11,30 @@
 //! * [`ProptestConfig::with_cases`].
 //!
 //! Differences from real proptest: generation is driven by a fixed
-//! per-test seed (derived from the test name), there is **no shrinking**,
-//! and failures panic immediately with the case number.  Each test is
-//! therefore exactly as deterministic as a table-driven test, which is the
-//! property the workspace's CI relies on.
+//! per-test seed (derived from the test name), and failures panic with the
+//! case number.  Each test is therefore exactly as deterministic as a
+//! table-driven test, which is the property the workspace's CI relies on.
+//!
+//! # Shrinking
+//!
+//! Real proptest shrinks through its strategy tree; this shim shrinks the
+//! *random stream* instead (the way Hypothesis does internally).  Every
+//! `u64` a strategy draws during a case is recorded; when the case fails,
+//! the recorded stream is greedily minimized — tail truncation (replaying a
+//! short stream pads with zeros) and per-entry halving toward zero — while
+//! the test keeps failing.  Because every strategy (including `prop_map`
+//! and `prop_flat_map` compositions) derives its values from the stream,
+//! and because smaller draws mean smaller integers, shorter collections and
+//! range minimums, the minimized stream regenerates a minimized
+//! counterexample.  The case is then re-run un-caught so the test fails
+//! with the *minimized* inputs in its assertion message.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::{RngCore, SeedableRng};
 
 pub mod collection;
 pub mod sample;
@@ -40,27 +54,81 @@ pub mod prop {
 }
 
 /// The source of randomness handed to strategies.
-pub struct TestRng(StdRng);
+///
+/// Either a seeded RNG that records every draw (normal generation) or a
+/// replay of a recorded stream (shrinking); exhausted replays yield zeros,
+/// which is what makes tail truncation a valid shrink step.
+pub struct TestRng(RngSource);
+
+enum RngSource {
+    Random { rng: StdRng, record: Vec<u64> },
+    Replay { stream: Vec<u64>, pos: usize },
+}
 
 impl TestRng {
     /// Creates a generator for one test, deterministically from `seed`.
     pub fn new(seed: u64) -> Self {
-        TestRng(StdRng::seed_from_u64(seed))
+        TestRng(RngSource::Random {
+            rng: StdRng::seed_from_u64(seed),
+            record: Vec::new(),
+        })
+    }
+
+    /// Creates a generator replaying a recorded stream (zeros once it is
+    /// exhausted).  This is how a shrunk case is regenerated.
+    pub fn replay(stream: Vec<u64>) -> Self {
+        TestRng(RngSource::Replay { stream, pos: 0 })
+    }
+
+    /// One raw draw: every derived generator below goes through here, so
+    /// recording and replaying this stream captures all of generation.
+    fn raw(&mut self) -> u64 {
+        match &mut self.0 {
+            RngSource::Random { rng, record } => {
+                let value = rng.next_u64();
+                record.push(value);
+                value
+            }
+            RngSource::Replay { stream, pos } => {
+                let value = stream.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                value
+            }
+        }
+    }
+
+    /// Clears the per-case record (called at the start of each case).
+    fn start_case(&mut self) {
+        if let RngSource::Random { record, .. } = &mut self.0 {
+            record.clear();
+        }
+    }
+
+    /// The draws recorded since [`TestRng::start_case`].
+    fn case_stream(&self) -> Vec<u64> {
+        match &self.0 {
+            RngSource::Random { record, .. } => record.clone(),
+            RngSource::Replay { stream, .. } => stream.clone(),
+        }
     }
 
     /// Uniform `usize` in `lo..hi`.
     pub fn usize_in(&mut self, range: Range<usize>) -> usize {
-        self.0.gen_range(range)
+        assert!(range.start < range.end, "empty usize range");
+        let span = (range.end - range.start) as u128;
+        range.start + (((self.raw() as u128) * span) >> 64) as usize
     }
 
     /// Next raw `u64` from the stream.
     pub fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        self.raw()
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.0.gen::<f64>()
+        // 53 mantissa bits of one draw; a zero draw maps to 0.0 so replayed
+        // zeros shrink floats toward the range start.
+        (self.raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -343,12 +411,145 @@ pub fn seed_for_test(name: &str) -> u64 {
     hash
 }
 
-/// Runs `cases` generated inputs through a test body.  Used by the
-/// [`proptest!`] macro; not part of the public proptest API.
+/// True if replaying `stream` through `body` panics.
+fn replay_fails(stream: &[u64], case: u32, body: &mut impl FnMut(&mut TestRng, u32)) -> bool {
+    let mut rng = TestRng::replay(stream.to_vec());
+    catch_unwind(AssertUnwindSafe(|| body(&mut rng, case))).is_err()
+}
+
+/// Refcounted suppression of the process-global panic hook.
+///
+/// Shrinking probes candidates by panicking on purpose, so the default
+/// hook would flood the terminal with backtraces.  The hook is process
+/// state and libtest runs tests concurrently, so a bare take/set pair
+/// races: two shrinking tests could capture each other's silent hook and
+/// leave it installed forever.  Instead the first shrinker to arrive
+/// stashes the real hook and the last one to leave restores it.
+mod panic_hook_guard {
+    use std::panic::PanicHookInfo;
+    use std::sync::Mutex;
+
+    type Hook = Box<dyn Fn(&PanicHookInfo<'_>) + Sync + Send + 'static>;
+    static GUARD: Mutex<(usize, Option<Hook>)> = Mutex::new((0, None));
+
+    /// Installs the silent hook (first caller only) and bumps the count.
+    pub fn silence() {
+        let mut guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.0 == 0 {
+            guard.1 = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        guard.0 += 1;
+    }
+
+    /// Drops the count and restores the real hook (last caller only).
+    pub fn restore() {
+        let mut guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        guard.0 -= 1;
+        if guard.0 == 0 {
+            if let Some(hook) = guard.1.take() {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+}
+
+/// Greedily minimizes a failing random stream: tail truncation (halving the
+/// length, then dropping single entries) and per-entry halving toward zero,
+/// repeated to a fixpoint or until the attempt budget runs out.  Returns
+/// the smallest still-failing stream and the number of attempts spent.
+fn shrink_stream(
+    stream: Vec<u64>,
+    case: u32,
+    body: &mut impl FnMut(&mut TestRng, u32),
+) -> (Vec<u64>, usize) {
+    const BUDGET: usize = 512;
+    // Probing candidates panics on purpose; suppress the default hook for
+    // the duration (refcounted — see `panic_hook_guard`).
+    panic_hook_guard::silence();
+
+    let mut best = stream;
+    let mut attempts = 0;
+    loop {
+        let mut improved = false;
+
+        // Truncation, coarse to fine: replayed streams pad with zeros, so a
+        // shorter stream is always a *simpler* case of the same test.
+        while best.len() > 1 && attempts < BUDGET {
+            let candidate = best[..best.len() / 2].to_vec();
+            attempts += 1;
+            if replay_fails(&candidate, case, body) {
+                best = candidate;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+        while !best.is_empty() && attempts < BUDGET {
+            let candidate = best[..best.len() - 1].to_vec();
+            attempts += 1;
+            if replay_fails(&candidate, case, body) {
+                best = candidate;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+
+        // Halving: walk every entry toward zero while the failure persists.
+        for index in 0..best.len() {
+            while best[index] != 0 && attempts < BUDGET {
+                let mut candidate = best.clone();
+                candidate[index] = if candidate[index] < 16 {
+                    0
+                } else {
+                    candidate[index] / 2
+                };
+                attempts += 1;
+                if replay_fails(&candidate, case, body) {
+                    best = candidate;
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if !improved || attempts >= BUDGET {
+            break;
+        }
+    }
+
+    panic_hook_guard::restore();
+    (best, attempts)
+}
+
+/// Runs `cases` generated inputs through a test body, shrinking the first
+/// failure to a minimized counterexample.  Used by the [`proptest!`] macro;
+/// not part of the public proptest API.
 pub fn run_cases(name: &str, cases: u32, mut body: impl FnMut(&mut TestRng, u32)) {
     let mut rng = TestRng::new(seed_for_test(name));
     for case in 0..cases {
-        body(&mut rng, case);
+        rng.start_case();
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng, case)));
+        let Err(payload) = outcome else { continue };
+
+        let recorded = rng.case_stream();
+        let original_len = recorded.len();
+        let (minimal, attempts) = shrink_stream(recorded, case, &mut body);
+        eprintln!(
+            "proptest(shim): `{name}` failed at case {case}; shrunk the random stream \
+             from {original_len} to {} draws in {attempts} attempts — re-running the \
+             minimized case, its assertion follows",
+            minimal.len()
+        );
+        // Re-run the minimized case un-caught so the test fails with the
+        // minimized inputs in its assertion message...
+        let mut replay = TestRng::replay(minimal);
+        body(&mut replay, case);
+        // ...and if a nondeterministic body passed this time, surface the
+        // original failure instead of silently swallowing it.
+        resume_unwind(payload);
     }
 }
 
@@ -439,5 +640,72 @@ mod tests {
         let mut b = Vec::new();
         crate::run_cases("determinism", 16, |rng, _| b.push(strat.generate(rng)));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrinking_halves_values_toward_the_smallest_failure() {
+        // Failure condition: x >= 100 out of 0..1000.  Starting from the
+        // maximal draw (x = 999), halving must land within a factor of two
+        // of the 100 boundary — never below it (that would pass), never
+        // far above it (that would be unshrunk).
+        let mut body = |rng: &mut crate::TestRng, _case: u32| {
+            let x = (0u64..1000).generate(rng);
+            assert!(x < 100, "x = {x}");
+        };
+        let (minimal, attempts) = crate::shrink_stream(vec![u64::MAX], 0, &mut body);
+        assert!(attempts > 0);
+        let x = (0u64..1000).generate(&mut crate::TestRng::replay(minimal));
+        assert!((100..200).contains(&x), "shrunk to x = {x}");
+    }
+
+    #[test]
+    fn shrinking_truncates_collections() {
+        // Failure condition: the vec has >= 3 elements.  Shrinking must
+        // truncate the stream down to the minimal failing length, and the
+        // surviving elements must shrink to the range minimum (zero draws).
+        let strat = prop::collection::vec(0u32..50, 0..20);
+        let mut body = |rng: &mut crate::TestRng, _case: u32| {
+            let v = strat.generate(rng);
+            assert!(v.len() < 3, "v = {v:?}");
+        };
+        // Find a failing stream by generating until the body panics.
+        let mut rng = crate::TestRng::new(crate::seed_for_test("truncate_demo"));
+        let stream = loop {
+            rng.start_case();
+            let failed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng, 0)))
+                    .is_err();
+            if failed {
+                break rng.case_stream();
+            }
+        };
+        let (minimal, _) = crate::shrink_stream(stream, 0, &mut body);
+        let v = strat.generate(&mut crate::TestRng::replay(minimal));
+        assert_eq!(v, vec![0, 0, 0], "minimal counterexample: {v:?}");
+    }
+
+    #[test]
+    fn failing_property_tests_report_the_minimized_case() {
+        // End-to-end through run_cases: the final (un-caught) panic must
+        // carry the *minimized* inputs, i.e. a sum just over the limit
+        // rather than whatever the first failing case happened to draw.
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases("shrink_e2e", 64, |rng, _| {
+                let v = prop::collection::vec(0u64..1000, 0..12).generate(rng);
+                let sum: u64 = v.iter().sum();
+                assert!(sum < 500, "sum = {sum}");
+            });
+        });
+        let payload = result.expect_err("the property is violated");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("assert! panics with a String");
+        let sum: u64 = message
+            .trim_start_matches(|c: char| !c.is_ascii_digit())
+            .trim()
+            .parse()
+            .expect("message ends with the sum");
+        assert!((500..1000).contains(&sum), "minimized sum = {sum}");
     }
 }
