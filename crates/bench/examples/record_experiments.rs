@@ -9,11 +9,15 @@ use std::io::Cursor;
 use std::time::Instant;
 
 use trace_bench::preset_from_env;
+use trace_container::ChunkSpec;
 use trace_eval::file_size_percent;
 use trace_format::parse_app_trace;
+use trace_model::codec::{decode_app_trace, encode_app_trace};
 use trace_reduce::{Method, MethodConfig, Reducer};
 use trace_sim::{SizePreset, Workload, WorkloadKind};
-use trace_stream::{reduce_stream, reduce_stream_sharded};
+use trace_stream::{
+    reduce_container_file, reduce_container_stream, reduce_stream, reduce_stream_sharded,
+};
 
 fn main() {
     let preset = preset_from_env(SizePreset::Paper);
@@ -115,5 +119,64 @@ fn main() {
         "| streaming reduce, 4 shards | {:.1} | {} |",
         sharded_wall.as_secs_f64() * 1e3,
         sharded.stats.peak_resident_segments
+    );
+
+    // Table 4: text vs binary encodings of the same amplified trace, and
+    // the binary ingestion pipelines over the chunked container.
+    eprintln!("[record_experiments] encoding the amplified trace as v1 and v2 binaries...");
+    let v1 = encode_app_trace(&app);
+    let v2 = workload
+        .write_container_amplified_to(Vec::new(), repeats, ChunkSpec::default())
+        .expect("writing to a Vec cannot fail");
+    let mut container_path = std::env::temp_dir();
+    container_path.push(format!("record_experiments_{}.trc", std::process::id()));
+    std::fs::write(&container_path, &v2).expect("temp container file");
+
+    let started = Instant::now();
+    let decoded = decode_app_trace(&v1).expect("v1 decodes");
+    let v1_reduced = reducer.reduce_app(&decoded);
+    let v1_wall = started.elapsed();
+
+    let started = Instant::now();
+    let container_streamed = reduce_container_stream(config, Cursor::new(&v2)).unwrap();
+    let container_wall = started.elapsed();
+    assert_eq!(
+        container_streamed.reduced, v1_reduced,
+        "container streaming must match the in-memory binary path"
+    );
+
+    let started = Instant::now();
+    let container_sharded = reduce_container_file(config, &container_path, 4).unwrap();
+    let container_sharded_wall = started.elapsed();
+    assert_eq!(
+        container_sharded.reduced, v1_reduced,
+        "index-sharded ingestion must match"
+    );
+    let _ = std::fs::remove_file(&container_path);
+
+    println!(
+        "\nbinary container comparison (same amplified trace; text {} bytes, \
+         binary v1 {} bytes, container v2 {} bytes, {:.1}% container overhead over v1):\n",
+        text.len(),
+        v1.len(),
+        v2.len(),
+        100.0 * (v2.len() as f64 - v1.len() as f64) / v1.len() as f64
+    );
+    println!("| pipeline | wall time (ms) | peak resident bytes of trace data |");
+    println!("|---|---:|---:|");
+    println!(
+        "| v1 decode + in-memory reduce | {:.1} | {} (whole file) |",
+        v1_wall.as_secs_f64() * 1e3,
+        v1.len()
+    );
+    println!(
+        "| v2 container streaming reduce | {:.1} | {} (one chunk) |",
+        container_wall.as_secs_f64() * 1e3,
+        container_streamed.stats.peak_chunk_bytes
+    );
+    println!(
+        "| v2 container, index-sharded x4 | {:.1} | {} per worker (one chunk) |",
+        container_sharded_wall.as_secs_f64() * 1e3,
+        container_sharded.stats.peak_chunk_bytes
     );
 }

@@ -23,12 +23,16 @@ subcommands:
              [--preset tiny|small|paper]
   reduce     --in FILE --out FILE        similarity-based reduction
              --method M [--threshold T]
-             [--stream [--shards N]]     online bounded-memory reduction of a
-                                         text trace (never loads the full trace)
+             [--stream [--shards N]]     online bounded-memory reduction; input
+                                         format (text, binary v1, container v2)
+                                         is autodetected by magic bytes, and
+                                         v2 containers shard by index footer
   sample     --in FILE --out FILE        sampling-based reduction
              --policy every:N|random:F|adaptive:E [--seed S]
   reconstruct --in REDUCED --out FILE    rebuild an approximate full trace
   convert    --in FILE --out FILE        convert between binary (.trc) and text (.txt)
+             [--container                write a chunked, indexed .trc v2 container
+              [--chunk-segments N]]      (N segments per chunk, default 128)
   analyze    --in FILE                   KOJAK-style wait-state diagnosis
   evaluate   --workload W --method M     run the paper's four criteria
              [--threshold T] [--preset P]
@@ -37,8 +41,57 @@ subcommands:
   extension-study --workload W           compare similarity, sampling and
              [--preset P]                clustering on one workload
 
-file formats are chosen by extension: .txt/.trctxt = text, anything else = binary"
+file formats are chosen by extension: .txt/.trctxt = text, anything else = binary
+(binary reads autodetect monolithic v1 and chunked v2 containers by magic)"
         .to_string()
+}
+
+/// The flags each subcommand accepts; `None` means the subcommand itself is
+/// unknown (reported by `run`).  Every flag an implementation reads must be
+/// listed here — `run` rejects anything else instead of silently ignoring
+/// it.
+fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
+    Some(match command {
+        "help" | "--help" | "-h" | "list" => &[],
+        "generate" => &["workload", "preset", "out"],
+        "reduce" => &["in", "out", "method", "threshold", "stream", "shards"],
+        "sample" => &["in", "out", "policy", "seed"],
+        "reconstruct" => &["in", "out"],
+        "convert" => &["in", "out", "container", "chunk-segments"],
+        "analyze" => &["in"],
+        "evaluate" => &["workload", "method", "threshold", "preset"],
+        "cluster" => &["in", "k", "algorithm", "out"],
+        "extension-study" => &["workload", "preset"],
+        _ => return None,
+    })
+}
+
+/// Rejects flags the subcommand does not define, listing the valid ones.
+fn check_flags(invocation: &Invocation) -> Result<(), String> {
+    let Some(allowed) = allowed_flags(&invocation.command) else {
+        return Ok(()); // unknown subcommand: reported by the dispatcher
+    };
+    for flag in invocation.options.keys() {
+        if !allowed.contains(&flag.as_str()) {
+            let valid = if allowed.is_empty() {
+                "it takes no flags".to_string()
+            } else {
+                format!(
+                    "valid flags: {}",
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            return Err(format!(
+                "unknown option --{flag} for `{}`; {valid}",
+                invocation.command
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn parse_preset(raw: Option<&str>) -> Result<SizePreset, String> {
@@ -128,7 +181,10 @@ fn cmd_generate(invocation: &Invocation) -> Result<String, String> {
     ))
 }
 
-/// `reduce --stream`: one-pass, bounded-memory reduction of a text trace.
+/// `reduce --stream`: one-pass, bounded-memory reduction of a trace file.
+/// Text, monolithic binary v1 and chunked container v2 inputs are
+/// autodetected by magic bytes; v1 has no streamable structure and falls
+/// back to in-memory decoding.
 fn cmd_reduce_stream(invocation: &Invocation) -> Result<String, String> {
     let config = parse_method(invocation)?;
     let ExtendedMethod::Paper(method) = config.method else {
@@ -140,26 +196,27 @@ fn cmd_reduce_stream(invocation: &Invocation) -> Result<String, String> {
     };
     let input = Path::new(invocation.require("in")?);
     let out = Path::new(invocation.require("out")?);
-    if !crate::io::is_text_path(input) {
-        return Err(format!(
-            "--stream reads the text trace format; convert {} first \
-             (`trace-tools convert --in {} --out trace.txt`)",
-            input.display(),
-            input.display()
-        ));
-    }
     let shards = invocation.get_usize("shards")?.unwrap_or(1);
     if shards == 0 {
         return Err("--shards must be at least 1".to_string());
     }
 
     let method_config = MethodConfig::new(method, config.threshold);
-    let result = trace_stream::reduce_trace_file(method_config, input, shards)
+    let (result, kind) = trace_stream::reduce_any_file(method_config, input, shards)
         .map_err(|e| format!("{}: {e}", input.display()))?;
     store_reduced_trace(out, &result.reduced)?;
+    // The v1 fallback decodes the whole file single-threaded: no sharding
+    // happened and the "peak" is simply every segment, so the message must
+    // not claim otherwise.
+    let v1_fallback = kind == trace_stream::TraceInputKind::BinaryV1;
+    let pipeline = if v1_fallback {
+        "in memory (--shards not applicable)".to_string()
+    } else {
+        format!("over {shards} shard(s)")
+    };
     // With several shards the stat is the sum of per-worker peaks — an
     // upper bound on the concurrent total, not a single observation.
-    let peak = if shards > 1 {
+    let peak = if !v1_fallback && shards > 1 {
         format!(
             "resident segments <= {}",
             result.stats.peak_resident_segments
@@ -170,18 +227,31 @@ fn cmd_reduce_stream(invocation: &Invocation) -> Result<String, String> {
             result.stats.peak_resident_segments
         )
     };
-    Ok(format!(
-        "stream-reduced {} with {} over {} shard(s): {} stored segments for {} executions, \
-         degree of matching {:.3}, {peak} (of {} streamed) -> {}",
+    let mut message = format!(
+        "stream-reduced {} ({} input) with {} {pipeline}: {} stored segments for \
+         {} executions, degree of matching {:.3}, {peak} (of {} streamed) -> {}",
         result.reduced.name,
+        kind.label(),
         config.label(),
-        shards,
         result.stats.stored,
         result.stats.execs,
         result.reduced.degree_of_matching(),
         result.stats.segments,
         out.display()
-    ))
+    );
+    if kind == trace_stream::TraceInputKind::ContainerV2 {
+        message.push_str(&format!(
+            ", peak chunk {} bytes",
+            result.stats.peak_chunk_bytes
+        ));
+    }
+    if kind == trace_stream::TraceInputKind::BinaryV1 {
+        message.push_str(
+            "\nnote: monolithic v1 input was decoded in memory; convert with \
+             `--container` for true streaming",
+        );
+    }
+    Ok(message)
 }
 
 fn cmd_reduce(invocation: &Invocation) -> Result<String, String> {
@@ -245,6 +315,30 @@ fn cmd_reconstruct(invocation: &Invocation) -> Result<String, String> {
 fn cmd_convert(invocation: &Invocation) -> Result<String, String> {
     let input = Path::new(invocation.require("in")?);
     let out = Path::new(invocation.require("out")?);
+    if invocation.has("container") {
+        if crate::io::is_text_path(out) {
+            return Err(format!(
+                "--container writes the binary chunked format; {} has a text extension",
+                out.display()
+            ));
+        }
+        let spec = match invocation.get_usize("chunk-segments")? {
+            Some(0) => return Err("--chunk-segments must be at least 1".to_string()),
+            Some(n) => trace_container::ChunkSpec::with_segments(n),
+            None => trace_container::ChunkSpec::default(),
+        };
+        let app = load_app_trace(input)?;
+        crate::io::store_app_container(out, &app, spec)?;
+        return Ok(format!(
+            "converted {} -> {} (chunked container, {} segments/chunk)",
+            input.display(),
+            out.display(),
+            spec.segments_per_chunk
+        ));
+    }
+    if invocation.has("chunk-segments") {
+        return Err("--chunk-segments only applies with --container".to_string());
+    }
     let app = load_app_trace(input)?;
     store_app_trace(out, &app)?;
     Ok(format!(
@@ -383,6 +477,7 @@ fn cmd_extension_study(invocation: &Invocation) -> Result<String, String> {
 
 /// Runs a parsed invocation, returning the text to print.
 pub fn run(invocation: &Invocation) -> Result<String, String> {
+    check_flags(invocation)?;
     match invocation.command.as_str() {
         "help" | "--help" | "-h" => Ok(usage()),
         "list" => Ok(cmd_list()),
@@ -528,19 +623,116 @@ mod tests {
     }
 
     #[test]
-    fn stream_reduce_rejects_binary_inputs_and_extension_methods() {
+    fn stream_reduce_accepts_all_three_input_formats() {
+        let trace_v1 = temp_path("stream_any_v1.trc");
+        let trace_v2 = temp_path("stream_any_v2.trc");
+        let text = temp_path("stream_any.txt");
+        let reduced_mem = temp_path("stream_any_mem.trc");
+
+        run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "late_sender"),
+                ("preset", "tiny"),
+                ("out", trace_v1.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        run(&Invocation::new(
+            "convert",
+            &[
+                ("in", trace_v1.to_str().unwrap()),
+                ("out", text.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        let out = run(&Invocation::new(
+            "convert",
+            &[
+                ("in", trace_v1.to_str().unwrap()),
+                ("out", trace_v2.to_str().unwrap()),
+                ("container", ""),
+                ("chunk-segments", "4"),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("chunked container"), "{out}");
+        // The container file starts with the v2 magic and loads back.
+        assert_eq!(&std::fs::read(&trace_v2).unwrap()[..4], b"TRC2");
+        assert_eq!(
+            crate::io::load_app_trace(&trace_v2).unwrap(),
+            crate::io::load_app_trace(&trace_v1).unwrap()
+        );
+
+        run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", text.to_str().unwrap()),
+                ("out", reduced_mem.to_str().unwrap()),
+                ("method", "avgWave"),
+            ],
+        ))
+        .unwrap();
+        let expected = std::fs::read(&reduced_mem).unwrap();
+
+        for (input, marker) in [
+            (&text, "text input"),
+            (&trace_v1, "binary v1"),
+            (&trace_v2, "container v2"),
+        ] {
+            let out_path = temp_path("stream_any_out.trc");
+            let out = run(&Invocation::new(
+                "reduce",
+                &[
+                    ("in", input.to_str().unwrap()),
+                    ("out", out_path.to_str().unwrap()),
+                    ("method", "avgWave"),
+                    ("stream", ""),
+                    ("shards", "2"),
+                ],
+            ))
+            .unwrap();
+            assert!(out.contains(marker), "{marker}: {out}");
+            // Bit-identical output regardless of the input encoding.
+            assert_eq!(std::fs::read(&out_path).unwrap(), expected, "{marker}");
+            cleanup(&[&out_path]);
+        }
+
+        cleanup(&[&trace_v1, &trace_v2, &text, &reduced_mem]);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_the_valid_set() {
         let err = run(&Invocation::new(
             "reduce",
             &[
-                ("in", "/tmp/x.trc"),
-                ("out", "/tmp/y.trc"),
-                ("method", "relDiff"),
-                ("stream", ""),
+                ("in", "a"),
+                ("out", "b"),
+                ("method", "avgWave"),
+                ("bogus", "1"),
             ],
         ))
         .unwrap_err();
-        assert!(err.contains("text trace format"), "{err}");
+        assert!(err.contains("unknown option --bogus"), "{err}");
+        assert!(err.contains("--threshold"), "{err}");
 
+        let err = run(&Invocation::new("list", &[("verbose", "")])).unwrap_err();
+        assert!(err.contains("takes no flags"), "{err}");
+
+        // Unknown subcommands still get the subcommand error, not a flag one.
+        let err = run(&Invocation::new("bogus", &[("x", "1")])).unwrap_err();
+        assert!(err.contains("unknown subcommand"), "{err}");
+
+        let err = run(&Invocation::new(
+            "convert",
+            &[("in", "a"), ("out", "b"), ("chunk-segments", "4")],
+        ))
+        .unwrap_err();
+        assert!(err.contains("--container"), "{err}");
+    }
+
+    #[test]
+    fn stream_reduce_rejects_extension_methods_and_bad_shards() {
         let err = run(&Invocation::new(
             "reduce",
             &[

@@ -1,17 +1,18 @@
 //! Trace file input/output for the CLI.
 //!
 //! File formats are chosen by extension: `.txt` and `.trctxt` use the
-//! human-readable text format from `trace-format`, everything else uses the
-//! compact binary codec from `trace-model` (the format the paper's file-size
-//! percentages are measured against).
+//! human-readable text format from `trace-format`, everything else uses a
+//! binary codec (the format the paper's file-size percentages are measured
+//! against).  Binary *reads* autodetect monolithic v1 files and chunked v2
+//! containers by magic; binary *writes* default to v1 and produce v2 only
+//! where a command asks for it (`convert --container`).
 
 use std::fs;
 use std::path::Path;
 
+use trace_container::{decode_app_any, decode_reduced_any, encode_app_container, ChunkSpec};
 use trace_format::{parse_app_trace, parse_reduced_trace, write_app_trace, write_reduced_trace};
-use trace_model::codec::{
-    decode_app_trace, decode_reduced_trace, encode_app_trace, encode_reduced_trace,
-};
+use trace_model::codec::{encode_app_trace, encode_reduced_trace};
 use trace_model::{AppTrace, ReducedAppTrace};
 
 /// True if the path should use the text format.
@@ -30,11 +31,12 @@ pub fn load_app_trace(path: &Path) -> Result<AppTrace, String> {
         parse_app_trace(&text).map_err(|e| format!("{}: {e}", path.display()))
     } else {
         let bytes = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        decode_app_trace(&bytes).map_err(|e| format!("{}: {e:?}", path.display()))
+        decode_app_any(&bytes).map_err(|e| format!("{}: {e}", path.display()))
     }
 }
 
-/// Stores a full application trace to `path` (text or binary by extension).
+/// Stores a full application trace to `path` (text or binary v1 by
+/// extension).
 pub fn store_app_trace(path: &Path, app: &AppTrace) -> Result<(), String> {
     let bytes = if is_text_path(path) {
         write_app_trace(app).into_bytes()
@@ -42,6 +44,13 @@ pub fn store_app_trace(path: &Path, app: &AppTrace) -> Result<(), String> {
         encode_app_trace(app)
     };
     fs::write(path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Stores a full application trace to `path` as a chunked v2 container
+/// (the extension is not consulted; callers gate this on `--container`).
+pub fn store_app_container(path: &Path, app: &AppTrace, spec: ChunkSpec) -> Result<(), String> {
+    fs::write(path, encode_app_container(app, spec))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 /// Loads a reduced trace from `path` (text or binary by extension).
@@ -52,7 +61,7 @@ pub fn load_reduced_trace(path: &Path) -> Result<ReducedAppTrace, String> {
         parse_reduced_trace(&text).map_err(|e| format!("{}: {e}", path.display()))
     } else {
         let bytes = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        decode_reduced_trace(&bytes).map_err(|e| format!("{}: {e:?}", path.display()))
+        decode_reduced_any(&bytes).map_err(|e| format!("{}: {e}", path.display()))
     }
 }
 

@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), the checksum every chunk
+//! payload carries.
+//!
+//! Implemented locally because the build environment has no crates
+//! registry; the table-driven byte-at-a-time form is plenty fast for the
+//! chunk sizes the container writes (a chunk is hashed once on write and
+//! once on read).
+
+/// Lazily built 256-entry lookup table for the reflected polynomial.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Computes the IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"chunk payload bytes".to_vec();
+        let baseline = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), baseline, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! On-disk layout constants and chunk framing.
+//!
+//! The byte-level layout is specified in `docs/container-format.md` at the
+//! repository root; this module is its executable counterpart.  A container
+//! file is
+//!
+//! ```text
+//! header  := magic "TRC2" | version u8 | kind u8
+//! file    := header PREAMBLE section* INDEX trailer
+//! section := RANK_BEGIN (RECORDS | STORED | EXECS)* RANK_END
+//! chunk   := kind u8 | payload_len u32 LE | crc32 u32 LE | payload
+//! trailer := index_offset u64 LE | "TRCX"
+//! ```
+//!
+//! Every chunk payload is covered by an IEEE CRC-32; payloads use the
+//! varint record codec from `trace_model::codec`, with the delta-time clock
+//! restarting at zero in every chunk so chunks decode independently.
+
+use std::io::{self, Read, Write};
+
+use crate::crc::crc32;
+use crate::error::ContainerError;
+
+/// Magic bytes opening a chunked container file (`.trc` v2).
+pub const CONTAINER_MAGIC: [u8; 4] = *b"TRC2";
+/// Magic bytes closing the 12-byte index trailer.
+pub const INDEX_MAGIC: [u8; 4] = *b"TRCX";
+/// Container layout version written by [`crate::ChunkWriter`].
+pub const CONTAINER_VERSION: u8 = 1;
+/// Total size of the fixed file header (magic + version + kind).
+pub const HEADER_LEN: u64 = 6;
+/// Total size of the index trailer (offset + magic).
+pub const TRAILER_LEN: u64 = 12;
+/// Size of a chunk's framing header (kind + payload length + CRC-32).
+pub const CHUNK_HEADER_LEN: u64 = 9;
+
+/// What a container file carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// A full application trace (`RECORDS` chunks).
+    App,
+    /// A reduced trace (`STORED` and `EXECS` chunks).
+    Reduced,
+}
+
+impl PayloadKind {
+    /// The kind byte written to the file header.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            PayloadKind::App => 0,
+            PayloadKind::Reduced => 1,
+        }
+    }
+
+    /// Parses a header kind byte.
+    pub fn from_byte(byte: u8) -> Result<Self, ContainerError> {
+        match byte {
+            0 => Ok(PayloadKind::App),
+            1 => Ok(PayloadKind::Reduced),
+            other => Err(ContainerError::BadPayloadKind(other)),
+        }
+    }
+}
+
+/// The kind byte opening every chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// String tables, program name and declared rank count.
+    Preamble,
+    /// A rank section opens.
+    RankBegin,
+    /// Raw trace records (app payload).
+    Records,
+    /// Stored representative segments (reduced payload).
+    Stored,
+    /// Segment executions (reduced payload).
+    Execs,
+    /// A rank section closes, with its summary counts.
+    RankEnd,
+    /// The chunk index (also pointed to by the trailer).
+    Index,
+}
+
+impl ChunkKind {
+    /// The chunk-kind byte written to the framing header.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            ChunkKind::Preamble => 1,
+            ChunkKind::RankBegin => 2,
+            ChunkKind::Records => 3,
+            ChunkKind::Stored => 4,
+            ChunkKind::Execs => 5,
+            ChunkKind::RankEnd => 6,
+            ChunkKind::Index => 7,
+        }
+    }
+
+    /// Parses a chunk-kind byte.
+    pub fn from_byte(byte: u8) -> Result<Self, ContainerError> {
+        Ok(match byte {
+            1 => ChunkKind::Preamble,
+            2 => ChunkKind::RankBegin,
+            3 => ChunkKind::Records,
+            4 => ChunkKind::Stored,
+            5 => ChunkKind::Execs,
+            6 => ChunkKind::RankEnd,
+            7 => ChunkKind::Index,
+            other => return Err(ContainerError::BadChunkKind(other)),
+        })
+    }
+
+    /// Human-readable name used in [`ContainerError::UnexpectedChunk`].
+    pub fn name(self) -> &'static str {
+        match self {
+            ChunkKind::Preamble => "PREAMBLE",
+            ChunkKind::RankBegin => "RANK_BEGIN",
+            ChunkKind::Records => "RECORDS",
+            ChunkKind::Stored => "STORED",
+            ChunkKind::Execs => "EXECS",
+            ChunkKind::RankEnd => "RANK_END",
+            ChunkKind::Index => "INDEX",
+        }
+    }
+}
+
+/// Writes one framed chunk (header + CRC + payload) to `out`, returning the
+/// number of bytes written.
+pub fn write_chunk<W: Write>(out: &mut W, kind: ChunkKind, payload: &[u8]) -> io::Result<u64> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::other("chunk payload exceeds 4 GiB"))?;
+    out.write_all(&[kind.as_byte()])?;
+    out.write_all(&len.to_le_bytes())?;
+    out.write_all(&crc32(payload).to_le_bytes())?;
+    out.write_all(payload)?;
+    Ok(CHUNK_HEADER_LEN + u64::from(len))
+}
+
+/// One framed chunk as read from the stream.
+#[derive(Debug)]
+pub struct RawChunk {
+    /// The chunk kind.
+    pub kind: ChunkKind,
+    /// Byte offset of the chunk's framing header in the file.
+    pub offset: u64,
+    /// The verified payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Sequentially reads framed chunks, verifying each payload's CRC-32 and
+/// tracking byte offsets plus the largest payload buffered so far (the
+/// reader's resident-memory high-water mark).
+pub struct ChunkStream<R> {
+    inner: R,
+    offset: u64,
+    peak_payload_bytes: usize,
+}
+
+impl<R: Read> ChunkStream<R> {
+    /// Wraps `inner`, which must be positioned at `offset` bytes into the
+    /// container file.
+    pub fn new(inner: R, offset: u64) -> Self {
+        ChunkStream {
+            inner,
+            offset,
+            peak_payload_bytes: 0,
+        }
+    }
+
+    /// Current byte offset (start of the next chunk's framing header).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Largest chunk payload held in memory so far, in bytes.
+    pub fn peak_payload_bytes(&self) -> usize {
+        self.peak_payload_bytes
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8], what: &'static str) -> Result<(), ContainerError> {
+        self.inner.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ContainerError::Truncated { what }
+            } else {
+                ContainerError::Io(e)
+            }
+        })?;
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Reads the next framing header, returning the chunk kind, the payload
+    /// length and the declared CRC.  The payload is *not* consumed.
+    fn read_frame(&mut self) -> Result<(ChunkKind, u64, u32), ContainerError> {
+        let mut kind = [0u8; 1];
+        self.read_exact(&mut kind, "chunk header")?;
+        let kind = ChunkKind::from_byte(kind[0])?;
+        let mut len = [0u8; 4];
+        self.read_exact(&mut len, "chunk header")?;
+        let mut crc = [0u8; 4];
+        self.read_exact(&mut crc, "chunk header")?;
+        Ok((
+            kind,
+            u64::from(u32::from_le_bytes(len)),
+            u32::from_le_bytes(crc),
+        ))
+    }
+
+    /// Reads and verifies the next chunk in full.
+    ///
+    /// The payload buffer grows as bytes actually arrive, in bounded steps,
+    /// so a corrupt length field costs a `Truncated` error — never a
+    /// multi-gigabyte upfront allocation from untrusted input.
+    pub fn next_chunk(&mut self) -> Result<RawChunk, ContainerError> {
+        const READ_STEP: u64 = 1 << 20;
+        let offset = self.offset;
+        let (kind, len, expected) = self.read_frame()?;
+        let mut payload = Vec::with_capacity(len.min(READ_STEP) as usize);
+        while (payload.len() as u64) < len {
+            let take = (len - payload.len() as u64).min(READ_STEP) as usize;
+            let start = payload.len();
+            payload.resize(start + take, 0);
+            self.read_exact(&mut payload[start..], "chunk payload")?;
+        }
+        let found = crc32(&payload);
+        if found != expected {
+            return Err(ContainerError::BadCrc {
+                offset,
+                expected,
+                found,
+            });
+        }
+        self.peak_payload_bytes = self.peak_payload_bytes.max(payload.len());
+        Ok(RawChunk {
+            kind,
+            offset,
+            payload,
+        })
+    }
+
+    /// Reads the next chunk's framing header and discards its payload
+    /// without CRC verification (used to pass over rank sections owned by
+    /// other shards).  Returns the chunk kind.
+    pub fn skip_chunk(&mut self) -> Result<ChunkKind, ContainerError> {
+        let (kind, len, _) = self.read_frame()?;
+        let mut remaining = len;
+        let mut scratch = [0u8; 8192];
+        while remaining > 0 {
+            let take = remaining.min(scratch.len() as u64) as usize;
+            self.read_exact(&mut scratch[..take], "chunk payload")?;
+            remaining -= take as u64;
+        }
+        Ok(kind)
+    }
+
+    /// Consumes and validates the 12-byte trailer that follows the INDEX
+    /// chunk, checking that its offset field points at `index_offset`.
+    pub fn finish_trailer(&mut self, index_offset: u64) -> Result<(), ContainerError> {
+        let mut trailer = [0u8; TRAILER_LEN as usize];
+        self.read_exact(&mut trailer, "index trailer")?;
+        if trailer[8..12] != INDEX_MAGIC
+            || u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes")) != index_offset
+        {
+            return Err(ContainerError::BadTrailer);
+        }
+        // The trailer is the last 12 bytes of a container by definition;
+        // anything after it means the trailer we just validated is not the
+        // real one (spec invariant 5).
+        let mut probe = [0u8; 1];
+        match self.inner.read(&mut probe) {
+            Ok(0) => Ok(()),
+            Ok(_) => Err(ContainerError::BadTrailer),
+            Err(e) => Err(ContainerError::Io(e)),
+        }
+    }
+}
+
+/// Reads and validates the 6-byte file header, returning the payload kind.
+pub fn read_header<R: Read>(stream: &mut ChunkStream<R>) -> Result<PayloadKind, ContainerError> {
+    let mut magic = [0u8; 4];
+    stream.read_exact(&mut magic, "file header")?;
+    if magic != CONTAINER_MAGIC {
+        return Err(ContainerError::BadMagic { found: magic });
+    }
+    let mut rest = [0u8; 2];
+    stream.read_exact(&mut rest, "file header")?;
+    if rest[0] != CONTAINER_VERSION {
+        return Err(ContainerError::UnsupportedVersion(rest[0]));
+    }
+    PayloadKind::from_byte(rest[1])
+}
+
+/// Writes the 6-byte file header.
+pub fn write_header<W: Write>(out: &mut W, kind: PayloadKind) -> io::Result<u64> {
+    out.write_all(&CONTAINER_MAGIC)?;
+    out.write_all(&[CONTAINER_VERSION, kind.as_byte()])?;
+    Ok(HEADER_LEN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_round_trip_and_offsets() {
+        let mut file = Vec::new();
+        let n = write_header(&mut file, PayloadKind::App).unwrap();
+        assert_eq!(n, HEADER_LEN);
+        let n = write_chunk(&mut file, ChunkKind::Records, b"payload").unwrap();
+        assert_eq!(n, CHUNK_HEADER_LEN + 7);
+
+        let mut stream = ChunkStream::new(&file[..], 0);
+        assert_eq!(read_header(&mut stream).unwrap(), PayloadKind::App);
+        let chunk = stream.next_chunk().unwrap();
+        assert_eq!(chunk.kind, ChunkKind::Records);
+        assert_eq!(chunk.offset, HEADER_LEN);
+        assert_eq!(chunk.payload, b"payload");
+        assert_eq!(stream.peak_payload_bytes(), 7);
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_typed_crc_error() {
+        let mut file = Vec::new();
+        write_header(&mut file, PayloadKind::App).unwrap();
+        write_chunk(&mut file, ChunkKind::Records, b"payload").unwrap();
+        let last = file.len() - 1;
+        file[last] ^= 0x40;
+
+        let mut stream = ChunkStream::new(&file[..], 0);
+        read_header(&mut stream).unwrap();
+        match stream.next_chunk() {
+            Err(ContainerError::BadCrc { offset, .. }) => assert_eq!(offset, HEADER_LEN),
+            other => panic!("expected BadCrc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kind_bytes_round_trip() {
+        for kind in [
+            ChunkKind::Preamble,
+            ChunkKind::RankBegin,
+            ChunkKind::Records,
+            ChunkKind::Stored,
+            ChunkKind::Execs,
+            ChunkKind::RankEnd,
+            ChunkKind::Index,
+        ] {
+            assert_eq!(ChunkKind::from_byte(kind.as_byte()).unwrap(), kind);
+        }
+        assert!(ChunkKind::from_byte(0).is_err());
+        assert!(ChunkKind::from_byte(99).is_err());
+        assert!(PayloadKind::from_byte(7).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests for the chunked container: round-trips across chunk-size
+//! grids for randomized traces, and corruption (truncation, bit flips, bad
+//! magic/version/trailer) yielding typed errors, never panics or silent
+//! misreads.
+
+use proptest::prelude::*;
+use trace_container::{
+    decode_app_any, encode_app_container, encode_reduced_container, read_app_container, read_index,
+    read_reduced_container, ChunkSpec, ContainerError,
+};
+use trace_reduce::{Method, MethodConfig, Reducer};
+use trace_sim::specgen::{trace_from_specs, SegmentSpec};
+
+fn build_trace(rank_specs: &[Vec<SegmentSpec>]) -> trace_model::AppTrace {
+    trace_from_specs("containerprop", rank_specs)
+}
+
+/// The chunk-size grid: one segment per chunk, small primes, and
+/// effectively whole-rank chunks.
+const CHUNK_GRID: [usize; 5] = [1, 2, 3, 17, usize::MAX];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn app_traces_round_trip_across_the_chunk_grid(rank_specs in prop::collection::vec(
+        prop::collection::vec((0u8..4, 0u8..4, 0u16..2000), 0..10),
+        1..4,
+    )) {
+        let app = build_trace(&rank_specs);
+        prop_assert!(app.is_well_formed());
+        for segments_per_chunk in CHUNK_GRID {
+            let bytes = encode_app_container(&app, ChunkSpec::with_segments(segments_per_chunk));
+            let decoded = read_app_container(&bytes[..]).expect("round trip");
+            prop_assert_eq!(&decoded, &app, "{} segments/chunk", segments_per_chunk);
+            // The fallback dispatcher agrees on v2 input.
+            prop_assert_eq!(&decode_app_any(&bytes).expect("dispatch"), &app);
+        }
+    }
+
+    #[test]
+    fn reduced_traces_round_trip_across_the_chunk_grid(rank_specs in prop::collection::vec(
+        prop::collection::vec((0u8..4, 0u8..4, 0u16..2000), 1..10),
+        1..4,
+    )) {
+        let app = build_trace(&rank_specs);
+        let reduced = Reducer::new(MethodConfig::with_default_threshold(Method::RelDiff))
+            .reduce_app(&app);
+        for segments_per_chunk in CHUNK_GRID {
+            let bytes =
+                encode_reduced_container(&reduced, ChunkSpec::with_segments(segments_per_chunk));
+            let decoded = read_reduced_container(&bytes[..]).expect("round trip");
+            prop_assert_eq!(&decoded, &reduced, "{} segments/chunk", segments_per_chunk);
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_a_typed_error(rank_specs in prop::collection::vec(
+        prop::collection::vec((0u8..4, 0u8..4, 0u16..500), 1..6),
+        1..3,
+    ), cut_fraction in 0.0f64..1.0) {
+        let app = build_trace(&rank_specs);
+        let bytes = encode_app_container(&app, ChunkSpec::with_segments(2));
+        let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+        // Every proper prefix must fail to decode — the trailer check makes
+        // even "clean" chunk-boundary cuts detectable.
+        let err = read_app_container(&bytes[..cut]).expect_err("truncated");
+        prop_assert!(
+            matches!(
+                err,
+                ContainerError::Truncated { .. }
+                    | ContainerError::BadMagic { .. }
+                    | ContainerError::Codec(_)
+                    | ContainerError::BadTrailer
+                    | ContainerError::CountMismatch { .. }
+                    | ContainerError::UnexpectedChunk { .. }
+            ),
+            "unexpected error class: {:?}",
+            err
+        );
+    }
+}
+
+#[test]
+fn payload_corruption_is_detected_by_crc() {
+    let app = build_trace(&[vec![(0, 0, 10), (0, 0, 12), (1, 1, 40)], vec![(1, 2, 7)]]);
+    let bytes = encode_app_container(&app, ChunkSpec::with_segments(1));
+    // Flip one bit in every byte position past the header in turn; decoding
+    // must never succeed with a *different* trace, and payload flips must
+    // surface as BadCrc (framing flips may show up as other typed errors).
+    let mut crc_errors = 0usize;
+    for pos in 6..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x10;
+        match read_app_container(&corrupt[..]) {
+            Ok(decoded) => assert_eq!(
+                decoded, app,
+                "byte {pos}: corruption decoded to a different trace"
+            ),
+            Err(ContainerError::BadCrc { .. }) => crc_errors += 1,
+            Err(_) => {}
+        }
+    }
+    assert!(
+        crc_errors * 2 > bytes.len() - 6,
+        "most single-bit flips should be CRC-detected: {crc_errors} of {}",
+        bytes.len() - 6
+    );
+}
+
+#[test]
+fn bad_magic_version_and_trailer_are_typed_errors() {
+    let app = build_trace(&[vec![(0, 0, 1)]]);
+    let bytes = encode_app_container(&app, ChunkSpec::default());
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(
+        read_app_container(&bad_magic[..]),
+        Err(ContainerError::BadMagic { .. })
+    ));
+
+    let mut bad_version = bytes.clone();
+    bad_version[4] = 99;
+    assert!(matches!(
+        read_app_container(&bad_version[..]),
+        Err(ContainerError::UnsupportedVersion(99))
+    ));
+
+    let mut bad_trailer = bytes.clone();
+    let last = bad_trailer.len() - 1;
+    bad_trailer[last] = b'?';
+    let mut cursor = std::io::Cursor::new(&bad_trailer);
+    assert!(matches!(
+        read_index(&mut cursor),
+        Err(ContainerError::BadTrailer)
+    ));
+    // The sequential reader also validates the trailer after the index.
+    assert!(read_app_container(&bad_trailer[..]).is_err());
+
+    // An app container is not accepted where a reduced trace is expected.
+    assert!(matches!(
+        read_reduced_container(&bytes[..]),
+        Err(ContainerError::UnexpectedChunk { .. })
+    ));
+}
+
+#[test]
+fn index_offsets_survive_every_chunk_size() {
+    let app = build_trace(&[
+        (0..12)
+            .map(|i| (0u8, (i % 3) as u8, (i * 31) as u16))
+            .collect(),
+        (0..7)
+            .map(|i| (1u8, (i % 2) as u8, (i * 57) as u16))
+            .collect(),
+        vec![(0, 1, 3)],
+    ]);
+    for segments_per_chunk in CHUNK_GRID {
+        let bytes = encode_app_container(&app, ChunkSpec::with_segments(segments_per_chunk));
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let index = read_index(&mut cursor).unwrap();
+        assert_eq!(index.sections.len(), app.rank_count());
+        for (entry, rank) in index.sections.iter().zip(&app.ranks) {
+            assert_eq!(entry.rank, rank.rank);
+            assert_eq!(entry.records, rank.records.len() as u64);
+            assert_eq!(entry.segments, rank.segment_instance_count() as u64);
+            assert!(entry.offset < bytes.len() as u64);
+        }
+    }
+}
+
+/// Splits a container file into `(header, framed chunks, trailer)` using
+/// only the public framing layout (kind byte + u32le length + u32le CRC).
+fn split_chunks(bytes: &[u8]) -> (Vec<u8>, Vec<Vec<u8>>, Vec<u8>) {
+    let header = bytes[..6].to_vec();
+    let trailer = bytes[bytes.len() - 12..].to_vec();
+    let mut chunks = Vec::new();
+    let mut pos = 6;
+    while pos < bytes.len() - 12 {
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
+        chunks.push(bytes[pos..pos + 9 + len].to_vec());
+        pos += 9 + len;
+    }
+    (header, chunks, trailer)
+}
+
+#[test]
+fn stored_after_execs_is_rejected_even_with_valid_crcs() {
+    let app = build_trace(&[vec![(0, 0, 10), (0, 0, 11), (1, 1, 900)]]);
+    let reduced =
+        Reducer::new(MethodConfig::with_default_threshold(Method::RelDiff)).reduce_app(&app);
+    let bytes = encode_reduced_container(&reduced, ChunkSpec::with_segments(1));
+    assert_eq!(read_reduced_container(&bytes[..]).unwrap(), reduced);
+
+    // Swap the last STORED chunk with the first EXECS chunk: every CRC
+    // stays valid, only the order violates the format.
+    let (header, mut chunks, trailer) = split_chunks(&bytes);
+    let stored_pos = chunks
+        .iter()
+        .rposition(|c| c[0] == 4)
+        .expect("a STORED chunk");
+    let execs_pos = chunks
+        .iter()
+        .position(|c| c[0] == 5)
+        .expect("an EXECS chunk");
+    assert!(stored_pos < execs_pos);
+    chunks.swap(stored_pos, execs_pos);
+    let mut swapped = header;
+    for chunk in &chunks {
+        swapped.extend_from_slice(chunk);
+    }
+    // The total byte count ahead of the INDEX chunk is unchanged, so the
+    // trailer still points at the index; only the chunk order is illegal.
+    swapped.extend_from_slice(&trailer);
+    let err = read_reduced_container(&swapped[..]).expect_err("out-of-order chunks");
+    assert!(
+        matches!(err, ContainerError::UnexpectedChunk { .. }),
+        "{err:?}"
+    );
+}

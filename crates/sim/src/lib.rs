@@ -19,6 +19,8 @@
 //! * [`sweep3d`] — a pipelined-wavefront model of Sweep3D.
 //! * [`workload`] — a registry of all 18 paper workloads with scalable
 //!   size presets.
+//! * [`specgen`] — a deterministic spec-driven generator shared by the
+//!   property-test suites across the workspace.
 //!
 //! Every generator is deterministic given its seed, which keeps the
 //! evaluation experiments and the benchmark harness reproducible.
@@ -30,6 +32,7 @@ pub mod cluster;
 pub mod dynload;
 pub mod interference;
 pub mod noise;
+pub mod specgen;
 pub mod sweep3d;
 pub mod workload;
 

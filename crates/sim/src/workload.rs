@@ -217,44 +217,132 @@ impl Workload {
         out: W,
         repeats: usize,
     ) -> std::io::Result<W> {
-        use trace_model::{Time, TraceRecord};
-
-        let repeats = repeats.max(1);
         let app = self.generate();
-        // Any per-repeat offset >= the run's end keeps each rank's record
-        // stream monotone; the app-wide end keeps ranks aligned.
-        let period = app.end_time().as_nanos();
-
-        let mut writer = trace_format::AppTraceTextWriter::new(
+        let writer = trace_format::AppTraceTextWriter::new(
             out,
             &app.name,
             app.rank_count(),
             app.regions.names(),
             app.contexts.names(),
         )?;
-        for rank in &app.ranks {
-            writer.begin_rank(rank.rank)?;
-            for repeat in 0..repeats {
-                let offset = Time::from_nanos(period * repeat as u64);
-                for record in &rank.records {
-                    let shifted = match record {
-                        TraceRecord::SegmentBegin { context, time } => TraceRecord::SegmentBegin {
-                            context: *context,
-                            time: *time + offset,
-                        },
-                        TraceRecord::SegmentEnd { context, time } => TraceRecord::SegmentEnd {
-                            context: *context,
-                            time: *time + offset,
-                        },
-                        TraceRecord::Event(event) => TraceRecord::Event(event.offset(offset)),
-                    };
-                    writer.record(&shifted)?;
-                }
-            }
-            writer.end_rank()?;
-        }
-        writer.finish()
+        replay_amplified(TextSink(writer), &app, repeats)
     }
+
+    /// Generates the workload and writes it to `out` as a chunked binary
+    /// container (`.trc` v2), ready for the binary streaming consumers
+    /// (`trace-tools reduce --stream` on container files, the
+    /// `trace_container` crate's indexed readers).
+    pub fn write_container_to<W: std::io::Write>(
+        &self,
+        out: W,
+        spec: trace_container::ChunkSpec,
+    ) -> std::io::Result<W> {
+        trace_container::write_app_container(out, &self.generate(), spec)
+    }
+
+    /// Writes the workload to `out` as a chunked container with every
+    /// rank's run replayed `repeats` times back-to-back, mirroring
+    /// [`Workload::write_text_amplified_to`]: one in-memory copy of the
+    /// workload, O(one chunk) writer state, arbitrarily large output.
+    pub fn write_container_amplified_to<W: std::io::Write>(
+        &self,
+        out: W,
+        repeats: usize,
+        spec: trace_container::ChunkSpec,
+    ) -> std::io::Result<W> {
+        let app = self.generate();
+        let writer = trace_container::ChunkWriter::app(
+            out,
+            &app.name,
+            app.rank_count(),
+            app.regions.names(),
+            app.contexts.names(),
+            spec,
+        )?;
+        replay_amplified(ContainerSink(writer), &app, repeats)
+    }
+}
+
+/// The rank/record/finish surface shared by the text and container trace
+/// writers, so the amplification replay below exists once.
+trait RecordSink<W> {
+    fn begin_rank(&mut self, rank: trace_model::Rank) -> std::io::Result<()>;
+    fn record(&mut self, record: &trace_model::TraceRecord) -> std::io::Result<()>;
+    fn end_rank(&mut self) -> std::io::Result<()>;
+    fn finish(self) -> std::io::Result<W>;
+}
+
+struct TextSink<W: std::io::Write>(trace_format::AppTraceTextWriter<W>);
+
+impl<W: std::io::Write> RecordSink<W> for TextSink<W> {
+    fn begin_rank(&mut self, rank: trace_model::Rank) -> std::io::Result<()> {
+        self.0.begin_rank(rank)
+    }
+    fn record(&mut self, record: &trace_model::TraceRecord) -> std::io::Result<()> {
+        self.0.record(record)
+    }
+    fn end_rank(&mut self) -> std::io::Result<()> {
+        self.0.end_rank()
+    }
+    fn finish(self) -> std::io::Result<W> {
+        self.0.finish()
+    }
+}
+
+struct ContainerSink<W: std::io::Write>(trace_container::ChunkWriter<W>);
+
+impl<W: std::io::Write> RecordSink<W> for ContainerSink<W> {
+    fn begin_rank(&mut self, rank: trace_model::Rank) -> std::io::Result<()> {
+        self.0.begin_rank(rank)
+    }
+    fn record(&mut self, record: &trace_model::TraceRecord) -> std::io::Result<()> {
+        self.0.record(record)
+    }
+    fn end_rank(&mut self) -> std::io::Result<()> {
+        self.0.end_rank()
+    }
+    fn finish(self) -> std::io::Result<W> {
+        self.0.finish()
+    }
+}
+
+/// Streams `app` into `sink` with every rank's run replayed `repeats`
+/// times back-to-back, time stamps offset so each rank stays monotone.
+/// A `repeats` of 0 is treated as 1.
+fn replay_amplified<W, S: RecordSink<W>>(
+    mut sink: S,
+    app: &AppTrace,
+    repeats: usize,
+) -> std::io::Result<W> {
+    use trace_model::{Time, TraceRecord};
+
+    let repeats = repeats.max(1);
+    // Any per-repeat offset >= the run's end keeps each rank's record
+    // stream monotone; the app-wide end keeps ranks aligned.
+    let period = app.end_time().as_nanos();
+
+    for rank in &app.ranks {
+        sink.begin_rank(rank.rank)?;
+        for repeat in 0..repeats {
+            let offset = Time::from_nanos(period * repeat as u64);
+            for record in &rank.records {
+                let shifted = match record {
+                    TraceRecord::SegmentBegin { context, time } => TraceRecord::SegmentBegin {
+                        context: *context,
+                        time: *time + offset,
+                    },
+                    TraceRecord::SegmentEnd { context, time } => TraceRecord::SegmentEnd {
+                        context: *context,
+                        time: *time + offset,
+                    },
+                    TraceRecord::Event(event) => TraceRecord::Event(event.offset(offset)),
+                };
+                sink.record(&shifted)?;
+            }
+        }
+        sink.end_rank()?;
+    }
+    sink.finish()
 }
 
 fn regular_params(preset: SizePreset) -> RegularParams {
@@ -370,6 +458,26 @@ mod tests {
         let once = workload.write_text_amplified_to(Vec::new(), 0).unwrap();
         let single = trace_format::parse_app_trace(std::str::from_utf8(&once).unwrap()).unwrap();
         assert_eq!(single, app);
+    }
+
+    #[test]
+    fn container_writers_round_trip_and_amplify() {
+        use trace_container::{read_app_container, ChunkSpec};
+
+        let workload = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny);
+        let app = workload.generate();
+        let bytes = workload
+            .write_container_to(Vec::new(), ChunkSpec::with_segments(4))
+            .unwrap();
+        assert_eq!(read_app_container(&bytes[..]).unwrap(), app);
+
+        let amplified = workload
+            .write_container_amplified_to(Vec::new(), 5, ChunkSpec::with_segments(4))
+            .unwrap();
+        let parsed = read_app_container(&amplified[..]).unwrap();
+        assert!(parsed.is_well_formed());
+        assert_eq!(parsed.rank_count(), app.rank_count());
+        assert_eq!(parsed.total_events(), 5 * app.total_events());
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! Streaming and index-sharded reduction of chunked binary containers.
+//!
+//! [`ContainerSource`] adapts `trace_container::ChunkReader` to the
+//! [`AppItemSource`] trait, so the same online reduction loop that drives
+//! the text parser consumes `.trc` v2 files with O(one chunk) resident
+//! payload.  [`reduce_container_file`] goes one step further than the text
+//! sharding can: the container's index footer maps every rank section to a
+//! byte offset, so workers *seek* straight to their sections instead of
+//! scanning and skipping the whole file — cross-shard file-level
+//! parallelism with no redundant reads.  [`reduce_any_file`] autodetects
+//! text, monolithic v1 and chunked v2 inputs by their magic bytes.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use parking_lot::Mutex;
+use trace_container::{
+    read_index, ChunkReader, ContainerError, ContainerItem, PayloadKind, Preamble, CONTAINER_MAGIC,
+};
+use trace_model::codec::APP_TRACE_MAGIC;
+use trace_model::{Rank, ReducedAppTrace, ReducedRankTrace};
+use trace_reduce::{scoped_workers, MethodConfig, Reducer};
+
+use crate::error::StreamError;
+use crate::parser::AppItem;
+use crate::reduce::{reduce_selected_ranks, StreamReduction, StreamStats};
+use crate::shard::reduce_trace_file;
+use crate::source::AppItemSource;
+
+/// [`AppItemSource`] over a chunked binary container.
+pub struct ContainerSource<R> {
+    inner: ChunkReader<R>,
+}
+
+impl<R: Read> ContainerSource<R> {
+    /// Opens a whole app-trace container (header + preamble).
+    pub fn new(reader: R) -> Result<Self, StreamError> {
+        Ok(ContainerSource {
+            inner: ChunkReader::new(reader)?,
+        })
+    }
+
+    /// Resumes at one rank section located via the index footer.
+    pub fn section(reader: R, offset: u64) -> Self {
+        ContainerSource {
+            inner: ChunkReader::section(reader, offset),
+        }
+    }
+
+    /// The preamble tables (whole-file mode only).
+    pub fn preamble(&self) -> Option<&Preamble> {
+        self.inner.preamble()
+    }
+
+    /// Largest chunk payload buffered so far, in bytes.
+    pub fn peak_chunk_bytes(&self) -> usize {
+        self.inner.peak_chunk_bytes()
+    }
+}
+
+impl<R: Read> AppItemSource for ContainerSource<R> {
+    fn next_item(&mut self) -> Result<Option<AppItem>, StreamError> {
+        Ok(self.inner.next_item()?.map(|item| match item {
+            ContainerItem::RankStart(rank) => AppItem::RankStart(rank),
+            ContainerItem::Record(record) => AppItem::Record(record),
+            ContainerItem::RankEnd(rank) => AppItem::RankEnd(rank),
+        }))
+    }
+
+    fn skip_current_rank(&mut self) -> Result<Rank, StreamError> {
+        Ok(self.inner.skip_current_rank()?)
+    }
+}
+
+/// Reduces an app-trace container stream in one pass with bounded memory:
+/// the resident state is the stored representatives, at most one in-flight
+/// segment, and one decoded chunk payload.
+pub fn reduce_container_stream<R: Read>(
+    config: MethodConfig,
+    reader: R,
+) -> Result<StreamReduction, StreamError> {
+    let mut source = ContainerSource::new(reader)?;
+    let preamble = source
+        .preamble()
+        .expect("whole-file mode has a preamble")
+        .clone();
+    let (ranks, mut stats) = reduce_selected_ranks(config, &mut source, |_| true)?;
+    stats.peak_chunk_bytes = source.peak_chunk_bytes();
+    Ok(StreamReduction {
+        reduced: ReducedAppTrace {
+            name: preamble.name,
+            regions: preamble.regions,
+            contexts: preamble.contexts,
+            ranks: ranks.into_iter().map(|(_, rank)| rank).collect(),
+        },
+        stats,
+    })
+}
+
+/// Reduces a container file with `shards` workers, each seeking directly
+/// to the rank sections assigned to it (`section index % shards`) via the
+/// index footer.  Output is bit-identical to the sequential
+/// [`reduce_container_stream`]; only wall-clock time changes.
+pub fn reduce_container_file(
+    config: MethodConfig,
+    path: impl AsRef<Path>,
+    shards: usize,
+) -> Result<StreamReduction, StreamError> {
+    let path = path.as_ref();
+    if shards <= 1 {
+        return reduce_container_stream(config, BufReader::new(File::open(path)?));
+    }
+
+    let mut file = File::open(path)?;
+    let index = read_index(&mut file)?;
+    if index.kind == PayloadKind::Reduced {
+        return Err(StreamError::Container(ContainerError::UnexpectedChunk {
+            expected: "an app-trace container",
+            found: "a reduced-trace container",
+        }));
+    }
+    file.seek(SeekFrom::Start(0))?;
+    let preamble = {
+        let source = ContainerSource::new(BufReader::new(file))?;
+        source
+            .preamble()
+            .expect("whole-file mode has a preamble")
+            .clone()
+    };
+    // The sequential reader validates this when it reaches the INDEX
+    // chunk; the sharded path never scans that far, so a short index must
+    // be rejected here or ranks would silently drop from the output.
+    if index.sections.len() != preamble.declared_ranks {
+        return Err(StreamError::Container(ContainerError::CountMismatch {
+            what: "rank sections",
+            declared: preamble.declared_ranks as u64,
+            found: index.sections.len() as u64,
+        }));
+    }
+
+    let workers = shards.min(index.sections.len()).max(1);
+    type WorkerOut = (Vec<(usize, ReducedRankTrace)>, StreamStats);
+    let slots: Vec<Mutex<Option<Result<WorkerOut, StreamError>>>> =
+        (0..workers).map(|_| Mutex::new(None)).collect();
+
+    scoped_workers(workers, |worker| {
+        let result = (|| {
+            let file = File::open(path)?;
+            let mut out: Vec<(usize, ReducedRankTrace)> = Vec::new();
+            let mut stats = StreamStats::default();
+            for (section_index, entry) in index
+                .sections
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % workers == worker)
+            {
+                // `&File` implements `Read + Seek`, so every section gets a
+                // fresh buffered cursor over the worker's single handle.
+                let mut handle = &file;
+                handle.seek(SeekFrom::Start(entry.offset))?;
+                let mut source = ContainerSource::section(BufReader::new(handle), entry.offset);
+                let (ranks, mut section_stats) =
+                    reduce_selected_ranks(config, &mut source, |_| true)?;
+                section_stats.peak_chunk_bytes = source.peak_chunk_bytes();
+                stats.absorb(&section_stats);
+                out.extend(ranks.into_iter().map(|(_, rank)| (section_index, rank)));
+            }
+            Ok((out, stats))
+        })();
+        *slots[worker].lock() = Some(result);
+    });
+
+    let mut all: Vec<(usize, ReducedRankTrace)> = Vec::new();
+    let mut stats = StreamStats::default();
+    for slot in slots {
+        let (ranks, worker_stats) = slot.into_inner().expect("every worker fills its slot")?;
+        all.extend(ranks);
+        stats.absorb(&worker_stats);
+    }
+    all.sort_by_key(|(index, _)| *index);
+    debug_assert!(
+        all.iter().enumerate().all(|(i, (index, _))| i == *index),
+        "every indexed section is reduced exactly once"
+    );
+
+    Ok(StreamReduction {
+        reduced: ReducedAppTrace {
+            name: preamble.name,
+            regions: preamble.regions,
+            contexts: preamble.contexts,
+            ranks: all.into_iter().map(|(_, rank)| rank).collect(),
+        },
+        stats,
+    })
+}
+
+/// What kind of trace input a file holds, detected from its magic bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceInputKind {
+    /// The line-oriented text format (`TRACEFORMAT 1` header).
+    Text,
+    /// A monolithic v1 binary file (`TRCF` magic) — decodable only as a
+    /// whole buffer.
+    BinaryV1,
+    /// A chunked v2 container (`TRC2` magic) — streamable and seekable.
+    ContainerV2,
+}
+
+impl TraceInputKind {
+    /// Short human-readable label for CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceInputKind::Text => "text",
+            TraceInputKind::BinaryV1 => "binary v1 (monolithic)",
+            TraceInputKind::ContainerV2 => "container v2 (chunked)",
+        }
+    }
+}
+
+/// Detects the input kind from the first four bytes of `path`.  Anything
+/// that is not a known binary magic is treated as text, so text parse
+/// errors keep their precise line-level diagnostics.
+pub fn detect_input(path: impl AsRef<Path>) -> Result<TraceInputKind, StreamError> {
+    let mut file = File::open(path.as_ref())?;
+    let mut magic = [0u8; 4];
+    let mut filled = 0;
+    while filled < magic.len() {
+        let n = file.read(&mut magic[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    Ok(match &magic[..filled] {
+        m if m == CONTAINER_MAGIC => TraceInputKind::ContainerV2,
+        m if m == APP_TRACE_MAGIC => TraceInputKind::BinaryV1,
+        _ => TraceInputKind::Text,
+    })
+}
+
+/// Reduces a trace file of any supported format, autodetected by magic:
+/// text and v2 containers stream with bounded memory (`shards` workers);
+/// monolithic v1 files fall back to decoding the whole buffer and reducing
+/// in memory, with stats reflecting that everything was resident.
+pub fn reduce_any_file(
+    config: MethodConfig,
+    path: impl AsRef<Path>,
+    shards: usize,
+) -> Result<(StreamReduction, TraceInputKind), StreamError> {
+    let path = path.as_ref();
+    let kind = detect_input(path)?;
+    let reduction = match kind {
+        TraceInputKind::Text => reduce_trace_file(config, path, shards)?,
+        TraceInputKind::ContainerV2 => reduce_container_file(config, path, shards)?,
+        TraceInputKind::BinaryV1 => {
+            let bytes = std::fs::read(path)?;
+            let app =
+                trace_model::codec::decode_app_trace(&bytes).map_err(ContainerError::Codec)?;
+            let reduced = Reducer::new(config).reduce_app(&app);
+            let segments: usize = app.ranks.iter().map(|r| r.segment_instance_count()).sum();
+            let stats = StreamStats {
+                ranks: app.rank_count(),
+                events: app.total_events(),
+                segments,
+                stored: reduced.total_stored(),
+                execs: reduced.total_execs(),
+                // Monolithic: every segment (and the whole file) resident.
+                peak_resident_segments: segments,
+                peak_chunk_bytes: bytes.len(),
+                ..StreamStats::default()
+            };
+            StreamReduction { reduced, stats }
+        }
+    };
+    Ok((reduction, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use trace_container::{encode_app_container, encode_reduced_container, ChunkSpec};
+    use trace_model::codec::encode_app_trace;
+    use trace_reduce::Method;
+    use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+    fn temp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trace_stream_bin_{}_{name}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn container_stream_equals_in_memory_for_every_chunk_size() {
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        let config = MethodConfig::with_default_threshold(Method::AvgWave);
+        let in_memory = Reducer::new(config).reduce_app(&app);
+        for segments_per_chunk in [1, 3, 64, usize::MAX] {
+            let bytes = encode_app_container(&app, ChunkSpec::with_segments(segments_per_chunk));
+            let streamed = reduce_container_stream(config, Cursor::new(&bytes)).unwrap();
+            assert_eq!(
+                streamed.reduced, in_memory,
+                "{segments_per_chunk} seg/chunk"
+            );
+            assert_eq!(streamed.stats.ranks, app.rank_count());
+            assert_eq!(streamed.stats.events, app.total_events());
+            assert!(streamed.stats.peak_chunk_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn index_sharded_ingestion_matches_single_shard() {
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        let bytes = encode_app_container(&app, ChunkSpec::with_segments(8));
+        let path = temp_file("sharded.trc", &bytes);
+        let config = MethodConfig::with_default_threshold(Method::RelDiff);
+        let sequential = reduce_container_file(config, &path, 1).unwrap();
+        for shards in [2, 3, 8, 64] {
+            let sharded = reduce_container_file(config, &path, shards).unwrap();
+            assert_eq!(sharded.reduced, sequential.reduced, "{shards} shards");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn autodetect_dispatches_all_three_input_kinds() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let config = MethodConfig::with_default_threshold(Method::Euclidean);
+        let expected = Reducer::new(config).reduce_app(&app);
+
+        let text = temp_file("auto.txt", trace_format::write_app_trace(&app).as_bytes());
+        let v1 = temp_file("auto_v1.trc", &encode_app_trace(&app));
+        let v2 = temp_file(
+            "auto_v2.trc",
+            &encode_app_container(&app, ChunkSpec::default()),
+        );
+
+        for (path, want_kind) in [
+            (&text, TraceInputKind::Text),
+            (&v1, TraceInputKind::BinaryV1),
+            (&v2, TraceInputKind::ContainerV2),
+        ] {
+            let (reduction, kind) = reduce_any_file(config, path, 2).unwrap();
+            assert_eq!(kind, want_kind);
+            assert_eq!(reduction.reduced, expected, "{}", kind.label());
+        }
+
+        for p in [&text, &v1, &v2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn reduced_containers_are_rejected_as_streaming_input() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let config = MethodConfig::with_default_threshold(Method::RelDiff);
+        let reduced = Reducer::new(config).reduce_app(&app);
+        let bytes = encode_reduced_container(&reduced, ChunkSpec::default());
+
+        let err = reduce_container_stream(config, Cursor::new(&bytes)).unwrap_err();
+        assert!(err.as_container().is_some(), "{err}");
+
+        let path = temp_file("reduced.trc", &bytes);
+        let err = reduce_container_file(config, &path, 4).unwrap_err();
+        assert!(err.as_container().is_some(), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

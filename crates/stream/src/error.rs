@@ -3,16 +3,20 @@
 use std::fmt;
 use std::io;
 
+use trace_container::ContainerError;
 use trace_format::FormatError;
 
-/// An error encountered while streaming a trace: either the underlying
-/// reader failed or a line did not parse.
+/// An error encountered while streaming a trace: the underlying reader
+/// failed, a text line did not parse, or a binary container chunk was
+/// malformed.
 #[derive(Debug)]
 pub enum StreamError {
     /// The underlying reader failed.
     Io(io::Error),
     /// A line failed to parse or the trace structure is invalid.
     Format(FormatError),
+    /// A chunked binary container was malformed (bad magic, CRC, …).
+    Container(ContainerError),
 }
 
 impl fmt::Display for StreamError {
@@ -20,6 +24,7 @@ impl fmt::Display for StreamError {
         match self {
             StreamError::Io(e) => write!(f, "trace stream i/o error: {e}"),
             StreamError::Format(e) => e.fmt(f),
+            StreamError::Container(e) => e.fmt(f),
         }
     }
 }
@@ -29,6 +34,7 @@ impl std::error::Error for StreamError {
         match self {
             StreamError::Io(e) => Some(e),
             StreamError::Format(e) => Some(e),
+            StreamError::Container(e) => Some(e),
         }
     }
 }
@@ -45,12 +51,26 @@ impl From<FormatError> for StreamError {
     }
 }
 
+impl From<ContainerError> for StreamError {
+    fn from(e: ContainerError) -> Self {
+        StreamError::Container(e)
+    }
+}
+
 impl StreamError {
-    /// The format error, if this is a parse failure.
+    /// The format error, if this is a text parse failure.
     pub fn as_format(&self) -> Option<&FormatError> {
         match self {
             StreamError::Format(e) => Some(e),
-            StreamError::Io(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The container error, if this is a binary container failure.
+    pub fn as_container(&self) -> Option<&ContainerError> {
+        match self {
+            StreamError::Container(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -67,5 +87,8 @@ mod tests {
         let fmt_err = StreamError::from(FormatError::at(3, "bad"));
         assert!(fmt_err.to_string().contains("line 3"));
         assert_eq!(fmt_err.as_format().unwrap().line, 3);
+        let container_err = StreamError::from(ContainerError::BadTrailer);
+        assert!(container_err.as_container().is_some());
+        assert!(container_err.as_format().is_none());
     }
 }

@@ -3,11 +3,16 @@
 //! The paper's stored-segments reducer exists because full event traces are
 //! too large to keep around — yet reducing a trace by first materializing a
 //! full [`trace_model::AppTrace`] reintroduces exactly that memory wall.
-//! This crate removes it for the text trace format:
+//! This crate removes it for both trace formats:
 //!
 //! * [`parser::StreamParser`] — an incremental, line-oriented pull parser
 //!   over any [`std::io::BufRead`] source, built on the same record grammar
 //!   as `trace_format` (one line resident at a time).
+//! * [`binary::ContainerSource`] — the same item stream pulled from a
+//!   chunked binary container (`.trc` v2, the `trace_container` crate),
+//!   one CRC-checked chunk resident at a time.  Both sources sit behind
+//!   the [`source::AppItemSource`] trait, so one reduction loop serves
+//!   both formats.
 //! * [`reduce::reduce_stream`] — feeds each completed segment straight into
 //!   the stored-segments loop ([`trace_reduce::OnlineRankReducer`]) as it
 //!   arrives.  Resident segment state is O(stored representatives + one
@@ -18,6 +23,11 @@
 //!   batch rank sections across crossbeam worker threads
 //!   ([`trace_reduce::scoped_workers`]), each worker streaming its own
 //!   reader and skipping the sections owned by other workers.
+//! * [`binary::reduce_container_file`] — the binary counterpart goes
+//!   further: workers *seek* straight to their rank sections via the
+//!   container's index footer instead of scanning the file.
+//!   [`binary::reduce_any_file`] autodetects text, monolithic v1 and
+//!   container v2 inputs by magic bytes.
 //!
 //! # Quick start
 //!
@@ -41,12 +51,19 @@
 
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod error;
 pub mod parser;
 pub mod reduce;
 pub mod shard;
+pub mod source;
 
+pub use binary::{
+    detect_input, reduce_any_file, reduce_container_file, reduce_container_stream, ContainerSource,
+    TraceInputKind,
+};
 pub use error::StreamError;
 pub use parser::{AppItem, StreamParser};
 pub use reduce::{reduce_stream, StreamReduction, StreamStats};
 pub use shard::{reduce_stream_sharded, reduce_trace_file};
+pub use source::AppItemSource;

@@ -15,6 +15,7 @@ use trace_reduce::{MethodConfig, OnlineRankReducer, OnlineSegmenter};
 
 use crate::error::StreamError;
 use crate::parser::{AppItem, StreamParser};
+use crate::source::AppItemSource;
 
 /// Instrumentation counters from one streaming reduction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,6 +41,12 @@ pub struct StreamStats {
     pub orphan_events: usize,
     /// Segments closed implicitly (missing or mismatched end markers).
     pub unterminated_segments: usize,
+    /// Largest chunk payload buffered by any one reader, in bytes.  Zero
+    /// for text streams (they buffer one line, not chunks); for monolithic
+    /// v1 binary inputs this is the whole file, which is the point of the
+    /// chunked container.  Merging keeps the per-reader maximum, so the
+    /// concurrent total of a sharded run is at most `shards ×` this value.
+    pub peak_chunk_bytes: usize,
 }
 
 impl StreamStats {
@@ -57,6 +64,7 @@ impl StreamStats {
         self.peak_resident_segments += other.peak_resident_segments;
         self.orphan_events += other.orphan_events;
         self.unterminated_segments += other.unterminated_segments;
+        self.peak_chunk_bytes = self.peak_chunk_bytes.max(other.peak_chunk_bytes);
     }
 }
 
@@ -72,10 +80,11 @@ pub struct StreamReduction {
 
 /// Reduces the rank sections selected by `take` (by 0-based section index),
 /// skipping the rest, and returns `(index, reduced rank)` pairs in stream
-/// order together with the instrumentation counters.
-pub(crate) fn reduce_selected_ranks<R: BufRead>(
+/// order together with the instrumentation counters.  The source may be
+/// the text parser or the binary container reader — the loop is identical.
+pub(crate) fn reduce_selected_ranks<S: AppItemSource>(
     config: MethodConfig,
-    parser: &mut StreamParser<R>,
+    parser: &mut S,
     mut take: impl FnMut(usize) -> bool,
 ) -> Result<(Vec<(usize, ReducedRankTrace)>, StreamStats), StreamError> {
     let mut out: Vec<(usize, ReducedRankTrace)> = Vec::new();

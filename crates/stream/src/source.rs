@@ -1,0 +1,39 @@
+//! Abstraction over where streamed trace items come from.
+//!
+//! The online reduction loop in [`crate::reduce`] only needs three things
+//! from its input: the next rank-boundary-or-record item, the ability to
+//! skip the rest of a rank section cheaply (for sharding), and an error
+//! channel.  [`AppItemSource`] captures exactly that, so the same loop
+//! drives the line-oriented text parser ([`crate::parser::StreamParser`])
+//! and the chunked binary container reader
+//! ([`crate::binary::ContainerSource`]) without caring which format the
+//! bytes were in.
+
+use std::io::BufRead;
+
+use trace_model::Rank;
+
+use crate::error::StreamError;
+use crate::parser::{AppItem, StreamParser};
+
+/// A pull source of [`AppItem`]s: rank boundaries and records, in stream
+/// order, with cheap skipping of unwanted rank sections.
+pub trait AppItemSource {
+    /// Pulls the next item, or `Ok(None)` once the trace trailer has been
+    /// consumed.
+    fn next_item(&mut self) -> Result<Option<AppItem>, StreamError>;
+
+    /// Skips the remainder of the open rank section without decoding its
+    /// payloads; returns the skipped rank.
+    fn skip_current_rank(&mut self) -> Result<Rank, StreamError>;
+}
+
+impl<R: BufRead> AppItemSource for StreamParser<R> {
+    fn next_item(&mut self) -> Result<Option<AppItem>, StreamError> {
+        StreamParser::next_item(self)
+    }
+
+    fn skip_current_rank(&mut self) -> Result<Rank, StreamError> {
+        StreamParser::skip_current_rank(self)
+    }
+}

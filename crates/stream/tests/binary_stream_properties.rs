@@ -1,45 +1,37 @@
-//! Property: streaming reduction ≡ in-memory reduction.
-//!
-//! Random multi-rank traces (mixed contexts, event shapes and timings,
-//! including repeated same-shape segments so matching actually happens) are
-//! serialized to the text format and reduced twice — once in memory via
-//! [`trace_reduce::Reducer`], once via [`trace_stream::reduce_stream`] —
-//! for every `Method` variant.  Stored segments and execution logs must be
-//! identical, and the sharded driver must agree with both.
+//! Property: streaming reduction of a chunked binary container ≡ in-memory
+//! reduction of the decoded trace, for all nine paper methods, any chunk
+//! size, and any shard count.
 
 use std::io::Cursor;
 
 use proptest::prelude::*;
-use trace_format::write_app_trace;
+use trace_container::{encode_app_container, ChunkSpec};
 use trace_reduce::{Method, MethodConfig, Reducer};
 use trace_sim::specgen::{trace_from_specs, SegmentSpec};
-use trace_stream::{reduce_stream, reduce_stream_sharded};
+use trace_stream::{reduce_container_file, reduce_container_stream};
 
 fn build_trace(rank_specs: &[Vec<SegmentSpec>]) -> trace_model::AppTrace {
-    trace_from_specs("proptrace", rank_specs)
+    trace_from_specs("binprop", rank_specs)
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
-    fn streaming_reducer_equals_in_memory_reducer(rank_specs in prop::collection::vec(
+    fn binary_streaming_equals_in_memory_for_every_method(rank_specs in prop::collection::vec(
         prop::collection::vec((0u8..4, 0u8..4, 0u16..2000), 0..10),
         1..4,
-    )) {
+    ), segments_per_chunk in 1usize..8) {
         let app = build_trace(&rank_specs);
         prop_assert!(app.is_well_formed());
-        let text = write_app_trace(&app);
+        let bytes = encode_app_container(&app, ChunkSpec::with_segments(segments_per_chunk));
 
         for method in Method::ALL {
             let config = MethodConfig::with_default_threshold(method);
             let in_memory = Reducer::new(config).reduce_app(&app);
-            let streamed = reduce_stream(config, Cursor::new(text.as_bytes()))
-                .expect("generated traces parse");
-            // Same stored segments, same execution logs, for every rank.
+            let streamed = reduce_container_stream(config, Cursor::new(&bytes))
+                .expect("generated containers decode");
             prop_assert_eq!(&streamed.reduced, &in_memory, "{}", method);
-            // And the resident bound holds: stored + one in-flight segment
-            // per (single) active rank.
             prop_assert!(
                 streamed.stats.peak_resident_segments <= streamed.stats.stored + 1,
                 "{}: peak {} vs stored {}",
@@ -51,29 +43,32 @@ proptest! {
     }
 
     #[test]
-    fn sharded_streaming_agrees_with_sequential(rank_specs in prop::collection::vec(
+    fn index_sharded_ingestion_agrees_with_sequential(rank_specs in prop::collection::vec(
         prop::collection::vec((0u8..4, 0u8..4, 0u16..2000), 0..8),
         1..5,
     )) {
         let app = build_trace(&rank_specs);
-        let text = write_app_trace(&app);
+        let bytes = encode_app_container(&app, ChunkSpec::with_segments(3));
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "trace_stream_binprop_{}_{}.trc",
+            std::process::id(),
+            rank_specs.len()
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+
         let config = MethodConfig::with_default_threshold(Method::AvgWave);
-        let sequential = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
+        let sequential = reduce_container_stream(config, Cursor::new(&bytes)).unwrap();
         for shards in [2usize, 3] {
-            let sharded = reduce_stream_sharded(config, shards, |_| {
-                Ok(Cursor::new(text.as_bytes().to_vec()))
-            })
-            .unwrap();
+            let sharded = reduce_container_file(config, &path, shards).unwrap();
             prop_assert_eq!(&sharded.reduced, &sequential.reduced, "{} shards", shards);
         }
+        let _ = std::fs::remove_file(&path);
     }
 }
 
 #[test]
 fn thresholded_methods_agree_across_the_threshold_grid() {
-    // Sweep the paper's threshold grids on one fixed trace: the streaming
-    // and in-memory reducers must agree at every operating point, not just
-    // the defaults.
     let specs: Vec<Vec<SegmentSpec>> = vec![
         (0..20)
             .map(|i| (0u8, (i % 3) as u8, (i * 97 % 1500) as u16))
@@ -83,12 +78,12 @@ fn thresholded_methods_agree_across_the_threshold_grid() {
             .collect(),
     ];
     let app = build_trace(&specs);
-    let text = write_app_trace(&app);
+    let bytes = encode_app_container(&app, ChunkSpec::with_segments(4));
     for method in Method::ALL {
         for threshold in method.threshold_grid() {
             let config = MethodConfig::new(method, threshold);
             let in_memory = Reducer::new(config).reduce_app(&app);
-            let streamed = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
+            let streamed = reduce_container_stream(config, Cursor::new(&bytes)).unwrap();
             assert_eq!(streamed.reduced, in_memory, "{method} @ {threshold}");
         }
     }

@@ -1,0 +1,96 @@
+//! Acceptance test for binary streaming (ISSUE 3 acceptance criterion),
+//! the container analogue of `bounded_memory.rs`: on an amplified container
+//! at least 10× larger than the resident bound,
+//!
+//! * `reduce --stream` over a v2 container is bit-identical to decoding the
+//!   container in memory and reducing it with the batch reducer, and
+//! * peak resident state stays bounded — both the segment bound
+//!   (stored + one in-flight) and the chunk bound (one chunk payload, far
+//!   below the file size the monolithic v1 decoder would materialize), and
+//! * index-sharded ingestion (`--shards N`) matches the single-shard output.
+
+use std::io::Cursor;
+
+use trace_container::{read_app_container, ChunkSpec};
+use trace_model::codec::encode_reduced_trace;
+use trace_reduce::{Method, MethodConfig, Reducer};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+use trace_stream::{reduce_container_file, reduce_container_stream};
+
+/// An amplified Late Sender container: the run replayed back-to-back,
+/// streamed straight into container chunks via the sim's writer.
+fn amplified_container(repeats: usize, segments_per_chunk: usize) -> Vec<u8> {
+    Workload::new(WorkloadKind::LateSender, SizePreset::Tiny)
+        .write_container_amplified_to(
+            Vec::new(),
+            repeats,
+            ChunkSpec::with_segments(segments_per_chunk),
+        )
+        .expect("writing to a Vec cannot fail")
+}
+
+#[test]
+fn resident_state_stays_an_order_of_magnitude_below_the_container() {
+    let bytes = amplified_container(60, 8);
+    let config = MethodConfig::with_default_threshold(Method::AvgWave);
+    let streamed = reduce_container_stream(config, Cursor::new(&bytes)).unwrap();
+
+    // Segment bound: stored representatives + one in-flight segment.
+    let bound = streamed.stats.stored + 1;
+    assert!(streamed.stats.peak_resident_segments <= bound);
+    assert!(
+        streamed.stats.segments >= 10 * streamed.stats.peak_resident_segments,
+        "trace too small for the claim: {} segments vs peak resident {}",
+        streamed.stats.segments,
+        streamed.stats.peak_resident_segments
+    );
+
+    // Chunk bound: the largest buffered payload is far below the file size
+    // (the monolithic v1 path would hold all of it).
+    assert!(streamed.stats.peak_chunk_bytes > 0);
+    assert!(
+        bytes.len() >= 10 * streamed.stats.peak_chunk_bytes,
+        "peak chunk {} vs container {} bytes",
+        streamed.stats.peak_chunk_bytes,
+        bytes.len()
+    );
+
+    // Bit-identical to the in-memory binary path: decode the whole
+    // container, reduce in memory, and compare the *encoded* outputs.
+    let app = read_app_container(&bytes[..]).unwrap();
+    let in_memory = Reducer::new(config).reduce_app(&app);
+    assert_eq!(streamed.reduced, in_memory);
+    assert_eq!(
+        encode_reduced_trace(&streamed.reduced),
+        encode_reduced_trace(&in_memory)
+    );
+}
+
+#[test]
+fn big_container_end_to_end_through_a_file_with_shards() {
+    let bytes = amplified_container(40, 16);
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "trace_stream_big_container_{}.trc",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes).unwrap();
+
+    let config = MethodConfig::with_default_threshold(Method::RelDiff);
+    let sequential = reduce_container_stream(config, Cursor::new(&bytes)).unwrap();
+    for shards in [2, 4] {
+        let sharded = reduce_container_file(config, &path, shards).unwrap();
+        // Index-sharded ingestion matches the single-shard output
+        // bit-for-bit.
+        assert_eq!(
+            encode_reduced_trace(&sharded.reduced),
+            encode_reduced_trace(&sequential.reduced),
+            "{shards} shards"
+        );
+        // Per-reader chunk bound holds under sharding too.
+        assert!(bytes.len() >= 10 * sharded.stats.peak_chunk_bytes);
+        assert!(sharded.stats.segments >= 10 * sharded.stats.peak_resident_segments);
+    }
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -5,6 +5,7 @@ use super::varint::{read_i64, read_u64};
 use super::{CodecError, Reader, APP_TRACE_MAGIC, FORMAT_VERSION, REDUCED_TRACE_MAGIC};
 use crate::event::{CollectiveOp, CommInfo, Event};
 use crate::ids::{ContextId, ContextTable, Rank, RegionId, RegionTable};
+use crate::record::TraceRecord;
 use crate::reduced::{ReducedAppTrace, ReducedRankTrace, SegmentExec, StoredSegment};
 use crate::segment::Segment;
 use crate::time::Time;
@@ -43,7 +44,8 @@ fn read_header(reader: &mut Reader<'_>, expected_magic: [u8; 4]) -> Result<(), C
     Ok(())
 }
 
-fn read_string(reader: &mut Reader<'_>) -> Result<String, CodecError> {
+/// Reads a length-prefixed UTF-8 string.
+pub fn read_string(reader: &mut Reader<'_>) -> Result<String, CodecError> {
     let len = read_u64(reader)?;
     if len > reader.remaining() as u64 {
         return Err(CodecError::LengthTooLarge(len));
@@ -52,7 +54,8 @@ fn read_string(reader: &mut Reader<'_>) -> Result<String, CodecError> {
     String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
 }
 
-fn read_string_table(reader: &mut Reader<'_>) -> Result<Vec<String>, CodecError> {
+/// Reads a count-prefixed table of length-prefixed strings.
+pub fn read_string_table(reader: &mut Reader<'_>) -> Result<Vec<String>, CodecError> {
     let count = read_u64(reader)?;
     if count > reader.remaining() as u64 {
         return Err(CodecError::LengthTooLarge(count));
@@ -134,6 +137,39 @@ fn read_marker_time(reader: &mut Reader<'_>, prev_time: Time) -> Result<Time, Co
     Ok(Time::from_nanos(ns as u64))
 }
 
+/// Reads one trace record with its time stamp delta-encoded against
+/// `prev_time`; returns the record and the new `prev_time`.
+///
+/// Inverse of [`super::write_record`]; the chunked container format
+/// (`trace_container`) decodes chunk payloads with this, restarting
+/// `prev_time` at [`Time::ZERO`] for every chunk.
+pub fn read_record(
+    reader: &mut Reader<'_>,
+    prev_time: Time,
+) -> Result<(TraceRecord, Time), CodecError> {
+    let tag = reader.read_byte()?;
+    match tag {
+        tags::RECORD_SEGMENT_BEGIN => {
+            let context = ContextId(read_u64(reader)? as u32);
+            let time = read_marker_time(reader, prev_time)?;
+            Ok((TraceRecord::SegmentBegin { context, time }, time))
+        }
+        tags::RECORD_SEGMENT_END => {
+            let context = ContextId(read_u64(reader)? as u32);
+            let time = read_marker_time(reader, prev_time)?;
+            Ok((TraceRecord::SegmentEnd { context, time }, time))
+        }
+        tags::RECORD_EVENT => {
+            let (event, new_prev) = read_event(reader, prev_time)?;
+            Ok((TraceRecord::Event(event), new_prev))
+        }
+        tag => Err(CodecError::BadTag {
+            what: "trace record",
+            tag,
+        }),
+    }
+}
+
 /// Decodes a full application trace produced by
 /// [`super::encode_app_trace`].
 pub fn decode_app_trace(bytes: &[u8]) -> Result<AppTrace, CodecError> {
@@ -154,32 +190,9 @@ pub fn decode_app_trace(bytes: &[u8]) -> Result<AppTrace, CodecError> {
         trace.records.reserve(record_count as usize);
         let mut prev_time = Time::ZERO;
         for _ in 0..record_count {
-            let tag = reader.read_byte()?;
-            match tag {
-                tags::RECORD_SEGMENT_BEGIN => {
-                    let context = ContextId(read_u64(&mut reader)? as u32);
-                    let time = read_marker_time(&mut reader, prev_time)?;
-                    prev_time = time;
-                    trace.begin_segment(context, time);
-                }
-                tags::RECORD_SEGMENT_END => {
-                    let context = ContextId(read_u64(&mut reader)? as u32);
-                    let time = read_marker_time(&mut reader, prev_time)?;
-                    prev_time = time;
-                    trace.end_segment(context, time);
-                }
-                tags::RECORD_EVENT => {
-                    let (event, new_prev) = read_event(&mut reader, prev_time)?;
-                    prev_time = new_prev;
-                    trace.push_event(event);
-                }
-                tag => {
-                    return Err(CodecError::BadTag {
-                        what: "trace record",
-                        tag,
-                    })
-                }
-            }
+            let (record, new_prev) = read_record(&mut reader, prev_time)?;
+            prev_time = new_prev;
+            trace.push(record);
         }
         ranks.push(trace);
     }
@@ -191,7 +204,8 @@ pub fn decode_app_trace(bytes: &[u8]) -> Result<AppTrace, CodecError> {
     })
 }
 
-fn read_segment(reader: &mut Reader<'_>) -> Result<Segment, CodecError> {
+/// Reads one rebased segment (inverse of [`super::write_segment`]).
+pub fn read_segment(reader: &mut Reader<'_>) -> Result<Segment, CodecError> {
     let context = ContextId(read_u64(reader)? as u32);
     let start = Time::from_nanos(read_u64(reader)?);
     let end = Time::from_nanos(read_u64(reader)?);
@@ -214,6 +228,35 @@ fn read_segment(reader: &mut Reader<'_>) -> Result<Segment, CodecError> {
     })
 }
 
+/// Reads one stored representative segment (inverse of
+/// [`super::write_stored_segment`]).
+pub fn read_stored_segment(reader: &mut Reader<'_>) -> Result<StoredSegment, CodecError> {
+    let id = read_u64(reader)? as u32;
+    let represented = read_u64(reader)? as u32;
+    let segment = read_segment(reader)?;
+    Ok(StoredSegment {
+        id,
+        segment,
+        represented,
+    })
+}
+
+/// Reads one segment execution with its start delta-encoded against
+/// `prev_start`; returns the execution and the new `prev_start`.
+pub fn read_exec(
+    reader: &mut Reader<'_>,
+    prev_start: Time,
+) -> Result<(SegmentExec, Time), CodecError> {
+    let segment = read_u64(reader)? as u32;
+    let delta = read_i64(reader)?;
+    let ns = prev_start.as_nanos() as i64 + delta;
+    if ns < 0 {
+        return Err(CodecError::NegativeTime);
+    }
+    let start = Time::from_nanos(ns as u64);
+    Ok((SegmentExec { segment, start }, start))
+}
+
 /// Decodes a reduced application trace produced by
 /// [`super::encode_reduced_trace`].
 pub fn decode_reduced_trace(bytes: &[u8]) -> Result<ReducedAppTrace, CodecError> {
@@ -232,14 +275,7 @@ pub fn decode_reduced_trace(bytes: &[u8]) -> Result<ReducedAppTrace, CodecError>
             return Err(CodecError::LengthTooLarge(stored_count));
         }
         for _ in 0..stored_count {
-            let id = read_u64(&mut reader)? as u32;
-            let represented = read_u64(&mut reader)? as u32;
-            let segment = read_segment(&mut reader)?;
-            reduced.stored.push(StoredSegment {
-                id,
-                segment,
-                represented,
-            });
+            reduced.stored.push(read_stored_segment(&mut reader)?);
         }
         let exec_count = read_u64(&mut reader)?;
         if exec_count > (reader.remaining() as u64 + 1) * 2 {
@@ -247,15 +283,9 @@ pub fn decode_reduced_trace(bytes: &[u8]) -> Result<ReducedAppTrace, CodecError>
         }
         let mut prev_start = Time::ZERO;
         for _ in 0..exec_count {
-            let segment = read_u64(&mut reader)? as u32;
-            let delta = read_i64(&mut reader)?;
-            let ns = prev_start.as_nanos() as i64 + delta;
-            if ns < 0 {
-                return Err(CodecError::NegativeTime);
-            }
-            let start = Time::from_nanos(ns as u64);
-            prev_start = start;
-            reduced.execs.push(SegmentExec { segment, start });
+            let (exec, new_prev) = read_exec(&mut reader, prev_start)?;
+            prev_start = new_prev;
+            reduced.execs.push(exec);
         }
         ranks.push(reduced);
     }

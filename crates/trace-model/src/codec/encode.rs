@@ -35,12 +35,14 @@ pub(super) fn collective_op_tag(op: CollectiveOp) -> u8 {
     }
 }
 
-fn write_string(out: &mut Vec<u8>, s: &str) {
+/// Writes a length-prefixed UTF-8 string.
+pub fn write_string(out: &mut Vec<u8>, s: &str) {
     write_u64(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn write_string_table(out: &mut Vec<u8>, names: &[String]) {
+/// Writes a count-prefixed table of length-prefixed strings.
+pub fn write_string_table(out: &mut Vec<u8>, names: &[String]) {
     write_u64(out, names.len() as u64);
     for name in names {
         write_string(out, name);
@@ -89,6 +91,34 @@ fn write_comm(out: &mut Vec<u8>, comm: &CommInfo) {
     }
 }
 
+/// Writes one trace record with its time stamp delta-encoded against
+/// `prev_time`, returning the new `prev_time` (the record's time stamp).
+///
+/// This is the unit the chunked container format (`trace_container`)
+/// reuses: a run of records encoded with `prev_time` starting at
+/// [`Time::ZERO`] is self-contained and can be decoded without any bytes
+/// outside the run.
+pub fn write_record(out: &mut Vec<u8>, record: &TraceRecord, prev_time: Time) -> Time {
+    match record {
+        TraceRecord::SegmentBegin { context, time } => {
+            out.push(tags::RECORD_SEGMENT_BEGIN);
+            write_u64(out, u64::from(context.as_u32()));
+            write_i64(out, time.as_nanos() as i64 - prev_time.as_nanos() as i64);
+            *time
+        }
+        TraceRecord::SegmentEnd { context, time } => {
+            out.push(tags::RECORD_SEGMENT_END);
+            write_u64(out, u64::from(context.as_u32()));
+            write_i64(out, time.as_nanos() as i64 - prev_time.as_nanos() as i64);
+            *time
+        }
+        TraceRecord::Event(event) => {
+            out.push(tags::RECORD_EVENT);
+            write_event(out, event, prev_time)
+        }
+    }
+}
+
 /// Writes an event whose `start` is delta-encoded against `prev_time`, and
 /// returns the new `prev_time` (the event start).
 fn write_event(out: &mut Vec<u8>, event: &Event, prev_time: Time) -> Time {
@@ -117,37 +147,14 @@ pub fn encode_app_trace(app: &AppTrace) -> Vec<u8> {
         write_u64(&mut out, rank.records.len() as u64);
         let mut prev_time = Time::ZERO;
         for record in &rank.records {
-            match record {
-                TraceRecord::SegmentBegin { context, time } => {
-                    out.push(tags::RECORD_SEGMENT_BEGIN);
-                    write_u64(&mut out, u64::from(context.as_u32()));
-                    write_i64(
-                        &mut out,
-                        time.as_nanos() as i64 - prev_time.as_nanos() as i64,
-                    );
-                    prev_time = *time;
-                }
-                TraceRecord::SegmentEnd { context, time } => {
-                    out.push(tags::RECORD_SEGMENT_END);
-                    write_u64(&mut out, u64::from(context.as_u32()));
-                    write_i64(
-                        &mut out,
-                        time.as_nanos() as i64 - prev_time.as_nanos() as i64,
-                    );
-                    prev_time = *time;
-                }
-                TraceRecord::Event(event) => {
-                    out.push(tags::RECORD_EVENT);
-                    prev_time = write_event(&mut out, event, prev_time);
-                }
-            }
+            prev_time = write_record(&mut out, record, prev_time);
         }
     }
     out
 }
 
 /// Writes one rebased segment (used for stored representatives).
-pub(super) fn write_segment(out: &mut Vec<u8>, segment: &Segment) {
+pub fn write_segment(out: &mut Vec<u8>, segment: &Segment) {
     write_u64(out, u64::from(segment.context.as_u32()));
     write_u64(out, segment.start.as_nanos());
     write_u64(out, segment.end.as_nanos());
@@ -156,6 +163,25 @@ pub(super) fn write_segment(out: &mut Vec<u8>, segment: &Segment) {
     for event in &segment.events {
         prev_time = write_event(out, event, prev_time);
     }
+}
+
+/// Writes one stored representative segment (`id`, represented count and
+/// the rebased segment body).
+pub fn write_stored_segment(out: &mut Vec<u8>, stored: &crate::reduced::StoredSegment) {
+    write_u64(out, u64::from(stored.id));
+    write_u64(out, u64::from(stored.represented));
+    write_segment(out, &stored.segment);
+}
+
+/// Writes one segment execution with its start delta-encoded against
+/// `prev_start`, returning the new `prev_start`.
+pub fn write_exec(out: &mut Vec<u8>, exec: &crate::reduced::SegmentExec, prev_start: Time) -> Time {
+    write_u64(out, u64::from(exec.segment));
+    write_i64(
+        out,
+        exec.start.as_nanos() as i64 - prev_start.as_nanos() as i64,
+    );
+    exec.start
 }
 
 /// Encodes a reduced application trace.
@@ -171,19 +197,12 @@ pub fn encode_reduced_trace(reduced: &ReducedAppTrace) -> Vec<u8> {
         write_u64(&mut out, u64::from(rank.rank.as_u32()));
         write_u64(&mut out, rank.stored.len() as u64);
         for stored in &rank.stored {
-            write_u64(&mut out, u64::from(stored.id));
-            write_u64(&mut out, u64::from(stored.represented));
-            write_segment(&mut out, &stored.segment);
+            write_stored_segment(&mut out, stored);
         }
         write_u64(&mut out, rank.execs.len() as u64);
         let mut prev_start = Time::ZERO;
         for exec in &rank.execs {
-            write_u64(&mut out, u64::from(exec.segment));
-            write_i64(
-                &mut out,
-                exec.start.as_nanos() as i64 - prev_start.as_nanos() as i64,
-            );
-            prev_start = exec.start;
+            prev_start = write_exec(&mut out, exec, prev_start);
         }
     }
     out

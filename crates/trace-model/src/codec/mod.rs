@@ -16,8 +16,14 @@ pub mod varint;
 
 use std::fmt;
 
-pub use decode::{decode_app_trace, decode_reduced_trace};
-pub use encode::{encode_app_trace, encode_reduced_trace};
+pub use decode::{
+    decode_app_trace, decode_reduced_trace, read_exec, read_record, read_segment,
+    read_stored_segment, read_string, read_string_table,
+};
+pub use encode::{
+    encode_app_trace, encode_reduced_trace, write_exec, write_record, write_segment,
+    write_stored_segment, write_string, write_string_table,
+};
 
 /// Magic bytes identifying a full application trace file.
 pub const APP_TRACE_MAGIC: [u8; 4] = *b"TRCF";

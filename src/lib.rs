@@ -13,10 +13,14 @@
 //!   reduction.
 //! * [`trace_format`] — OTF-style text trace format writer/parser.
 //! * [`trace_stream`] — online, bounded-memory streaming reduction over
-//!   text trace files (incremental parser, online reducer, sharded driver).
+//!   text trace files and chunked binary containers (incremental parsers,
+//!   online reducer, sharded drivers).
+//! * [`trace_container`] — chunked, indexed binary trace container
+//!   (`.trc` v2) with CRC-checked chunks and a seekable index footer.
 
 pub use trace_analysis as analysis;
 pub use trace_clustering as clustering;
+pub use trace_container as container;
 pub use trace_eval as eval;
 pub use trace_format as format;
 pub use trace_model as model;

@@ -7,12 +7,19 @@
 //! `criterion_main!` macros.
 //!
 //! Measurement is intentionally simple: each benchmark runs one warm-up
-//! iteration, then `sample_size` timed iterations, and reports min / mean /
-//! max wall-clock time (plus derived throughput when configured).  There is
-//! no statistical analysis, HTML report or baseline comparison — the point
-//! is that `cargo bench` compiles, runs and prints comparable numbers.
+//! iteration, then `sample_size` timed iterations, and reports min /
+//! median / mean / max wall-clock time with the sample standard deviation
+//! (plus derived throughput when configured).  There is no outlier
+//! rejection or HTML report, but baselines are supported: set
+//! `CRITERION_BASELINE=<file>` to compare against a saved run — if the
+//! file exists, every benchmark line gains a `Δ vs baseline` percentage
+//! (of mean time); if it does not, the run's means are written there as a
+//! flat JSON object (`{"bench name": mean_nanoseconds, ...}`) when
+//! `criterion_main!` finishes, ready for the next comparison run.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], criterion-style.
@@ -176,6 +183,174 @@ impl Bencher {
     }
 }
 
+/// Summary statistics over one benchmark's timed samples.
+#[derive(Debug, Clone, Copy)]
+struct SampleStats {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    max: Duration,
+    /// Sample standard deviation (Bessel-corrected); zero for one sample.
+    stddev: Duration,
+}
+
+fn sample_stats(samples: &[Duration]) -> SampleStats {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let max = *sorted.last().expect("non-empty");
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2
+    };
+    let mean_ns = sorted.iter().map(Duration::as_nanos).sum::<u128>() as f64 / sorted.len() as f64;
+    let stddev_ns = if sorted.len() < 2 {
+        0.0
+    } else {
+        let var = sorted
+            .iter()
+            .map(|s| {
+                let d = s.as_nanos() as f64 - mean_ns;
+                d * d
+            })
+            .sum::<f64>()
+            / (sorted.len() - 1) as f64;
+        var.sqrt()
+    };
+    SampleStats {
+        min,
+        median,
+        mean: Duration::from_nanos(mean_ns as u64),
+        max,
+        stddev: Duration::from_nanos(stddev_ns as u64),
+    }
+}
+
+/// Means recorded this run, written out by [`save_baseline_if_requested`].
+fn recorded_means() -> &'static Mutex<Vec<(String, f64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The baseline loaded from `CRITERION_BASELINE`, if the file exists.
+fn baseline() -> Option<&'static HashMap<String, f64>> {
+    static BASELINE: OnceLock<Option<HashMap<String, f64>>> = OnceLock::new();
+    BASELINE
+        .get_or_init(|| {
+            let path = std::env::var("CRITERION_BASELINE").ok()?;
+            let text = std::fs::read_to_string(&path).ok()?;
+            match parse_baseline_json(&text) {
+                Ok(map) => {
+                    println!("comparing against baseline {path} ({} entries)", map.len());
+                    Some(map)
+                }
+                Err(e) => {
+                    eprintln!("ignoring malformed baseline {path}: {e}");
+                    None
+                }
+            }
+        })
+        .as_ref()
+}
+
+/// Parses a flat JSON object of string keys to numbers — exactly what
+/// [`write_baseline_json`] emits.
+fn parse_baseline_json(text: &str) -> Result<HashMap<String, f64>, String> {
+    let mut map = HashMap::new();
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("expected a JSON object")?;
+    let mut chars = body.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(map);
+        }
+        if chars.next() != Some('"') {
+            return Err("expected a string key".into());
+        }
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some(c @ ('"' | '\\')) => key.push(c),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some('"') => break,
+                Some(c) => key.push(c),
+                None => return Err("unterminated string key".into()),
+            }
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.next() != Some(':') {
+            return Err("expected ':' after key".into());
+        }
+        let mut number = String::new();
+        while matches!(chars.peek(), Some(c) if !matches!(c, ',') ) {
+            number.push(chars.next().expect("peeked"));
+        }
+        let value: f64 = number
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad number {number:?} for key {key:?}"))?;
+        map.insert(key, value);
+    }
+}
+
+/// Serializes recorded means as the flat JSON object the parser accepts.
+fn write_baseline_json(entries: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, mean_ns)) in entries.iter().enumerate() {
+        let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!("  \"{escaped}\": {mean_ns:.1}"));
+        out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
+    }
+    out.push('}');
+    out
+}
+
+/// Records the run's means into `CRITERION_BASELINE` if the variable is
+/// set.  Benchmarks already in the file keep their baseline values (they
+/// were the comparison reference); benchmarks the file has never seen are
+/// appended — so `cargo bench` over several `[[bench]]` binaries (one
+/// process each) accumulates a complete baseline on the first pass instead
+/// of freezing after the first binary.  Called by `criterion_main!` after
+/// all groups have run; harmless with no benchmarks recorded.
+pub fn save_baseline_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_BASELINE") else {
+        return;
+    };
+    let entries = recorded_means().lock().expect("no poisoned benches");
+    if entries.is_empty() {
+        return;
+    }
+    let existing = baseline().cloned().unwrap_or_default();
+    let mut merged: Vec<(String, f64)> = existing.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    let before = merged.len();
+    for (name, mean_ns) in entries.iter() {
+        if !existing.contains_key(name) {
+            merged.push((name.clone(), *mean_ns));
+        }
+    }
+    let added = merged.len() - before;
+    if added == 0 {
+        return; // every benchmark was compared against the baseline
+    }
+    match std::fs::write(&path, write_baseline_json(&merged)) {
+        Ok(()) if before == 0 => println!("saved baseline {path} ({added} entries)"),
+        Ok(()) => println!("added {added} new entries to baseline {path}"),
+        Err(e) => eprintln!("cannot save baseline {path}: {e}"),
+    }
+}
+
 fn run_one<F>(
     group: &str,
     id: &BenchmarkId,
@@ -199,17 +374,38 @@ fn run_one<F>(
         println!("  {full_name}: no samples recorded");
         return;
     }
-    let min = bencher.samples.iter().min().copied().unwrap_or_default();
-    let max = bencher.samples.iter().max().copied().unwrap_or_default();
-    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    let stats = sample_stats(&bencher.samples);
+    let mean_ns = stats.mean.as_nanos() as f64;
     let rate = throughput.map(|t| match t {
-        Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64()),
-        Throughput::Bytes(n) => format!(" ({:.0} B/s)", n as f64 / mean.as_secs_f64()),
+        Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / stats.mean.as_secs_f64()),
+        Throughput::Bytes(n) => format!(" ({:.0} B/s)", n as f64 / stats.mean.as_secs_f64()),
     });
+    let delta = baseline()
+        .and_then(|b| b.get(&full_name))
+        .map(|&base_ns| {
+            if base_ns > 0.0 {
+                format!(
+                    " Δ vs baseline {:+.1}%",
+                    100.0 * (mean_ns - base_ns) / base_ns
+                )
+            } else {
+                String::from(" Δ vs baseline n/a")
+            }
+        })
+        .unwrap_or_default();
     println!(
-        "  {full_name}: [{min:?} {mean:?} {max:?}]{}",
+        "  {full_name}: [{:?} {:?} {:?} {:?}] ±{:?}{}{delta}",
+        stats.min,
+        stats.median,
+        stats.mean,
+        stats.max,
+        stats.stddev,
         rate.unwrap_or_default()
     );
+    recorded_means()
+        .lock()
+        .expect("no poisoned benches")
+        .push((full_name, mean_ns));
 }
 
 /// Bundles bench functions into a single runner, criterion-style.
@@ -223,12 +419,17 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` for a bench target (`harness = false`).
+/// Emits `main` for a bench target (`harness = false`).  After every group
+/// has run, benchmarks that `CRITERION_BASELINE` has never seen are
+/// recorded into it — creating the file if missing, appending new entries
+/// otherwise; existing entries are never overwritten (see
+/// [`save_baseline_if_requested`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group_name:path),+ $(,)?) => {
         fn main() {
             $( $group_name(); )+
+            $crate::save_baseline_if_requested();
         }
     };
 }
@@ -250,6 +451,51 @@ mod tests {
         group.finish();
         // One warm-up call plus three timed calls.
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn stats_report_median_and_stddev() {
+        let samples: Vec<Duration> = [10u64, 20, 30, 40, 100]
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .collect();
+        let stats = sample_stats(&samples);
+        assert_eq!(stats.min, Duration::from_millis(10));
+        assert_eq!(stats.median, Duration::from_millis(30));
+        assert_eq!(stats.mean, Duration::from_millis(40));
+        assert_eq!(stats.max, Duration::from_millis(100));
+        // Sample stddev of [10,20,30,40,100] ms: sqrt(5000/4) ≈ 35.36 ms.
+        let stddev_ms = stats.stddev.as_secs_f64() * 1e3;
+        assert!((stddev_ms - 35.36).abs() < 0.1, "{stddev_ms}");
+
+        // Even sample counts take the midpoint; single samples have no spread.
+        let stats = sample_stats(&samples[..4]);
+        assert_eq!(stats.median, Duration::from_millis(25));
+        let stats = sample_stats(&samples[..1]);
+        assert_eq!(stats.stddev, Duration::ZERO);
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let entries = vec![
+            ("group/bench".to_string(), 1234.5),
+            ("weird \"name\" \\ with escapes".to_string(), 8.0),
+            ("elems, commas".to_string(), 99999999.1),
+        ];
+        let json = write_baseline_json(&entries);
+        let parsed = parse_baseline_json(&json).unwrap();
+        assert_eq!(parsed.len(), entries.len());
+        for (name, mean) in &entries {
+            assert!(
+                (parsed[name] - mean).abs() < 1e-6,
+                "{name}: {} vs {mean}",
+                parsed[name]
+            );
+        }
+        assert!(parse_baseline_json("not json").is_err());
+        assert!(parse_baseline_json("{\"unterminated: 1}").is_err());
+        assert!(parse_baseline_json("{\"k\": nope}").is_err());
+        assert_eq!(parse_baseline_json("{}").unwrap().len(), 0);
     }
 
     #[test]
