@@ -9,7 +9,7 @@ use std::io::Cursor;
 use std::time::Instant;
 
 use trace_bench::preset_from_env;
-use trace_container::ChunkSpec;
+use trace_container::{read_app_container, ChunkSpec, Codec};
 use trace_eval::file_size_percent;
 use trace_format::parse_app_trace;
 use trace_model::codec::{decode_app_trace, encode_app_trace};
@@ -179,4 +179,71 @@ fn main() {
         container_sharded_wall.as_secs_f64() * 1e3,
         container_sharded.stats.peak_chunk_bytes
     );
+
+    // Table 5: per-chunk compression — bytes on disk, ratio and ingestion
+    // wall time per codec, on the paper's application trace (Sweep3D)
+    // amplified like the other streaming tables.
+    let workload = Workload::new(WorkloadKind::Sweep3d8p, preset);
+    eprintln!(
+        "[record_experiments] amplifying {} x{repeats} for the compression comparison...",
+        workload.name()
+    );
+    let baseline = workload
+        .write_container_amplified_to(Vec::new(), repeats, ChunkSpec::default())
+        .expect("writing to a Vec cannot fail");
+    let app = read_app_container(&baseline[..]).expect("container decodes");
+    let v1 = encode_app_trace(&app);
+    let expected = reducer.reduce_app(&app);
+
+    let started = Instant::now();
+    let decoded = decode_app_trace(&v1).expect("v1 decodes");
+    let v1_wall = started.elapsed();
+    assert_eq!(reducer.reduce_app(&decoded), expected);
+
+    println!(
+        "\nper-chunk compression ({} x{repeats}, {} events, avgWave; \
+         monolithic v1 {} bytes decoded+reduced in {:.1} ms):\n",
+        workload.name(),
+        app.total_events(),
+        v1.len(),
+        v1_wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "| codec | bytes on disk | ratio vs none | stream ingest (ms) | index-sharded x4 (ms) |"
+    );
+    println!("|---|---:|---:|---:|---:|");
+    let mut container_path = std::env::temp_dir();
+    container_path.push(format!(
+        "record_experiments_codec_{}.trc",
+        std::process::id()
+    ));
+    for codec in Codec::ALL {
+        let bytes = workload
+            .write_container_amplified_to(Vec::new(), repeats, ChunkSpec::with_codec(codec))
+            .expect("writing to a Vec cannot fail");
+        std::fs::write(&container_path, &bytes).expect("temp container file");
+
+        let started = Instant::now();
+        let streamed = reduce_container_stream(config, Cursor::new(&bytes)).unwrap();
+        let stream_wall = started.elapsed();
+        assert_eq!(
+            streamed.reduced, expected,
+            "compressed ingestion must match the uncompressed output"
+        );
+
+        let started = Instant::now();
+        let sharded = reduce_container_file(config, &container_path, 4).unwrap();
+        let sharded_wall = started.elapsed();
+        assert_eq!(sharded.reduced, expected);
+
+        println!(
+            "| {} | {} | {:.2}x | {:.1} | {:.1} |",
+            codec.name(),
+            bytes.len(),
+            baseline.len() as f64 / bytes.len() as f64,
+            stream_wall.as_secs_f64() * 1e3,
+            sharded_wall.as_secs_f64() * 1e3
+        );
+    }
+    let _ = std::fs::remove_file(&container_path);
 }

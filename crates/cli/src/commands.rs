@@ -4,13 +4,16 @@ use std::path::Path;
 
 use trace_analysis::diagnose;
 use trace_eval::{evaluate_method, file_size_percent};
-use trace_model::codec::encode_app_trace;
 use trace_reduce::{ExtendedConfig, ExtendedMethod, ExtendedReducer, MethodConfig};
 use trace_sampling::{sample_app, AdaptiveConfig, SamplingPolicy};
 use trace_sim::{SizePreset, Workload, WorkloadKind};
 
+use trace_container::{ChunkSpec, Codec};
+
 use crate::cli::Invocation;
-use crate::io::{load_app_trace, load_reduced_trace, store_app_trace, store_reduced_trace};
+use crate::io::{
+    load_app_trace, load_reduced_trace, store_app_trace, store_reduced_trace, BinaryFormat,
+};
 
 /// The usage text printed by `trace-tools help` and after errors.
 pub fn usage() -> String {
@@ -20,9 +23,9 @@ trace-tools <subcommand> [--flag value]...
 subcommands:
   list                                   list workloads, methods and sampling policies
   generate   --workload W --out FILE     generate a benchmark/application trace
-             [--preset tiny|small|paper]
+             [--preset tiny|small|paper] [binary output flags]
   reduce     --in FILE --out FILE        similarity-based reduction
-             --method M [--threshold T]
+             --method M [--threshold T]  [binary output flags]
              [--stream [--shards N]]     online bounded-memory reduction; input
                                          format (text, binary v1, container v2)
                                          is autodetected by magic bytes, and
@@ -31,8 +34,7 @@ subcommands:
              --policy every:N|random:F|adaptive:E [--seed S]
   reconstruct --in REDUCED --out FILE    rebuild an approximate full trace
   convert    --in FILE --out FILE        convert between binary (.trc) and text (.txt)
-             [--container                write a chunked, indexed .trc v2 container
-              [--chunk-segments N]]      (N segments per chunk, default 128)
+             [binary output flags]
   analyze    --in FILE                   KOJAK-style wait-state diagnosis
   evaluate   --workload W --method M     run the paper's four criteria
              [--threshold T] [--preset P]
@@ -40,6 +42,12 @@ subcommands:
              [--algorithm kmeans|single|complete|average] [--out FILE]
   extension-study --workload W           compare similarity, sampling and
              [--preset P]                clustering on one workload
+
+binary output flags (generate, reduce, convert):
+  --codec none|delta|lz|delta-lz         per-chunk compression codec (default none)
+  --chunk-segments N                     segments per chunk (default 128)
+  --v1                                   write the monolithic v1 encoding instead
+                                         of the default chunked .trc v2 container
 
 file formats are chosen by extension: .txt/.trctxt = text, anything else = binary
 (binary reads autodetect monolithic v1 and chunked v2 containers by magic)"
@@ -53,11 +61,21 @@ file formats are chosen by extension: .txt/.trctxt = text, anything else = binar
 fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
     Some(match command {
         "help" | "--help" | "-h" | "list" => &[],
-        "generate" => &["workload", "preset", "out"],
-        "reduce" => &["in", "out", "method", "threshold", "stream", "shards"],
+        "generate" => &["workload", "preset", "out", "codec", "chunk-segments", "v1"],
+        "reduce" => &[
+            "in",
+            "out",
+            "method",
+            "threshold",
+            "stream",
+            "shards",
+            "codec",
+            "chunk-segments",
+            "v1",
+        ],
         "sample" => &["in", "out", "policy", "seed"],
         "reconstruct" => &["in", "out"],
-        "convert" => &["in", "out", "container", "chunk-segments"],
+        "convert" => &["in", "out", "container", "chunk-segments", "codec", "v1"],
         "analyze" => &["in"],
         "evaluate" => &["workload", "method", "threshold", "preset"],
         "cluster" => &["in", "k", "algorithm", "out"],
@@ -153,6 +171,61 @@ fn parse_policy(invocation: &Invocation) -> Result<SamplingPolicy, String> {
     }
 }
 
+/// Parses the binary output flags (`--codec`, `--chunk-segments`, `--v1`)
+/// shared by `generate`, `reduce` and `convert`.  The default is a chunked
+/// `.trc` v2 container with the default grouping and no compression;
+/// `--v1` selects the monolithic encoding and conflicts with the
+/// container-only flags.
+fn parse_binary_format(invocation: &Invocation, out: &Path) -> Result<BinaryFormat, String> {
+    // A text output takes none of the binary flags — rejected rather than
+    // silently ignored, for every command that writes traces.
+    if crate::io::is_text_path(out) {
+        for flag in ["container", "codec", "chunk-segments", "v1"] {
+            if invocation.has(flag) {
+                return Err(format!(
+                    "--{flag} configures binary output; {} has a text extension",
+                    out.display()
+                ));
+            }
+        }
+    }
+    if invocation.has("v1") {
+        for flag in ["codec", "chunk-segments", "container"] {
+            if invocation.has(flag) {
+                return Err(format!(
+                    "--{flag} configures the chunked v2 container; drop --v1 to use it"
+                ));
+            }
+        }
+        return Ok(BinaryFormat::MonolithicV1);
+    }
+    let mut spec = match invocation.get_usize("chunk-segments")? {
+        Some(0) => return Err("--chunk-segments must be at least 1".to_string()),
+        Some(n) => ChunkSpec::with_segments(n),
+        None => ChunkSpec::default(),
+    };
+    if let Some(name) = invocation.get("codec") {
+        let codec = Codec::by_name(name).ok_or_else(|| {
+            let known: Vec<&str> = Codec::ALL.iter().map(|c| c.name()).collect();
+            format!("unknown codec {name:?}; known codecs: {}", known.join(", "))
+        })?;
+        spec = spec.codec(codec);
+    }
+    Ok(BinaryFormat::ContainerV2(spec))
+}
+
+/// Short human-readable description of a binary write format.
+fn format_label(format: BinaryFormat) -> String {
+    match format {
+        BinaryFormat::MonolithicV1 => "binary v1 (monolithic)".to_string(),
+        BinaryFormat::ContainerV2(spec) => format!(
+            "container v2, codec {}, {} segments/chunk",
+            spec.codec.name(),
+            spec.segments_per_chunk
+        ),
+    }
+}
+
 fn cmd_list() -> String {
     let workloads: Vec<String> = WorkloadKind::all_paper().iter().map(|k| k.name()).collect();
     let methods: Vec<&str> = ExtendedMethod::all().iter().map(|m| m.name()).collect();
@@ -169,14 +242,19 @@ fn cmd_generate(invocation: &Invocation) -> Result<String, String> {
     let kind = parse_workload(invocation.require("workload")?)?;
     let preset = parse_preset(invocation.get("preset"))?;
     let out = Path::new(invocation.require("out")?);
+    let format = parse_binary_format(invocation, out)?;
     let app = Workload::new(kind, preset).generate();
-    store_app_trace(out, &app)?;
+    let written = store_app_trace(out, &app, format)?;
+    let encoding = if crate::io::is_text_path(out) {
+        "text".to_string()
+    } else {
+        format_label(format)
+    };
     Ok(format!(
-        "generated {}: {} ranks, {} events, {} bytes encoded -> {}",
+        "generated {}: {} ranks, {} events, {written} bytes ({encoding}) -> {}",
         app.name,
         app.rank_count(),
         app.total_events(),
-        encode_app_trace(&app).len(),
         out.display()
     ))
 }
@@ -196,6 +274,7 @@ fn cmd_reduce_stream(invocation: &Invocation) -> Result<String, String> {
     };
     let input = Path::new(invocation.require("in")?);
     let out = Path::new(invocation.require("out")?);
+    let format = parse_binary_format(invocation, out)?;
     let shards = invocation.get_usize("shards")?.unwrap_or(1);
     if shards == 0 {
         return Err("--shards must be at least 1".to_string());
@@ -204,7 +283,7 @@ fn cmd_reduce_stream(invocation: &Invocation) -> Result<String, String> {
     let method_config = MethodConfig::new(method, config.threshold);
     let (result, kind) = trace_stream::reduce_any_file(method_config, input, shards)
         .map_err(|e| format!("{}: {e}", input.display()))?;
-    store_reduced_trace(out, &result.reduced)?;
+    store_reduced_trace(out, &result.reduced, format)?;
     // The v1 fallback decodes the whole file single-threaded: no sharding
     // happened and the "peak" is simply every segment, so the message must
     // not claim otherwise.
@@ -264,9 +343,10 @@ fn cmd_reduce(invocation: &Invocation) -> Result<String, String> {
     let config = parse_method(invocation)?;
     let input = Path::new(invocation.require("in")?);
     let out = Path::new(invocation.require("out")?);
+    let format = parse_binary_format(invocation, out)?;
     let app = load_app_trace(input)?;
     let reduced = ExtendedReducer::new(config).reduce_app(&app);
-    store_reduced_trace(out, &reduced)?;
+    store_reduced_trace(out, &reduced, format)?;
     Ok(format!(
         "reduced {} with {}: {} stored segments for {} executions, {:.2}% of the full size, degree of matching {:.3} -> {}",
         app.name,
@@ -285,7 +365,7 @@ fn cmd_sample(invocation: &Invocation) -> Result<String, String> {
     let out = Path::new(invocation.require("out")?);
     let app = load_app_trace(input)?;
     let reduced = sample_app(&app, policy);
-    store_reduced_trace(out, &reduced)?;
+    store_reduced_trace(out, &reduced, BinaryFormat::default())?;
     Ok(format!(
         "sampled {} with {}: {} stored segments for {} executions, {:.2}% of the full size -> {}",
         app.name,
@@ -302,7 +382,7 @@ fn cmd_reconstruct(invocation: &Invocation) -> Result<String, String> {
     let out = Path::new(invocation.require("out")?);
     let reduced = load_reduced_trace(input)?;
     let approx = reduced.reconstruct();
-    store_app_trace(out, &approx)?;
+    store_app_trace(out, &approx, BinaryFormat::default())?;
     Ok(format!(
         "reconstructed {}: {} ranks, {} events -> {}",
         approx.name,
@@ -315,34 +395,19 @@ fn cmd_reconstruct(invocation: &Invocation) -> Result<String, String> {
 fn cmd_convert(invocation: &Invocation) -> Result<String, String> {
     let input = Path::new(invocation.require("in")?);
     let out = Path::new(invocation.require("out")?);
-    if invocation.has("container") {
-        if crate::io::is_text_path(out) {
-            return Err(format!(
-                "--container writes the binary chunked format; {} has a text extension",
-                out.display()
-            ));
-        }
-        let spec = match invocation.get_usize("chunk-segments")? {
-            Some(0) => return Err("--chunk-segments must be at least 1".to_string()),
-            Some(n) => trace_container::ChunkSpec::with_segments(n),
-            None => trace_container::ChunkSpec::default(),
-        };
-        let app = load_app_trace(input)?;
-        crate::io::store_app_container(out, &app, spec)?;
-        return Ok(format!(
-            "converted {} -> {} (chunked container, {} segments/chunk)",
-            input.display(),
-            out.display(),
-            spec.segments_per_chunk
-        ));
-    }
-    if invocation.has("chunk-segments") {
-        return Err("--chunk-segments only applies with --container".to_string());
-    }
+    // `--container` is accepted for compatibility: the chunked container is
+    // the default binary write format now, so the flag only forbids `--v1`
+    // and text outputs (both checked inside parse_binary_format).
+    let format = parse_binary_format(invocation, out)?;
     let app = load_app_trace(input)?;
-    store_app_trace(out, &app)?;
+    let written = store_app_trace(out, &app, format)?;
+    let encoding = if crate::io::is_text_path(out) {
+        "text".to_string()
+    } else {
+        format_label(format)
+    };
     Ok(format!(
-        "converted {} -> {}",
+        "converted {} -> {} ({encoding}, {written} bytes)",
         input.display(),
         out.display()
     ))
@@ -457,7 +522,7 @@ fn cmd_cluster(invocation: &Invocation) -> Result<String, String> {
     ));
 
     if let Some(out) = invocation.get("out") {
-        store_app_trace(Path::new(out), &clustered.retained)?;
+        store_app_trace(Path::new(out), &clustered.retained, BinaryFormat::default())?;
         output.push_str(&format!("\nretained representative traces -> {out}"));
     }
     Ok(output)
@@ -629,36 +694,39 @@ mod tests {
         let text = temp_path("stream_any.txt");
         let reduced_mem = temp_path("stream_any_mem.trc");
 
-        run(&Invocation::new(
+        // `generate` writes a chunked v2 container by default now.
+        let out = run(&Invocation::new(
             "generate",
             &[
                 ("workload", "late_sender"),
                 ("preset", "tiny"),
-                ("out", trace_v1.to_str().unwrap()),
-            ],
-        ))
-        .unwrap();
-        run(&Invocation::new(
-            "convert",
-            &[
-                ("in", trace_v1.to_str().unwrap()),
-                ("out", text.to_str().unwrap()),
-            ],
-        ))
-        .unwrap();
-        let out = run(&Invocation::new(
-            "convert",
-            &[
-                ("in", trace_v1.to_str().unwrap()),
                 ("out", trace_v2.to_str().unwrap()),
-                ("container", ""),
                 ("chunk-segments", "4"),
             ],
         ))
         .unwrap();
-        assert!(out.contains("chunked container"), "{out}");
-        // The container file starts with the v2 magic and loads back.
+        assert!(out.contains("container v2"), "{out}");
         assert_eq!(&std::fs::read(&trace_v2).unwrap()[..4], b"TRC2");
+        run(&Invocation::new(
+            "convert",
+            &[
+                ("in", trace_v2.to_str().unwrap()),
+                ("out", text.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        // The monolithic v1 write path stays reachable via --v1.
+        let out = run(&Invocation::new(
+            "convert",
+            &[
+                ("in", trace_v2.to_str().unwrap()),
+                ("out", trace_v1.to_str().unwrap()),
+                ("v1", ""),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("binary v1"), "{out}");
+        assert_eq!(&std::fs::read(&trace_v1).unwrap()[..4], b"TRCF");
         assert_eq!(
             crate::io::load_app_trace(&trace_v2).unwrap(),
             crate::io::load_app_trace(&trace_v1).unwrap()
@@ -723,12 +791,101 @@ mod tests {
         let err = run(&Invocation::new("bogus", &[("x", "1")])).unwrap_err();
         assert!(err.contains("unknown subcommand"), "{err}");
 
+        // Container-only flags conflict with the monolithic --v1 switch.
         let err = run(&Invocation::new(
             "convert",
-            &[("in", "a"), ("out", "b"), ("chunk-segments", "4")],
+            &[("in", "a"), ("out", "b"), ("v1", ""), ("codec", "lz")],
         ))
         .unwrap_err();
-        assert!(err.contains("--container"), "{err}");
+        assert!(err.contains("--v1"), "{err}");
+
+        // Binary output flags are rejected for text outputs — on every
+        // command that writes traces, not just convert (a silently dropped
+        // --codec would let a user believe they wrote a compressed file).
+        let err = run(&Invocation::new(
+            "convert",
+            &[("in", "a"), ("out", "b.txt"), ("codec", "lz")],
+        ))
+        .unwrap_err();
+        assert!(err.contains("text extension"), "{err}");
+        let err = run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "late_sender"),
+                ("out", "/tmp/x.txt"),
+                ("codec", "delta-lz"),
+            ],
+        ))
+        .unwrap_err();
+        assert!(err.contains("text extension"), "{err}");
+        let err = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", "a"),
+                ("out", "b.trctxt"),
+                ("method", "avgWave"),
+                ("v1", ""),
+            ],
+        ))
+        .unwrap_err();
+        assert!(err.contains("text extension"), "{err}");
+
+        // Unknown codec names list the valid ones.
+        let err = run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "late_sender"),
+                ("out", "/tmp/x.trc"),
+                ("codec", "zstd"),
+            ],
+        ))
+        .unwrap_err();
+        assert!(err.contains("delta-lz"), "{err}");
+    }
+
+    #[test]
+    fn codecs_round_trip_through_the_cli_and_delta_lz_shrinks_the_file() {
+        let none = temp_path("codec_none.trc");
+        let dlz = temp_path("codec_dlz.trc");
+        for (path, codec) in [(&none, "none"), (&dlz, "delta-lz")] {
+            let out = run(&Invocation::new(
+                "generate",
+                &[
+                    ("workload", "dyn_load_balance"),
+                    ("preset", "tiny"),
+                    ("out", path.to_str().unwrap()),
+                    ("codec", codec),
+                ],
+            ))
+            .unwrap();
+            assert!(out.contains(&format!("codec {codec}")), "{out}");
+        }
+        // Same trace back from both encodings, smaller file under delta-lz.
+        assert_eq!(
+            crate::io::load_app_trace(&none).unwrap(),
+            crate::io::load_app_trace(&dlz).unwrap()
+        );
+        let none_len = std::fs::metadata(&none).unwrap().len();
+        let dlz_len = std::fs::metadata(&dlz).unwrap().len();
+        assert!(
+            dlz_len < none_len,
+            "delta-lz {dlz_len} bytes vs none {none_len} bytes"
+        );
+
+        // Compressed containers stream-reduce like uncompressed ones.
+        let reduced = temp_path("codec_dlz_reduced.trc");
+        let out = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", dlz.to_str().unwrap()),
+                ("out", reduced.to_str().unwrap()),
+                ("method", "avgWave"),
+                ("stream", ""),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("container v2"), "{out}");
+        cleanup(&[&none, &dlz, &reduced]);
     }
 
     #[test]

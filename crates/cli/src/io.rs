@@ -2,18 +2,38 @@
 //!
 //! File formats are chosen by extension: `.txt` and `.trctxt` use the
 //! human-readable text format from `trace-format`, everything else uses a
-//! binary codec (the format the paper's file-size percentages are measured
-//! against).  Binary *reads* autodetect monolithic v1 files and chunked v2
-//! containers by magic; binary *writes* default to v1 and produce v2 only
-//! where a command asks for it (`convert --container`).
+//! binary codec (the monolithic v1 encoding is the format the paper's
+//! file-size percentages are measured against).  Binary *reads* autodetect
+//! monolithic v1 files and chunked v2 containers by magic; binary *writes*
+//! default to chunked v2 containers ([`BinaryFormat::default`]) with the
+//! monolithic v1 path kept reachable via `--v1`.
 
 use std::fs;
 use std::path::Path;
 
-use trace_container::{decode_app_any, decode_reduced_any, encode_app_container, ChunkSpec};
+use trace_container::{
+    decode_app_any, decode_reduced_any, encode_app_container, encode_reduced_container, ChunkSpec,
+};
 use trace_format::{parse_app_trace, parse_reduced_trace, write_app_trace, write_reduced_trace};
 use trace_model::codec::{encode_app_trace, encode_reduced_trace};
 use trace_model::{AppTrace, ReducedAppTrace};
+
+/// Which binary encoding a write produces (text paths ignore this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryFormat {
+    /// Chunked, indexed `.trc` v2 container — the default write format —
+    /// with the chunk grouping and codec of the spec.
+    ContainerV2(ChunkSpec),
+    /// Monolithic v1 encoding (`--v1`): one decode-it-all buffer, no
+    /// chunks, no index, no compression.
+    MonolithicV1,
+}
+
+impl Default for BinaryFormat {
+    fn default() -> Self {
+        BinaryFormat::ContainerV2(ChunkSpec::default())
+    }
+}
 
 /// True if the path should use the text format.
 pub fn is_text_path(path: &Path) -> bool {
@@ -35,22 +55,19 @@ pub fn load_app_trace(path: &Path) -> Result<AppTrace, String> {
     }
 }
 
-/// Stores a full application trace to `path` (text or binary v1 by
-/// extension).
-pub fn store_app_trace(path: &Path, app: &AppTrace) -> Result<(), String> {
+/// Stores a full application trace to `path`: text by extension, otherwise
+/// the requested binary format.  Returns the number of bytes written.
+pub fn store_app_trace(path: &Path, app: &AppTrace, format: BinaryFormat) -> Result<usize, String> {
     let bytes = if is_text_path(path) {
         write_app_trace(app).into_bytes()
     } else {
-        encode_app_trace(app)
+        match format {
+            BinaryFormat::ContainerV2(spec) => encode_app_container(app, spec),
+            BinaryFormat::MonolithicV1 => encode_app_trace(app),
+        }
     };
-    fs::write(path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))
-}
-
-/// Stores a full application trace to `path` as a chunked v2 container
-/// (the extension is not consulted; callers gate this on `--container`).
-pub fn store_app_container(path: &Path, app: &AppTrace, spec: ChunkSpec) -> Result<(), String> {
-    fs::write(path, encode_app_container(app, spec))
-        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    fs::write(path, &bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(bytes.len())
 }
 
 /// Loads a reduced trace from `path` (text or binary by extension).
@@ -65,14 +82,23 @@ pub fn load_reduced_trace(path: &Path) -> Result<ReducedAppTrace, String> {
     }
 }
 
-/// Stores a reduced trace to `path` (text or binary by extension).
-pub fn store_reduced_trace(path: &Path, reduced: &ReducedAppTrace) -> Result<(), String> {
+/// Stores a reduced trace to `path`: text by extension, otherwise the
+/// requested binary format.  Returns the number of bytes written.
+pub fn store_reduced_trace(
+    path: &Path,
+    reduced: &ReducedAppTrace,
+    format: BinaryFormat,
+) -> Result<usize, String> {
     let bytes = if is_text_path(path) {
         write_reduced_trace(reduced).into_bytes()
     } else {
-        encode_reduced_trace(reduced)
+        match format {
+            BinaryFormat::ContainerV2(spec) => encode_reduced_container(reduced, spec),
+            BinaryFormat::MonolithicV1 => encode_reduced_trace(reduced),
+        }
     };
-    fs::write(path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    fs::write(path, &bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(bytes.len())
 }
 
 #[cfg(test)]
@@ -98,11 +124,20 @@ mod tests {
     }
 
     #[test]
-    fn app_trace_round_trips_through_both_formats() {
+    fn app_trace_round_trips_through_every_format() {
         let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
-        for name in ["app_roundtrip.bin", "app_roundtrip.txt"] {
+        for (name, format) in [
+            ("app_roundtrip_v2.bin", BinaryFormat::default()),
+            ("app_roundtrip_v1.bin", BinaryFormat::MonolithicV1),
+            (
+                "app_roundtrip_dlz.bin",
+                BinaryFormat::ContainerV2(ChunkSpec::with_codec(trace_container::Codec::DeltaLz)),
+            ),
+            ("app_roundtrip.txt", BinaryFormat::default()),
+        ] {
             let path = temp_path(name);
-            store_app_trace(&path, &app).unwrap();
+            let written = store_app_trace(&path, &app, format).unwrap();
+            assert_eq!(written, std::fs::metadata(&path).unwrap().len() as usize);
             let loaded = load_app_trace(&path).unwrap();
             assert_eq!(loaded, app, "{name}");
             let _ = std::fs::remove_file(&path);
@@ -110,12 +145,31 @@ mod tests {
     }
 
     #[test]
-    fn reduced_trace_round_trips_through_both_formats() {
+    fn binary_writes_default_to_v2_containers() {
+        let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+        let path = temp_path("default_is_v2.bin");
+        store_app_trace(&path, &app, BinaryFormat::default()).unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[..4], b"TRC2");
+        store_app_trace(&path, &app, BinaryFormat::MonolithicV1).unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[..4], b"TRCF");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reduced_trace_round_trips_through_every_format() {
         let app = Workload::new(WorkloadKind::EarlyGather, SizePreset::Tiny).generate();
         let reduced = Reducer::with_default_threshold(Method::AvgWave).reduce_app(&app);
-        for name in ["reduced_roundtrip.bin", "reduced_roundtrip.txt"] {
+        for (name, format) in [
+            ("reduced_roundtrip_v2.bin", BinaryFormat::default()),
+            ("reduced_roundtrip_v1.bin", BinaryFormat::MonolithicV1),
+            (
+                "reduced_roundtrip_dlz.bin",
+                BinaryFormat::ContainerV2(ChunkSpec::with_codec(trace_container::Codec::DeltaLz)),
+            ),
+            ("reduced_roundtrip.txt", BinaryFormat::default()),
+        ] {
             let path = temp_path(name);
-            store_reduced_trace(&path, &reduced).unwrap();
+            store_reduced_trace(&path, &reduced, format).unwrap();
             let loaded = load_reduced_trace(&path).unwrap();
             assert_eq!(loaded, reduced, "{name}");
             let _ = std::fs::remove_file(&path);

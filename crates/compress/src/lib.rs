@@ -1,0 +1,225 @@
+//! Per-chunk trace compression (`trace_compress`).
+//!
+//! The `.trc` v2 container frames trace data into self-contained chunks;
+//! this crate supplies the codecs a chunk payload can be stored under,
+//! addressed by the one-byte codec id in the chunk framing
+//! (`trace_container`, spec in `docs/container-format.md`):
+//!
+//! | id | codec | layers |
+//! |---:|-------|--------|
+//! | 0 | [`Codec::None`] | raw row payload |
+//! | 1 | [`Codec::Delta`] | trace-aware column transform ([`column`](mod@column)) |
+//! | 2 | [`Codec::Lz`] | LZ byte compressor ([`lz`](mod@lz)) |
+//! | 3 | [`Codec::DeltaLz`] | columns, then LZ over the column streams |
+//!
+//! The column transform splits a payload into per-field streams and
+//! delta+zigzag+varint-codes the monotone ones (time stamps, region and
+//! context ids, segment ids); the LZ backend is a self-contained greedy
+//! hash-chain byte compressor with no external dependencies.  The two
+//! compose: iterative traces turn into runs of zero deltas under the
+//! transform, which the byte compressor then collapses — `delta-lz` is the
+//! codec that makes container files pay for themselves at paper scale.
+//!
+//! Both layers are lossless and deterministic; decompression of untrusted
+//! bytes is total (typed [`CompressError`], never a panic or unbounded
+//! allocation).
+//!
+//! # Quick start
+//!
+//! ```
+//! use trace_compress::{compress, decompress, Codec, PayloadClass};
+//!
+//! let payload = b"not trace-structured, so use the opaque class".to_vec();
+//! let packed = compress(Codec::Lz, PayloadClass::Opaque, &payload).unwrap();
+//! assert_eq!(decompress(Codec::Lz, PayloadClass::Opaque, &packed).unwrap(), payload);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod error;
+pub mod lz;
+
+pub use column::{column_decode, column_encode, PayloadClass};
+pub use error::CompressError;
+pub use lz::{lz_compress, lz_decompress};
+
+/// A chunk-payload codec, addressed by the codec id byte in the `.trc` v2
+/// chunk framing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Codec {
+    /// Raw row payload, stored as-is.
+    None,
+    /// Trace-aware column transform only (delta+zigzag+varint field
+    /// streams).
+    Delta,
+    /// LZ byte compression of the row payload.
+    Lz,
+    /// Column transform, then LZ over the column streams.
+    DeltaLz,
+}
+
+impl Codec {
+    /// Every codec, in id order.
+    pub const ALL: [Codec; 4] = [Codec::None, Codec::Delta, Codec::Lz, Codec::DeltaLz];
+
+    /// The codec id byte written to the chunk framing.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            Codec::None => 0,
+            Codec::Delta => 1,
+            Codec::Lz => 2,
+            Codec::DeltaLz => 3,
+        }
+    }
+
+    /// Parses a codec id byte; unknown ids are a typed error.
+    pub fn from_byte(byte: u8) -> Result<Self, CompressError> {
+        Ok(match byte {
+            0 => Codec::None,
+            1 => Codec::Delta,
+            2 => Codec::Lz,
+            3 => Codec::DeltaLz,
+            other => return Err(CompressError::UnknownCodec(other)),
+        })
+    }
+
+    /// The codec's CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::None => "none",
+            Codec::Delta => "delta",
+            Codec::Lz => "lz",
+            Codec::DeltaLz => "delta-lz",
+        }
+    }
+
+    /// Looks a codec up by its CLI-facing name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Codec::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// Compresses a row chunk payload under `codec`.
+///
+/// `payload` must be canonical row bytes of the given class as produced by
+/// the container writer (the column transform parses them); [`Codec::None`]
+/// and [`Codec::Lz`] accept arbitrary bytes.  The output is *not*
+/// guaranteed smaller — the container writer compares lengths and falls
+/// back to [`Codec::None`] per chunk when compression does not pay.
+pub fn compress(
+    codec: Codec,
+    class: PayloadClass,
+    payload: &[u8],
+) -> Result<Vec<u8>, CompressError> {
+    Ok(match codec {
+        Codec::None => payload.to_vec(),
+        Codec::Delta => column_encode(class, payload)?,
+        Codec::Lz => lz_compress(payload),
+        Codec::DeltaLz => lz_compress(&column_encode(class, payload)?),
+    })
+}
+
+/// Decompresses a chunk payload stored under `codec` back to row bytes.
+///
+/// Total on untrusted input: every malformed byte sequence maps to a typed
+/// [`CompressError`].
+pub fn decompress(
+    codec: Codec,
+    class: PayloadClass,
+    payload: &[u8],
+) -> Result<Vec<u8>, CompressError> {
+    Ok(match codec {
+        Codec::None => payload.to_vec(),
+        Codec::Delta => column_decode(class, payload)?,
+        Codec::Lz => lz_decompress(payload)?,
+        Codec::DeltaLz => column_decode(class, &lz_decompress(payload)?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::codec::varint::write_u64;
+    use trace_model::codec::write_record;
+    use trace_model::{CommInfo, ContextId, Event, Rank, RegionId, Time, TraceRecord};
+
+    /// An iterative trace payload with timing jitter: the *structure*
+    /// repeats but the time stamps never do exactly, which is what real
+    /// (and simulated) traces look like.
+    fn repetitive_records_payload() -> Vec<u8> {
+        let mut payload = Vec::new();
+        let mut base = 0u64;
+        let records: Vec<TraceRecord> = (0..64u64)
+            .flat_map(|i| {
+                // Deterministic per-iteration jitter, tens of nanoseconds.
+                let jitter = (i * i * 2654435761) % 97;
+                base += 500 + jitter;
+                vec![
+                    TraceRecord::SegmentBegin {
+                        context: ContextId(0),
+                        time: Time::from_nanos(base),
+                    },
+                    TraceRecord::Event(Event::with_comm(
+                        RegionId(1),
+                        Time::from_nanos(base + 10 + jitter / 4),
+                        Time::from_nanos(base + 90 + jitter / 2),
+                        CommInfo::Recv {
+                            peer: Rank(3),
+                            tag: 11,
+                            bytes: 1024,
+                        },
+                    )),
+                    TraceRecord::SegmentEnd {
+                        context: ContextId(0),
+                        time: Time::from_nanos(base + 100 + jitter),
+                    },
+                ]
+            })
+            .collect();
+        write_u64(&mut payload, records.len() as u64);
+        let mut prev = Time::ZERO;
+        for record in &records {
+            prev = write_record(&mut payload, record, prev);
+        }
+        payload
+    }
+
+    #[test]
+    fn codec_ids_round_trip_and_unknown_ids_error() {
+        for codec in Codec::ALL {
+            assert_eq!(Codec::from_byte(codec.as_byte()).unwrap(), codec);
+            assert_eq!(Codec::by_name(codec.name()), Some(codec));
+        }
+        assert!(matches!(
+            Codec::from_byte(4),
+            Err(CompressError::UnknownCodec(4))
+        ));
+        assert_eq!(Codec::by_name("zstd"), None);
+    }
+
+    #[test]
+    fn every_codec_round_trips_a_records_payload() {
+        let payload = repetitive_records_payload();
+        for codec in Codec::ALL {
+            let packed = compress(codec, PayloadClass::Records, &payload).unwrap();
+            let unpacked = decompress(codec, PayloadClass::Records, &packed).unwrap();
+            assert_eq!(unpacked, payload, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn delta_lz_beats_lz_alone_on_repetitive_trace_data() {
+        let payload = repetitive_records_payload();
+        let lz = compress(Codec::Lz, PayloadClass::Records, &payload).unwrap();
+        let delta_lz = compress(Codec::DeltaLz, PayloadClass::Records, &payload).unwrap();
+        assert!(lz.len() < payload.len());
+        assert!(
+            delta_lz.len() <= lz.len(),
+            "delta-lz {} vs lz {} vs raw {}",
+            delta_lz.len(),
+            lz.len(),
+            payload.len()
+        );
+    }
+}

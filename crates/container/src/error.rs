@@ -3,6 +3,7 @@
 use std::fmt;
 use std::io;
 
+use trace_compress::CompressError;
 use trace_model::codec::CodecError;
 
 /// Errors produced while reading or writing a chunked trace container.
@@ -12,6 +13,9 @@ pub enum ContainerError {
     Io(io::Error),
     /// A chunk payload failed to decode with the record codec.
     Codec(CodecError),
+    /// A chunk's codec byte named an unknown codec, or its stored payload
+    /// was not a valid stream of that codec (despite a matching CRC).
+    Compress(CompressError),
     /// The file does not start with a recognized container magic.
     BadMagic {
         /// The magic bytes found at the start of the input.
@@ -69,6 +73,7 @@ impl fmt::Display for ContainerError {
         match self {
             ContainerError::Io(e) => write!(f, "container i/o error: {e}"),
             ContainerError::Codec(e) => write!(f, "container payload error: {e}"),
+            ContainerError::Compress(e) => write!(f, "container compression error: {e}"),
             ContainerError::BadMagic { found } => {
                 write!(f, "not a trace container: bad magic bytes {found:?}")
             }
@@ -111,6 +116,7 @@ impl std::error::Error for ContainerError {
         match self {
             ContainerError::Io(e) => Some(e),
             ContainerError::Codec(e) => Some(e),
+            ContainerError::Compress(e) => Some(e),
             _ => None,
         }
     }
@@ -132,6 +138,12 @@ impl From<CodecError> for ContainerError {
     }
 }
 
+impl From<CompressError> for ContainerError {
+    fn from(e: CompressError) -> Self {
+        ContainerError::Compress(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +160,7 @@ mod tests {
         assert!(matches!(e, ContainerError::Truncated { .. }), "{e}");
         let e = ContainerError::from(CodecError::UnexpectedEof);
         assert!(e.to_string().contains("payload"), "{e}");
+        let e = ContainerError::from(CompressError::UnknownCodec(7));
+        assert!(e.to_string().contains("compression"), "{e}");
     }
 }

@@ -7,16 +7,21 @@
 //! ```text
 //! header  := magic "TRC2" | version u8 | kind u8
 //! file    := header PREAMBLE section* INDEX trailer
+//! chunk   := kind u8 | codec u8 | payload_len u32 LE | crc32 u32 LE | payload
 //! section := RANK_BEGIN (RECORDS | STORED | EXECS)* RANK_END
-//! chunk   := kind u8 | payload_len u32 LE | crc32 u32 LE | payload
 //! trailer := index_offset u64 LE | "TRCX"
 //! ```
 //!
-//! Every chunk payload is covered by an IEEE CRC-32; payloads use the
-//! varint record codec from `trace_model::codec`, with the delta-time clock
-//! restarting at zero in every chunk so chunks decode independently.
+//! Every chunk payload is covered by an IEEE CRC-32 over the *stored*
+//! bytes (after compression), so corruption is detected before any
+//! decompression runs.  The codec byte names the `trace_compress` codec
+//! the payload is stored under; decoded payloads use the varint record
+//! codec from `trace_model::codec`, with the delta-time clock restarting
+//! at zero in every chunk so chunks decode independently.
 
 use std::io::{self, Read, Write};
+
+use trace_compress::{decompress, Codec, PayloadClass};
 
 use crate::crc::crc32;
 use crate::error::ContainerError;
@@ -25,14 +30,18 @@ use crate::error::ContainerError;
 pub const CONTAINER_MAGIC: [u8; 4] = *b"TRC2";
 /// Magic bytes closing the 12-byte index trailer.
 pub const INDEX_MAGIC: [u8; 4] = *b"TRCX";
-/// Container layout version written by [`crate::ChunkWriter`].
-pub const CONTAINER_VERSION: u8 = 1;
+/// Container layout version written by [`crate::ChunkWriter`].  Version 2
+/// added the per-chunk codec byte; version-1 files (written before the
+/// compression subsystem existed) are rejected with a typed
+/// [`ContainerError::UnsupportedVersion`].
+pub const CONTAINER_VERSION: u8 = 2;
 /// Total size of the fixed file header (magic + version + kind).
 pub const HEADER_LEN: u64 = 6;
 /// Total size of the index trailer (offset + magic).
 pub const TRAILER_LEN: u64 = 12;
-/// Size of a chunk's framing header (kind + payload length + CRC-32).
-pub const CHUNK_HEADER_LEN: u64 = 9;
+/// Size of a chunk's framing header (kind + codec + payload length +
+/// CRC-32).
+pub const CHUNK_HEADER_LEN: u64 = 10;
 
 /// What a container file carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -121,14 +130,35 @@ impl ChunkKind {
             ChunkKind::Index => "INDEX",
         }
     }
+
+    /// The `trace_compress` payload class this chunk kind decompresses
+    /// under: payload chunks carry trace structure the columnar transform
+    /// understands, control chunks are opaque bytes.
+    pub fn payload_class(self) -> PayloadClass {
+        match self {
+            ChunkKind::Records => PayloadClass::Records,
+            ChunkKind::Stored => PayloadClass::Stored,
+            ChunkKind::Execs => PayloadClass::Execs,
+            ChunkKind::Preamble | ChunkKind::RankBegin | ChunkKind::RankEnd | ChunkKind::Index => {
+                PayloadClass::Opaque
+            }
+        }
+    }
 }
 
 /// Writes one framed chunk (header + CRC + payload) to `out`, returning the
-/// number of bytes written.
-pub fn write_chunk<W: Write>(out: &mut W, kind: ChunkKind, payload: &[u8]) -> io::Result<u64> {
+/// number of bytes written.  `payload` is stored verbatim; `codec` must
+/// name the codec those bytes are already encoded under (the writer's
+/// compression step runs before framing).
+pub fn write_chunk<W: Write>(
+    out: &mut W,
+    kind: ChunkKind,
+    codec: Codec,
+    payload: &[u8],
+) -> io::Result<u64> {
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::other("chunk payload exceeds 4 GiB"))?;
-    out.write_all(&[kind.as_byte()])?;
+    out.write_all(&[kind.as_byte(), codec.as_byte()])?;
     out.write_all(&len.to_le_bytes())?;
     out.write_all(&crc32(payload).to_le_bytes())?;
     out.write_all(payload)?;
@@ -140,9 +170,12 @@ pub fn write_chunk<W: Write>(out: &mut W, kind: ChunkKind, payload: &[u8]) -> io
 pub struct RawChunk {
     /// The chunk kind.
     pub kind: ChunkKind,
+    /// The codec the payload was stored under on disk (the `payload` field
+    /// is already decompressed).
+    pub codec: Codec,
     /// Byte offset of the chunk's framing header in the file.
     pub offset: u64,
-    /// The verified payload bytes.
+    /// The verified, decompressed payload bytes.
     pub payload: Vec<u8>,
 }
 
@@ -188,32 +221,39 @@ impl<R: Read> ChunkStream<R> {
         Ok(())
     }
 
-    /// Reads the next framing header, returning the chunk kind, the payload
-    /// length and the declared CRC.  The payload is *not* consumed.
-    fn read_frame(&mut self) -> Result<(ChunkKind, u64, u32), ContainerError> {
-        let mut kind = [0u8; 1];
-        self.read_exact(&mut kind, "chunk header")?;
-        let kind = ChunkKind::from_byte(kind[0])?;
+    /// Reads the next framing header, returning the chunk kind, the stored
+    /// codec, the payload length and the declared CRC.  The payload is
+    /// *not* consumed.
+    fn read_frame(&mut self) -> Result<(ChunkKind, Codec, u64, u32), ContainerError> {
+        let mut kind_codec = [0u8; 2];
+        self.read_exact(&mut kind_codec, "chunk header")?;
+        let kind = ChunkKind::from_byte(kind_codec[0])?;
+        let codec = Codec::from_byte(kind_codec[1])?;
         let mut len = [0u8; 4];
         self.read_exact(&mut len, "chunk header")?;
         let mut crc = [0u8; 4];
         self.read_exact(&mut crc, "chunk header")?;
         Ok((
             kind,
+            codec,
             u64::from(u32::from_le_bytes(len)),
             u32::from_le_bytes(crc),
         ))
     }
 
-    /// Reads and verifies the next chunk in full.
+    /// Reads, verifies and decompresses the next chunk in full.
     ///
     /// The payload buffer grows as bytes actually arrive, in bounded steps,
     /// so a corrupt length field costs a `Truncated` error — never a
-    /// multi-gigabyte upfront allocation from untrusted input.
+    /// multi-gigabyte upfront allocation from untrusted input.  The CRC
+    /// covers the stored bytes and is checked *before* decompression, so a
+    /// flipped bit is a [`ContainerError::BadCrc`]; a crafted payload that
+    /// passes the CRC but is not a valid codec stream is a typed
+    /// [`ContainerError::Compress`].
     pub fn next_chunk(&mut self) -> Result<RawChunk, ContainerError> {
         const READ_STEP: u64 = 1 << 20;
         let offset = self.offset;
-        let (kind, len, expected) = self.read_frame()?;
+        let (kind, codec, len, expected) = self.read_frame()?;
         let mut payload = Vec::with_capacity(len.min(READ_STEP) as usize);
         while (payload.len() as u64) < len {
             let take = (len - payload.len() as u64).min(READ_STEP) as usize;
@@ -230,18 +270,23 @@ impl<R: Read> ChunkStream<R> {
             });
         }
         self.peak_payload_bytes = self.peak_payload_bytes.max(payload.len());
+        if codec != Codec::None {
+            payload = decompress(codec, kind.payload_class(), &payload)?;
+            self.peak_payload_bytes = self.peak_payload_bytes.max(payload.len());
+        }
         Ok(RawChunk {
             kind,
+            codec,
             offset,
             payload,
         })
     }
 
     /// Reads the next chunk's framing header and discards its payload
-    /// without CRC verification (used to pass over rank sections owned by
-    /// other shards).  Returns the chunk kind.
+    /// without CRC verification or decompression (used to pass over rank
+    /// sections owned by other shards).  Returns the chunk kind.
     pub fn skip_chunk(&mut self) -> Result<ChunkKind, ContainerError> {
-        let (kind, len, _) = self.read_frame()?;
+        let (kind, _, len, _) = self.read_frame()?;
         let mut remaining = len;
         let mut scratch = [0u8; 8192];
         while remaining > 0 {
@@ -305,23 +350,44 @@ mod tests {
         let mut file = Vec::new();
         let n = write_header(&mut file, PayloadKind::App).unwrap();
         assert_eq!(n, HEADER_LEN);
-        let n = write_chunk(&mut file, ChunkKind::Records, b"payload").unwrap();
+        let n = write_chunk(&mut file, ChunkKind::Records, Codec::None, b"payload").unwrap();
         assert_eq!(n, CHUNK_HEADER_LEN + 7);
 
         let mut stream = ChunkStream::new(&file[..], 0);
         assert_eq!(read_header(&mut stream).unwrap(), PayloadKind::App);
         let chunk = stream.next_chunk().unwrap();
         assert_eq!(chunk.kind, ChunkKind::Records);
+        assert_eq!(chunk.codec, Codec::None);
         assert_eq!(chunk.offset, HEADER_LEN);
         assert_eq!(chunk.payload, b"payload");
         assert_eq!(stream.peak_payload_bytes(), 7);
     }
 
     #[test]
+    fn compressed_control_chunk_round_trips_and_tracks_decoded_peak() {
+        // Control chunks are opaque to the columnar transform, so LZ is the
+        // only codec that changes their bytes.
+        let payload = vec![42u8; 4096];
+        let stored = trace_compress::lz_compress(&payload);
+        assert!(stored.len() < payload.len());
+        let mut file = Vec::new();
+        write_header(&mut file, PayloadKind::App).unwrap();
+        write_chunk(&mut file, ChunkKind::Preamble, Codec::Lz, &stored).unwrap();
+
+        let mut stream = ChunkStream::new(&file[..], 0);
+        read_header(&mut stream).unwrap();
+        let chunk = stream.next_chunk().unwrap();
+        assert_eq!(chunk.codec, Codec::Lz);
+        assert_eq!(chunk.payload, payload);
+        // The peak tracks the *decompressed* resident payload.
+        assert_eq!(stream.peak_payload_bytes(), payload.len());
+    }
+
+    #[test]
     fn corrupt_payload_is_a_typed_crc_error() {
         let mut file = Vec::new();
         write_header(&mut file, PayloadKind::App).unwrap();
-        write_chunk(&mut file, ChunkKind::Records, b"payload").unwrap();
+        write_chunk(&mut file, ChunkKind::Records, Codec::None, b"payload").unwrap();
         let last = file.len() - 1;
         file[last] ^= 0x40;
 
@@ -330,6 +396,21 @@ mod tests {
         match stream.next_chunk() {
             Err(ContainerError::BadCrc { offset, .. }) => assert_eq!(offset, HEADER_LEN),
             other => panic!("expected BadCrc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_codec_ids_are_typed_errors() {
+        let mut file = Vec::new();
+        write_header(&mut file, PayloadKind::App).unwrap();
+        write_chunk(&mut file, ChunkKind::Records, Codec::None, b"payload").unwrap();
+        // The codec byte is the second byte of the chunk framing.
+        file[HEADER_LEN as usize + 1] = 9;
+        let mut stream = ChunkStream::new(&file[..], 0);
+        read_header(&mut stream).unwrap();
+        match stream.next_chunk() {
+            Err(ContainerError::Compress(trace_compress::CompressError::UnknownCodec(9))) => {}
+            other => panic!("expected UnknownCodec, got {other:?}"),
         }
     }
 

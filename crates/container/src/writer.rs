@@ -10,6 +10,7 @@
 
 use std::io::{self, Write};
 
+use trace_compress::{compress, Codec};
 use trace_model::codec::varint::write_u64 as varint_write_u64;
 use trace_model::codec::{
     write_exec, write_record, write_stored_segment, write_string, write_string_table,
@@ -19,7 +20,8 @@ use trace_model::{AppTrace, Rank, ReducedAppTrace, SegmentExec, StoredSegment, T
 use crate::index::RankSectionEntry;
 use crate::layout::{write_chunk, write_header, ChunkKind, PayloadKind, INDEX_MAGIC};
 
-/// How records are grouped into chunks.
+/// How records are grouped into chunks, and which codec their payloads are
+/// stored under.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChunkSpec {
     /// Completed segments per `RECORDS` chunk (app payloads), and stored
@@ -30,6 +32,11 @@ pub struct ChunkSpec {
     /// Executions per `EXECS` chunk (reduced payloads only).  Executions
     /// are a few bytes each, so they pack much denser than segments.
     pub execs_per_chunk: usize,
+    /// Codec payload chunks are compressed under before CRC framing
+    /// (control chunks are always stored raw).  Each chunk keeps its own
+    /// codec byte: when the compressed form is not smaller, that chunk is
+    /// stored raw under [`Codec::None`] instead.
+    pub codec: Codec,
 }
 
 impl Default for ChunkSpec {
@@ -37,6 +44,7 @@ impl Default for ChunkSpec {
         ChunkSpec {
             segments_per_chunk: 128,
             execs_per_chunk: 4096,
+            codec: Codec::None,
         }
     }
 }
@@ -49,6 +57,20 @@ impl ChunkSpec {
             segments_per_chunk: segments_per_chunk.max(1),
             ..ChunkSpec::default()
         }
+    }
+
+    /// The default chunk grouping with payload chunks compressed under
+    /// `codec`.
+    pub fn with_codec(codec: Codec) -> Self {
+        ChunkSpec {
+            codec,
+            ..ChunkSpec::default()
+        }
+    }
+
+    /// Returns the spec with its codec replaced.
+    pub fn codec(self, codec: Codec) -> Self {
+        ChunkSpec { codec, ..self }
     }
 }
 
@@ -124,13 +146,14 @@ impl<W: Write> ChunkWriter<W> {
         write_string_table(&mut preamble, regions);
         write_string_table(&mut preamble, contexts);
         varint_write_u64(&mut preamble, rank_count as u64);
-        write_chunk(&mut out, ChunkKind::Preamble, &preamble)?;
+        write_chunk(&mut out, ChunkKind::Preamble, Codec::None, &preamble)?;
         Ok(ChunkWriter {
             out,
             kind,
             spec: ChunkSpec {
                 segments_per_chunk: spec.segments_per_chunk.max(1),
                 execs_per_chunk: spec.execs_per_chunk.max(1),
+                codec: spec.codec,
             },
             declared_ranks: rank_count,
             body: Vec::new(),
@@ -186,7 +209,9 @@ impl<W: Write> ChunkWriter<W> {
         io::Error::other(format!("container writer misuse: {what}"))
     }
 
-    /// Writes the buffered items as one framed chunk of `kind`.
+    /// Writes the buffered items as one framed chunk of `kind`,
+    /// compressing the payload under the spec's codec when that makes it
+    /// smaller (the chunk's codec byte records what actually happened).
     fn flush_chunk(&mut self, kind: ChunkKind) -> io::Result<()> {
         if self.items_in_chunk == 0 {
             return Ok(());
@@ -194,7 +219,20 @@ impl<W: Write> ChunkWriter<W> {
         let mut payload = Vec::with_capacity(self.body.len() + 4);
         varint_write_u64(&mut payload, self.items_in_chunk);
         payload.extend_from_slice(&self.body);
-        write_chunk(&mut self.out, kind, &payload)?;
+        if self.spec.codec == Codec::None {
+            write_chunk(&mut self.out, kind, Codec::None, &payload)?;
+        } else {
+            // The payload was just produced by the row codec, so the
+            // transform cannot fail; surface the impossible as io::Error
+            // rather than panicking.
+            let packed = compress(self.spec.codec, kind.payload_class(), &payload)
+                .map_err(|e| io::Error::other(format!("chunk compression failed: {e}")))?;
+            if packed.len() < payload.len() {
+                write_chunk(&mut self.out, kind, self.spec.codec, &packed)?;
+            } else {
+                write_chunk(&mut self.out, kind, Codec::None, &payload)?;
+            }
+        }
         let section = self
             .section
             .as_mut()
@@ -228,7 +266,7 @@ impl<W: Write> ChunkWriter<W> {
         let offset = self.out.written;
         let mut payload = Vec::new();
         varint_write_u64(&mut payload, u64::from(rank.as_u32()));
-        write_chunk(&mut self.out, ChunkKind::RankBegin, &payload)?;
+        write_chunk(&mut self.out, ChunkKind::RankBegin, Codec::None, &payload)?;
         self.section = Some(SectionState {
             rank,
             offset,
@@ -334,7 +372,7 @@ impl<W: Write> ChunkWriter<W> {
         varint_write_u64(&mut payload, section.records);
         varint_write_u64(&mut payload, section.segments);
         varint_write_u64(&mut payload, section.events);
-        write_chunk(&mut self.out, ChunkKind::RankEnd, &payload)?;
+        write_chunk(&mut self.out, ChunkKind::RankEnd, Codec::None, &payload)?;
         self.sections.push(RankSectionEntry {
             rank: section.rank,
             offset: section.offset,
@@ -369,7 +407,7 @@ impl<W: Write> ChunkWriter<W> {
             varint_write_u64(&mut payload, entry.segments);
             varint_write_u64(&mut payload, entry.events);
         }
-        write_chunk(&mut self.out, ChunkKind::Index, &payload)?;
+        write_chunk(&mut self.out, ChunkKind::Index, Codec::None, &payload)?;
         self.out.write_all(&index_offset.to_le_bytes())?;
         self.out.write_all(&INDEX_MAGIC)?;
         self.out.flush()?;

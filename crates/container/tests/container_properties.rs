@@ -1,12 +1,12 @@
 //! Property tests for the chunked container: round-trips across chunk-size
-//! grids for randomized traces, and corruption (truncation, bit flips, bad
-//! magic/version/trailer) yielding typed errors, never panics or silent
-//! misreads.
+//! and codec grids for randomized traces, and corruption (truncation, bit
+//! flips, bad magic/version/codec/trailer) yielding typed errors, never
+//! panics or silent misreads.
 
 use proptest::prelude::*;
 use trace_container::{
     decode_app_any, encode_app_container, encode_reduced_container, read_app_container, read_index,
-    read_reduced_container, ChunkSpec, ContainerError,
+    read_reduced_container, ChunkSpec, Codec, ContainerError,
 };
 use trace_reduce::{Method, MethodConfig, Reducer};
 use trace_sim::specgen::{trace_from_specs, SegmentSpec};
@@ -23,23 +23,30 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
-    fn app_traces_round_trip_across_the_chunk_grid(rank_specs in prop::collection::vec(
+    fn app_traces_round_trip_across_the_chunk_and_codec_grids(rank_specs in prop::collection::vec(
         prop::collection::vec((0u8..4, 0u8..4, 0u16..2000), 0..10),
         1..4,
     )) {
         let app = build_trace(&rank_specs);
         prop_assert!(app.is_well_formed());
         for segments_per_chunk in CHUNK_GRID {
-            let bytes = encode_app_container(&app, ChunkSpec::with_segments(segments_per_chunk));
-            let decoded = read_app_container(&bytes[..]).expect("round trip");
-            prop_assert_eq!(&decoded, &app, "{} segments/chunk", segments_per_chunk);
-            // The fallback dispatcher agrees on v2 input.
-            prop_assert_eq!(&decode_app_any(&bytes).expect("dispatch"), &app);
+            for codec in Codec::ALL {
+                let spec = ChunkSpec::with_segments(segments_per_chunk).codec(codec);
+                let bytes = encode_app_container(&app, spec);
+                let decoded = read_app_container(&bytes[..]).expect("round trip");
+                prop_assert_eq!(
+                    &decoded, &app,
+                    "{} segments/chunk, codec {}",
+                    segments_per_chunk, codec.name()
+                );
+                // The fallback dispatcher agrees on v2 input.
+                prop_assert_eq!(&decode_app_any(&bytes).expect("dispatch"), &app);
+            }
         }
     }
 
     #[test]
-    fn reduced_traces_round_trip_across_the_chunk_grid(rank_specs in prop::collection::vec(
+    fn reduced_traces_round_trip_across_the_chunk_and_codec_grids(rank_specs in prop::collection::vec(
         prop::collection::vec((0u8..4, 0u8..4, 0u16..2000), 1..10),
         1..4,
     )) {
@@ -47,10 +54,16 @@ proptest! {
         let reduced = Reducer::new(MethodConfig::with_default_threshold(Method::RelDiff))
             .reduce_app(&app);
         for segments_per_chunk in CHUNK_GRID {
-            let bytes =
-                encode_reduced_container(&reduced, ChunkSpec::with_segments(segments_per_chunk));
-            let decoded = read_reduced_container(&bytes[..]).expect("round trip");
-            prop_assert_eq!(&decoded, &reduced, "{} segments/chunk", segments_per_chunk);
+            for codec in Codec::ALL {
+                let spec = ChunkSpec::with_segments(segments_per_chunk).codec(codec);
+                let bytes = encode_reduced_container(&reduced, spec);
+                let decoded = read_reduced_container(&bytes[..]).expect("round trip");
+                prop_assert_eq!(
+                    &decoded, &reduced,
+                    "{} segments/chunk, codec {}",
+                    segments_per_chunk, codec.name()
+                );
+            }
         }
     }
 
@@ -60,52 +73,104 @@ proptest! {
         1..3,
     ), cut_fraction in 0.0f64..1.0) {
         let app = build_trace(&rank_specs);
-        let bytes = encode_app_container(&app, ChunkSpec::with_segments(2));
-        let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
-        // Every proper prefix must fail to decode — the trailer check makes
-        // even "clean" chunk-boundary cuts detectable.
-        let err = read_app_container(&bytes[..cut]).expect_err("truncated");
-        prop_assert!(
-            matches!(
-                err,
-                ContainerError::Truncated { .. }
-                    | ContainerError::BadMagic { .. }
-                    | ContainerError::Codec(_)
-                    | ContainerError::BadTrailer
-                    | ContainerError::CountMismatch { .. }
-                    | ContainerError::UnexpectedChunk { .. }
-            ),
-            "unexpected error class: {:?}",
-            err
-        );
+        for codec in [Codec::None, Codec::DeltaLz] {
+            let bytes = encode_app_container(&app, ChunkSpec::with_segments(2).codec(codec));
+            let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+            // Every proper prefix must fail to decode — the trailer check
+            // makes even "clean" chunk-boundary cuts detectable.
+            let err = read_app_container(&bytes[..cut]).expect_err("truncated");
+            prop_assert!(
+                matches!(
+                    err,
+                    ContainerError::Truncated { .. }
+                        | ContainerError::BadMagic { .. }
+                        | ContainerError::Codec(_)
+                        | ContainerError::Compress(_)
+                        | ContainerError::BadTrailer
+                        | ContainerError::CountMismatch { .. }
+                        | ContainerError::UnexpectedChunk { .. }
+                ),
+                "unexpected error class: {:?}",
+                err
+            );
+        }
     }
 }
 
 #[test]
 fn payload_corruption_is_detected_by_crc() {
     let app = build_trace(&[vec![(0, 0, 10), (0, 0, 12), (1, 1, 40)], vec![(1, 2, 7)]]);
-    let bytes = encode_app_container(&app, ChunkSpec::with_segments(1));
-    // Flip one bit in every byte position past the header in turn; decoding
-    // must never succeed with a *different* trace, and payload flips must
-    // surface as BadCrc (framing flips may show up as other typed errors).
-    let mut crc_errors = 0usize;
-    for pos in 6..bytes.len() {
-        let mut corrupt = bytes.clone();
-        corrupt[pos] ^= 0x10;
-        match read_app_container(&corrupt[..]) {
-            Ok(decoded) => assert_eq!(
-                decoded, app,
-                "byte {pos}: corruption decoded to a different trace"
-            ),
-            Err(ContainerError::BadCrc { .. }) => crc_errors += 1,
-            Err(_) => {}
+    for codec in [Codec::None, Codec::DeltaLz] {
+        let bytes = encode_app_container(&app, ChunkSpec::with_segments(1).codec(codec));
+        // Flip one bit in every byte position past the header in turn;
+        // decoding must never succeed with a *different* trace, and payload
+        // flips must surface as BadCrc — the CRC covers the *stored* bytes,
+        // so corruption is caught before decompression even runs (framing
+        // flips may show up as other typed errors, e.g. a flipped codec
+        // byte is an unknown-codec Compress error).
+        let mut crc_errors = 0usize;
+        for pos in 6..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x10;
+            match read_app_container(&corrupt[..]) {
+                Ok(decoded) => assert_eq!(
+                    decoded,
+                    app,
+                    "byte {pos}: corruption decoded to a different trace ({})",
+                    codec.name()
+                ),
+                Err(ContainerError::BadCrc { .. }) => crc_errors += 1,
+                Err(_) => {}
+            }
         }
+        assert!(
+            crc_errors * 2 > bytes.len() - 6,
+            "most single-bit flips should be CRC-detected ({}): {crc_errors} of {}",
+            codec.name(),
+            bytes.len() - 6
+        );
     }
-    assert!(
-        crc_errors * 2 > bytes.len() - 6,
-        "most single-bit flips should be CRC-detected: {crc_errors} of {}",
-        bytes.len() - 6
+}
+
+#[test]
+fn crafted_compressed_payloads_with_valid_crcs_are_typed_errors() {
+    // Build a delta-lz container, then splice garbage into a compressed
+    // RECORDS payload *with a recomputed CRC*: the framing is pristine, the
+    // CRC matches, and only the codec layer can reject it.
+    let app = build_trace(&[(0..12).map(|i| (0u8, 0u8, (50 + i * 13) as u16)).collect()]);
+    let bytes = encode_app_container(
+        &app,
+        ChunkSpec::with_segments(usize::MAX).codec(Codec::DeltaLz),
     );
+    let (header, mut chunks, trailer) = split_chunks(&bytes);
+    let records_pos = chunks
+        .iter()
+        .position(|c| c[0] == 3 && c[1] == Codec::DeltaLz.as_byte())
+        .expect("a compressed RECORDS chunk");
+    {
+        let chunk = &mut chunks[records_pos];
+        // Truncate the compressed payload by one byte and re-frame it.
+        let new_payload = chunk[10..chunk.len() - 1].to_vec();
+        let len = (new_payload.len() as u32).to_le_bytes();
+        let crc = trace_container::crc32(&new_payload).to_le_bytes();
+        chunk.truncate(2);
+        chunk.extend_from_slice(&len);
+        chunk.extend_from_slice(&crc);
+        chunk.extend_from_slice(&new_payload);
+    }
+    let mut crafted = header;
+    let mut index_offset = crafted.len() as u64;
+    for (i, chunk) in chunks.iter().enumerate() {
+        if i + 1 == chunks.len() {
+            index_offset = crafted.len() as u64;
+        }
+        crafted.extend_from_slice(chunk);
+    }
+    crafted.extend_from_slice(&index_offset.to_le_bytes());
+    crafted.extend_from_slice(&trailer[8..]);
+
+    let err = read_app_container(&crafted[..]).expect_err("crafted payload");
+    assert!(matches!(err, ContainerError::Compress(_)), "{err:?}");
 }
 
 #[test]
@@ -171,16 +236,17 @@ fn index_offsets_survive_every_chunk_size() {
 }
 
 /// Splits a container file into `(header, framed chunks, trailer)` using
-/// only the public framing layout (kind byte + u32le length + u32le CRC).
+/// only the public framing layout (kind byte + codec byte + u32le length +
+/// u32le CRC).
 fn split_chunks(bytes: &[u8]) -> (Vec<u8>, Vec<Vec<u8>>, Vec<u8>) {
     let header = bytes[..6].to_vec();
     let trailer = bytes[bytes.len() - 12..].to_vec();
     let mut chunks = Vec::new();
     let mut pos = 6;
     while pos < bytes.len() - 12 {
-        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
-        chunks.push(bytes[pos..pos + 9 + len].to_vec());
-        pos += 9 + len;
+        let len = u32::from_le_bytes(bytes[pos + 2..pos + 6].try_into().unwrap()) as usize;
+        chunks.push(bytes[pos..pos + 10 + len].to_vec());
+        pos += 10 + len;
     }
     (header, chunks, trailer)
 }

@@ -462,7 +462,7 @@ mod tests {
 
     #[test]
     fn container_writers_round_trip_and_amplify() {
-        use trace_container::{read_app_container, ChunkSpec};
+        use trace_container::{read_app_container, ChunkSpec, Codec};
 
         let workload = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny);
         let app = workload.generate();
@@ -478,6 +478,24 @@ mod tests {
         assert!(parsed.is_well_formed());
         assert_eq!(parsed.rank_count(), app.rank_count());
         assert_eq!(parsed.total_events(), 5 * app.total_events());
+
+        // The chunk spec carries the compression codec straight through the
+        // workload writers: amplified runs repeat, so delta-lz must shrink
+        // the container while decoding to the identical trace.
+        let compressed = workload
+            .write_container_amplified_to(
+                Vec::new(),
+                5,
+                ChunkSpec::with_segments(4).codec(Codec::DeltaLz),
+            )
+            .unwrap();
+        assert!(
+            compressed.len() < amplified.len(),
+            "{} vs {}",
+            compressed.len(),
+            amplified.len()
+        );
+        assert_eq!(read_app_container(&compressed[..]).unwrap(), parsed);
     }
 
     #[test]

@@ -110,11 +110,7 @@ fn read_comm(reader: &mut Reader<'_>) -> Result<CommInfo, CodecError> {
 fn read_event(reader: &mut Reader<'_>, prev_time: Time) -> Result<(Event, Time), CodecError> {
     let region = RegionId(read_u64(reader)? as u32);
     let delta = read_i64(reader)?;
-    let start_ns = prev_time.as_nanos() as i64 + delta;
-    if start_ns < 0 {
-        return Err(CodecError::NegativeTime);
-    }
-    let start = Time::from_nanos(start_ns as u64);
+    let start = apply_time_delta(prev_time, delta)?;
     let duration = Time::from_nanos(read_u64(reader)?);
     let wait = Time::from_nanos(read_u64(reader)?);
     let comm = read_comm(reader)?;
@@ -128,13 +124,20 @@ fn read_event(reader: &mut Reader<'_>, prev_time: Time) -> Result<(Event, Time),
     Ok((event, start))
 }
 
+/// Applies a delta to a reconstructed clock.  checked_add, not `+`: a
+/// crafted file can pair a huge clock with a huge delta, and decoding
+/// untrusted bytes must yield typed errors, never a debug-build overflow
+/// panic.
+fn apply_time_delta(prev: Time, delta: i64) -> Result<Time, CodecError> {
+    match (prev.as_nanos() as i64).checked_add(delta) {
+        Some(ns) if ns >= 0 => Ok(Time::from_nanos(ns as u64)),
+        _ => Err(CodecError::NegativeTime),
+    }
+}
+
 fn read_marker_time(reader: &mut Reader<'_>, prev_time: Time) -> Result<Time, CodecError> {
     let delta = read_i64(reader)?;
-    let ns = prev_time.as_nanos() as i64 + delta;
-    if ns < 0 {
-        return Err(CodecError::NegativeTime);
-    }
-    Ok(Time::from_nanos(ns as u64))
+    apply_time_delta(prev_time, delta)
 }
 
 /// Reads one trace record with its time stamp delta-encoded against
@@ -249,11 +252,7 @@ pub fn read_exec(
 ) -> Result<(SegmentExec, Time), CodecError> {
     let segment = read_u64(reader)? as u32;
     let delta = read_i64(reader)?;
-    let ns = prev_start.as_nanos() as i64 + delta;
-    if ns < 0 {
-        return Err(CodecError::NegativeTime);
-    }
-    let start = Time::from_nanos(ns as u64);
+    let start = apply_time_delta(prev_start, delta)?;
     Ok((SegmentExec { segment, start }, start))
 }
 

@@ -17,9 +17,12 @@
 //!   online reducer, sharded drivers).
 //! * [`trace_container`] — chunked, indexed binary trace container
 //!   (`.trc` v2) with CRC-checked chunks and a seekable index footer.
+//! * [`trace_compress`] — per-chunk compression codecs for the container:
+//!   trace-aware column transforms and a self-contained LZ byte backend.
 
 pub use trace_analysis as analysis;
 pub use trace_clustering as clustering;
+pub use trace_compress as compress;
 pub use trace_container as container;
 pub use trace_eval as eval;
 pub use trace_format as format;

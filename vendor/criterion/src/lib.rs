@@ -9,13 +9,16 @@
 //! Measurement is intentionally simple: each benchmark runs one warm-up
 //! iteration, then `sample_size` timed iterations, and reports min /
 //! median / mean / max wall-clock time with the sample standard deviation
-//! (plus derived throughput when configured).  There is no outlier
-//! rejection or HTML report, but baselines are supported: set
+//! (plus derived throughput when configured).  Samples outside the Tukey
+//! fences (1.5 × IQR beyond the interpolated quartiles) are rejected as
+//! outliers, and the *trimmed mean* over the surviving samples is reported
+//! alongside — a one-off scheduler hiccup no longer shifts the headline
+//! number.  There is no HTML report, but baselines are supported: set
 //! `CRITERION_BASELINE=<file>` to compare against a saved run — if the
 //! file exists, every benchmark line gains a `Δ vs baseline` percentage
-//! (of mean time); if it does not, the run's means are written there as a
-//! flat JSON object (`{"bench name": mean_nanoseconds, ...}`) when
-//! `criterion_main!` finishes, ready for the next comparison run.
+//! (of trimmed mean time); if it does not, the run's trimmed means are
+//! written there as a flat JSON object (`{"bench name": nanoseconds, ...}`)
+//! when `criterion_main!` finishes, ready for the next comparison run.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -192,6 +195,24 @@ struct SampleStats {
     max: Duration,
     /// Sample standard deviation (Bessel-corrected); zero for one sample.
     stddev: Duration,
+    /// Mean over the samples inside the Tukey fences (q1 − 1.5·IQR,
+    /// q3 + 1.5·IQR).  Equals `mean` when nothing is rejected; this is the
+    /// value baselines record and diff, because it is stable under the
+    /// occasional scheduler hiccup that the plain mean is not.
+    trimmed_mean: Duration,
+    /// How many samples fell outside the Tukey fences.
+    outliers: usize,
+}
+
+/// Linearly interpolated quantile (type-7, what numpy and criterion use)
+/// over an ascending slice, in nanoseconds.
+fn quantile_ns(sorted: &[Duration], p: f64) -> f64 {
+    let position = (sorted.len() - 1) as f64 * p;
+    let below = position.floor() as usize;
+    let above = position.ceil() as usize;
+    let lower = sorted[below].as_nanos() as f64;
+    let upper = sorted[above].as_nanos() as f64;
+    lower + (upper - lower) * (position - below as f64)
 }
 
 fn sample_stats(samples: &[Duration]) -> SampleStats {
@@ -218,12 +239,34 @@ fn sample_stats(samples: &[Duration]) -> SampleStats {
             / (sorted.len() - 1) as f64;
         var.sqrt()
     };
+
+    // IQR-based outlier rejection: keep samples inside the Tukey fences and
+    // average those.  The fences are inclusive, so a zero-IQR sample set
+    // (all equal) rejects nothing.
+    let q1 = quantile_ns(&sorted, 0.25);
+    let q3 = quantile_ns(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let (low, high) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = sorted
+        .iter()
+        .map(|s| s.as_nanos() as f64)
+        .filter(|&ns| ns >= low && ns <= high)
+        .collect();
+    let outliers = sorted.len() - kept.len();
+    let trimmed_mean_ns = if kept.is_empty() {
+        mean_ns // unreachable in practice: the median is always inside
+    } else {
+        kept.iter().sum::<f64>() / kept.len() as f64
+    };
+
     SampleStats {
         min,
         median,
         mean: Duration::from_nanos(mean_ns as u64),
         max,
         stddev: Duration::from_nanos(stddev_ns as u64),
+        trimmed_mean: Duration::from_nanos(trimmed_mean_ns as u64),
+        outliers,
     }
 }
 
@@ -375,10 +418,21 @@ fn run_one<F>(
         return;
     }
     let stats = sample_stats(&bencher.samples);
-    let mean_ns = stats.mean.as_nanos() as f64;
+    // The trimmed mean is the headline number: it is what baselines record
+    // and what deltas are computed against, because IQR rejection makes
+    // small diffs trustworthy where the plain mean is one hiccup away from
+    // a phantom regression.
+    let trimmed_ns = stats.trimmed_mean.as_nanos() as f64;
     let rate = throughput.map(|t| match t {
-        Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / stats.mean.as_secs_f64()),
-        Throughput::Bytes(n) => format!(" ({:.0} B/s)", n as f64 / stats.mean.as_secs_f64()),
+        Throughput::Elements(n) => {
+            format!(
+                " ({:.0} elem/s)",
+                n as f64 / stats.trimmed_mean.as_secs_f64()
+            )
+        }
+        Throughput::Bytes(n) => {
+            format!(" ({:.0} B/s)", n as f64 / stats.trimmed_mean.as_secs_f64())
+        }
     });
     let delta = baseline()
         .and_then(|b| b.get(&full_name))
@@ -386,7 +440,7 @@ fn run_one<F>(
             if base_ns > 0.0 {
                 format!(
                     " Δ vs baseline {:+.1}%",
-                    100.0 * (mean_ns - base_ns) / base_ns
+                    100.0 * (trimmed_ns - base_ns) / base_ns
                 )
             } else {
                 String::from(" Δ vs baseline n/a")
@@ -394,18 +448,20 @@ fn run_one<F>(
         })
         .unwrap_or_default();
     println!(
-        "  {full_name}: [{:?} {:?} {:?} {:?}] ±{:?}{}{delta}",
+        "  {full_name}: [{:?} {:?} {:?} {:?}] ±{:?} trimmed mean {:?} ({} outliers){}{delta}",
         stats.min,
         stats.median,
         stats.mean,
         stats.max,
         stats.stddev,
+        stats.trimmed_mean,
+        stats.outliers,
         rate.unwrap_or_default()
     );
     recorded_means()
         .lock()
         .expect("no poisoned benches")
-        .push((full_name, mean_ns));
+        .push((full_name, trimmed_ns));
 }
 
 /// Bundles bench functions into a single runner, criterion-style.
@@ -473,6 +529,39 @@ mod tests {
         assert_eq!(stats.median, Duration::from_millis(25));
         let stats = sample_stats(&samples[..1]);
         assert_eq!(stats.stddev, Duration::ZERO);
+    }
+
+    #[test]
+    fn iqr_rejection_trims_outliers_from_the_mean() {
+        // [10,20,30,40,100] ms: interpolated q1 = 20, q3 = 40, IQR = 20,
+        // fences [-10, 70] — so 100 ms is an outlier and the trimmed mean
+        // is the mean of the surviving four samples.
+        let samples: Vec<Duration> = [10u64, 20, 30, 40, 100]
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .collect();
+        let stats = sample_stats(&samples);
+        assert_eq!(stats.outliers, 1);
+        assert_eq!(stats.trimmed_mean, Duration::from_millis(25));
+        // The untrimmed mean stays reported for comparison.
+        assert_eq!(stats.mean, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn clean_samples_reject_nothing() {
+        // Identical samples: IQR is zero but the inclusive fences keep all.
+        let stats = sample_stats(&[Duration::from_millis(5); 7]);
+        assert_eq!(stats.outliers, 0);
+        assert_eq!(stats.trimmed_mean, Duration::from_millis(5));
+        // A gentle ramp has no outliers either.
+        let ramp: Vec<Duration> = (10..20).map(Duration::from_millis).collect();
+        let stats = sample_stats(&ramp);
+        assert_eq!(stats.outliers, 0);
+        assert_eq!(stats.trimmed_mean, stats.mean);
+        // Single samples are their own trimmed mean.
+        let stats = sample_stats(&[Duration::from_millis(3)]);
+        assert_eq!(stats.outliers, 0);
+        assert_eq!(stats.trimmed_mean, Duration::from_millis(3));
     }
 
     #[test]
