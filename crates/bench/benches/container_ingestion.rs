@@ -50,6 +50,11 @@ fn bench_container_ingestion(c: &mut Criterion) {
         reduction.stats.peak_chunk_bytes,
         monolithic.len()
     );
+    println!(
+        "matching: {} comparisons, {:.1}% pruned before a full kernel",
+        reduction.stats.matching.comparisons,
+        100.0 * reduction.stats.matching.pruned_rate()
+    );
 
     // The sharded driver needs a real file for the seekable index footer.
     let mut path = std::env::temp_dir();

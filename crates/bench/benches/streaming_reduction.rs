@@ -32,7 +32,8 @@ fn bench_streaming_reduction(c: &mut Criterion) {
         .expect("writing to a Vec cannot fail");
     let config = MethodConfig::with_default_threshold(Method::AvgWave);
 
-    // Report the memory story once: peak resident segments vs streamed.
+    // Report the memory story once: peak resident segments vs streamed —
+    // plus the similarity fast path's pruning counters.
     let reduction = reduce_stream(config, Cursor::new(text.as_slice())).unwrap();
     println!(
         "streaming {}: {} bytes of text, {} segments streamed, {} stored, peak resident {}",
@@ -41,6 +42,13 @@ fn bench_streaming_reduction(c: &mut Criterion) {
         reduction.stats.segments,
         reduction.stats.stored,
         reduction.stats.peak_resident_segments
+    );
+    let matching = reduction.stats.matching;
+    println!(
+        "matching: {} comparisons, {:.1}% prefilter-rejected, {:.1}% early-abandoned",
+        matching.comparisons,
+        100.0 * matching.prefilter_reject_rate(),
+        100.0 * matching.early_abandon_rate()
     );
 
     let mut group = c.benchmark_group("streaming/reduce");

@@ -13,7 +13,7 @@ use trace_container::{read_app_container, ChunkSpec, Codec};
 use trace_eval::file_size_percent;
 use trace_format::parse_app_trace;
 use trace_model::codec::{decode_app_trace, encode_app_trace};
-use trace_reduce::{Method, MethodConfig, Reducer};
+use trace_reduce::{reduce_app_reference, MatchStats, Method, MethodConfig, Reducer};
 use trace_sim::{SizePreset, Workload, WorkloadKind};
 use trace_stream::{
     reduce_container_file, reduce_container_stream, reduce_stream, reduce_stream_sharded,
@@ -246,4 +246,91 @@ fn main() {
         );
     }
     let _ = std::fs::remove_file(&container_path);
+
+    // Table 6: similarity-matching throughput — the cached-feature fast
+    // path vs the preserved naive reference loop, per method, over all 18
+    // workloads, plus the fast path's pruning counters.  The per-method
+    // numbers are also written to BENCH_matching.json (in the current
+    // directory) so later PRs can diff against a recorded trajectory.
+    let total_segments: usize = traces
+        .iter()
+        .flat_map(|t| t.ranks.iter())
+        .map(|r| r.segment_instance_count())
+        .sum();
+    println!(
+        "\nsimilarity matching (all 18 workloads, {total_segments} segment instances, \
+         default thresholds; fast = cached features + prefilters + early abandon, \
+         reference = naive per-comparison kernels):\n"
+    );
+    println!(
+        "| method | reference (ms) | fast (ms) | speedup | fast segments/s | comparisons | prefilter-rejected | early-abandoned |"
+    );
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|");
+    let mut baseline_entries: Vec<(String, f64)> =
+        vec![("matching/total_segments".to_string(), total_segments as f64)];
+    for method in Method::ALL {
+        let config = MethodConfig::with_default_threshold(method);
+        let reducer = Reducer::new(config);
+
+        // The timed fast pass also collects the pruning counters — the
+        // same reduction loop as `reduce_app`, no extra pass needed.
+        let started = Instant::now();
+        let mut stats = MatchStats::default();
+        let fast: Vec<_> = traces
+            .iter()
+            .map(|t| {
+                let (reduced, trace_stats) = reducer.reduce_app_with_stats(t);
+                stats.absorb(&trace_stats);
+                reduced
+            })
+            .collect();
+        let fast_wall = started.elapsed();
+
+        let started = Instant::now();
+        let reference: Vec<_> = traces
+            .iter()
+            .map(|t| reduce_app_reference(config, t))
+            .collect();
+        let reference_wall = started.elapsed();
+        assert_eq!(fast, reference, "{method}: fast path must be bit-identical");
+
+        let fast_rate = total_segments as f64 / fast_wall.as_secs_f64();
+        let reference_rate = total_segments as f64 / reference_wall.as_secs_f64();
+        println!(
+            "| {} | {:.1} | {:.1} | {:.2}x | {:.0} | {} | {:.1}% | {:.1}% |",
+            config.label(),
+            reference_wall.as_secs_f64() * 1e3,
+            fast_wall.as_secs_f64() * 1e3,
+            reference_wall.as_secs_f64() / fast_wall.as_secs_f64(),
+            fast_rate,
+            stats.comparisons,
+            100.0 * stats.prefilter_reject_rate(),
+            100.0 * stats.early_abandon_rate()
+        );
+        baseline_entries.push((
+            format!("matching/{}/fast_segments_per_s", method.name()),
+            fast_rate,
+        ));
+        baseline_entries.push((
+            format!("matching/{}/reference_segments_per_s", method.name()),
+            reference_rate,
+        ));
+    }
+    let json = matching_baseline_json(&baseline_entries);
+    match std::fs::write("BENCH_matching.json", &json) {
+        Ok(()) => eprintln!("[record_experiments] wrote BENCH_matching.json"),
+        Err(e) => eprintln!("[record_experiments] cannot write BENCH_matching.json: {e}"),
+    }
+}
+
+/// Flat JSON object of benchmark names to numbers — the same shape the
+/// vendored criterion shim reads as `CRITERION_BASELINE`.
+fn matching_baseline_json(entries: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in entries.iter().enumerate() {
+        out.push_str(&format!("  \"{name}\": {value:.1}"));
+        out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
+    }
+    out.push('}');
+    out
 }

@@ -44,7 +44,7 @@ subcommands:
              [--preset P]                clustering on one workload
 
 binary output flags (generate, reduce, convert):
-  --codec none|delta|lz|delta-lz         per-chunk compression codec (default none)
+  --codec none|delta|lz|delta-lz         per-chunk compression codec (default delta-lz)
   --chunk-segments N                     segments per chunk (default 128)
   --v1                                   write the monolithic v1 encoding instead
                                          of the default chunked .trc v2 container
@@ -173,9 +173,10 @@ fn parse_policy(invocation: &Invocation) -> Result<SamplingPolicy, String> {
 
 /// Parses the binary output flags (`--codec`, `--chunk-segments`, `--v1`)
 /// shared by `generate`, `reduce` and `convert`.  The default is a chunked
-/// `.trc` v2 container with the default grouping and no compression;
-/// `--v1` selects the monolithic encoding and conflicts with the
-/// container-only flags.
+/// `.trc` v2 container with the default grouping compressed with
+/// `delta-lz` (2.3–2.7× smaller on the paper workloads, EXPERIMENTS.md
+/// Table 5; pass `--codec none` for uncompressed chunks); `--v1` selects
+/// the monolithic encoding and conflicts with the container-only flags.
 fn parse_binary_format(invocation: &Invocation, out: &Path) -> Result<BinaryFormat, String> {
     // A text output takes none of the binary flags — rejected rather than
     // silently ignored, for every command that writes traces.
@@ -204,13 +205,16 @@ fn parse_binary_format(invocation: &Invocation, out: &Path) -> Result<BinaryForm
         Some(n) => ChunkSpec::with_segments(n),
         None => ChunkSpec::default(),
     };
-    if let Some(name) = invocation.get("codec") {
-        let codec = Codec::by_name(name).ok_or_else(|| {
-            let known: Vec<&str> = Codec::ALL.iter().map(|c| c.name()).collect();
-            format!("unknown codec {name:?}; known codecs: {}", known.join(", "))
-        })?;
-        spec = spec.codec(codec);
-    }
+    spec = match invocation.get("codec") {
+        Some(name) => {
+            let codec = Codec::by_name(name).ok_or_else(|| {
+                let known: Vec<&str> = Codec::ALL.iter().map(|c| c.name()).collect();
+                format!("unknown codec {name:?}; known codecs: {}", known.join(", "))
+            })?;
+            spec.codec(codec)
+        }
+        None => spec.codec(Codec::DeltaLz),
+    };
     Ok(BinaryFormat::ContainerV2(spec))
 }
 
@@ -841,6 +845,46 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.contains("delta-lz"), "{err}");
+    }
+
+    #[test]
+    fn binary_writes_default_to_the_delta_lz_codec() {
+        let default_out = temp_path("default_codec.trc");
+        let none_out = temp_path("default_codec_none.trc");
+        // No --codec flag: delta-lz is the default...
+        let out = run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "sweep3d_8p"),
+                ("preset", "tiny"),
+                ("out", default_out.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("codec delta-lz"), "{out}");
+        // ...and --codec none still opts out.
+        let out = run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "sweep3d_8p"),
+                ("preset", "tiny"),
+                ("out", none_out.to_str().unwrap()),
+                ("codec", "none"),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("codec none"), "{out}");
+        assert_eq!(
+            crate::io::load_app_trace(&default_out).unwrap(),
+            crate::io::load_app_trace(&none_out).unwrap()
+        );
+        let compressed = std::fs::metadata(&default_out).unwrap().len();
+        let uncompressed = std::fs::metadata(&none_out).unwrap().len();
+        assert!(
+            compressed < uncompressed,
+            "default write must compress: {compressed} vs {uncompressed} bytes"
+        );
+        cleanup(&[&default_out, &none_out]);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! binary codec (the monolithic v1 encoding is the format the paper's
 //! file-size percentages are measured against).  Binary *reads* autodetect
 //! monolithic v1 files and chunked v2 containers by magic; binary *writes*
-//! default to chunked v2 containers ([`BinaryFormat::default`]) with the
-//! monolithic v1 path kept reachable via `--v1`.
+//! default to chunked v2 containers compressed with `delta-lz`
+//! ([`BinaryFormat::default`]) with uncompressed chunks available via
+//! `--codec none` and the monolithic v1 path kept reachable via `--v1`.
 
 use std::fs;
 use std::path::Path;
@@ -30,8 +31,10 @@ pub enum BinaryFormat {
 }
 
 impl Default for BinaryFormat {
+    /// Chunked v2 container with `delta-lz` chunk compression — the CLI's
+    /// default for every binary write (`--codec none` opts out).
     fn default() -> Self {
-        BinaryFormat::ContainerV2(ChunkSpec::default())
+        BinaryFormat::ContainerV2(ChunkSpec::with_codec(trace_container::Codec::DeltaLz))
     }
 }
 

@@ -69,6 +69,57 @@ pub fn normalized_dtw_distance(a: &[f64], b: &[f64], band: Option<usize>) -> f64
     }
 }
 
+/// Decides `normalized_dtw_distance(a, b, band) <= normalized_bound` with
+/// early abandoning: local costs are non-negative, so every cell of a later
+/// row is at least the minimum of the current row, and once even that
+/// minimum normalizes past the bound the full distance must too.  Rows are
+/// computed with the exact arithmetic of [`dtw_distance`], so a run that is
+/// not abandoned reaches the identical final value — the decision always
+/// equals the naive comparison, the abandoned runs just stop early.
+pub fn dtw_within(a: &[f64], b: &[f64], band: Option<usize>, normalized_bound: f64) -> bool {
+    if a.is_empty() && b.is_empty() {
+        return 0.0 <= normalized_bound;
+    }
+    if a.is_empty() || b.is_empty() {
+        // Mirrors the naive comparison exactly, including the degenerate
+        // `INFINITY <= INFINITY` case for an infinite bound.
+        return f64::INFINITY <= normalized_bound;
+    }
+    let n = a.len();
+    let m = b.len();
+    let len = (n + m) as f64;
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr[0] = f64::INFINITY;
+        let (j_lo, j_hi) = match band {
+            Some(r) => (i.saturating_sub(r).max(1), (i + r).min(m)),
+            None => (1, m),
+        };
+        let mut row_min = f64::INFINITY;
+        for j in 1..=m {
+            if j < j_lo || j > j_hi {
+                curr[j] = f64::INFINITY;
+                continue;
+            }
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+            row_min = row_min.min(curr[j]);
+        }
+        // Admissible abandon: the final raw distance is at least this
+        // row's minimum, and division by the positive path length is
+        // monotone, so the normalized distance can only land above the
+        // bound as well.
+        if row_min / len > normalized_bound {
+            return false;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m] / len <= normalized_bound
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +191,40 @@ mod tests {
         let b = [2.0, 2.0, 8.0, 3.0, 1.0];
         assert_eq!(dtw_distance(&a, &b, None), dtw_distance(&b, &a, None));
         assert_eq!(dtw_distance(&a, &b, Some(2)), dtw_distance(&b, &a, Some(2)));
+    }
+
+    #[test]
+    fn dtw_within_agrees_with_the_naive_comparison() {
+        let sequences: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![3.0],
+            vec![0.0, 10.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 10.0, 0.0, 0.0],
+            vec![1.0, 4.0, 2.0, 9.0, 3.0],
+            vec![2.0, 2.0, 8.0, 3.0, 1.0, 7.0],
+        ];
+        for a in &sequences {
+            for b in &sequences {
+                for band in [None, Some(0), Some(2)] {
+                    let naive = normalized_dtw_distance(a, b, band);
+                    for bound in [0.0, 0.1, 0.5, 1.0, 2.5, 10.0] {
+                        assert_eq!(
+                            dtw_within(a, b, band, bound),
+                            naive <= bound,
+                            "a={a:?} b={b:?} band={band:?} bound={bound}"
+                        );
+                    }
+                    // The exact distance is the decision boundary: within
+                    // at the naive value, not within just below it.
+                    if naive.is_finite() {
+                        assert!(dtw_within(a, b, band, naive));
+                        if naive > 0.0 {
+                            assert!(!dtw_within(a, b, band, naive * 0.999_999));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

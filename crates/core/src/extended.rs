@@ -32,7 +32,7 @@ use std::fmt;
 use trace_model::{stats, AppTrace, RankTrace, ReducedAppTrace, Segment};
 use trace_wavelet::WaveletKind;
 
-use crate::dtw::normalized_dtw_distance;
+use crate::dtw::dtw_within;
 use crate::method::{Method, MethodConfig};
 use crate::metric::{segments_match, wavelet_match};
 use crate::reducer::{
@@ -257,12 +257,17 @@ pub fn histogram_delta_match(a: &Segment, b: &Segment, threshold: f64) -> bool {
 /// between the measurement vectors must not exceed `threshold` times the
 /// largest measurement in the pair (the same magnitude scaling the paper
 /// uses for the Minkowski distances).
+///
+/// Decided through [`dtw_within`], which abandons the dynamic program as
+/// soon as a whole row's minimum cumulative cost normalizes past the
+/// bound — the decision is identical to comparing the full
+/// [`crate::dtw::normalized_dtw_distance`], rejections just cost fewer
+/// rows.
 pub fn dtw_match(a: &Segment, b: &Segment, threshold: f64) -> bool {
     let va = a.measurement_vector();
     let vb = b.measurement_vector();
-    let distance = normalized_dtw_distance(&va, &vb, Some(DTW_BAND));
     let max_value = stats::max(&va).max(stats::max(&vb));
-    distance <= threshold * max_value
+    dtw_within(&va, &vb, Some(DTW_BAND), threshold * max_value)
 }
 
 /// Cosine similarity test: the cosine dissimilarity of the measurement

@@ -14,6 +14,12 @@
 //!   (Section 3.2).
 //! * [`reducer`] — the stored-segments matching algorithm that turns a full
 //!   trace into a [`trace_model::ReducedAppTrace`].
+//! * [`features`] — cached per-segment features ([`SegmentFeatures`]),
+//!   reusable matching buffers ([`MatchScratch`]) and the allocation-free,
+//!   prefiltered, early-abandoning similarity kernels the reducer runs by
+//!   default; the naive reference loop survives as
+//!   [`reducer::reduce_rank_reference`] and the two paths are
+//!   property-tested to produce bit-identical reduced traces.
 //! * [`parallel`] — per-rank parallel reduction on top of crossbeam scoped
 //!   threads (each rank's trace is reduced independently, exactly as the
 //!   paper's intra-process technique allows).
@@ -46,19 +52,21 @@
 
 pub mod dtw;
 pub mod extended;
+pub mod features;
 pub mod method;
 pub mod metric;
 pub mod parallel;
 pub mod reducer;
 pub mod segmenter;
 
-pub use dtw::{dtw_distance, normalized_dtw_distance};
+pub use dtw::{dtw_distance, dtw_within, normalized_dtw_distance};
 pub use extended::{segments_match_extended, ExtendedConfig, ExtendedMethod, ExtendedReducer};
+pub use features::{segments_match_cached, MatchScratch, MatchStats, SegmentFeatures};
 pub use method::{Method, MethodConfig};
 pub use metric::segments_match;
 pub use parallel::{reduce_app_parallel, scoped_workers};
 pub use reducer::{
-    reduce_app_with_predicate, reduce_rank_with_predicate, OnlineRankReducer, RankReduction,
-    Reducer,
+    reduce_app_reference, reduce_app_with_predicate, reduce_rank_reference,
+    reduce_rank_with_predicate, OnlineRankReducer, RankReduction, Reducer,
 };
 pub use segmenter::{segments_of_rank, OnlineSegmenter, SegmentationStats};

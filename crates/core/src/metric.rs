@@ -16,6 +16,13 @@ use crate::method::{Method, MethodConfig};
 /// microseconds to match the paper's 10^1..10^6 grid.
 const NS_PER_US: f64 = 1_000.0;
 
+/// The `absDiff` limit in nanoseconds for a threshold in microseconds.
+/// Shared by the naive predicate below and the cached fast path
+/// ([`crate::features`]) so both compute the identical bound.
+pub(crate) fn abs_diff_limit(threshold_us: f64) -> f64 {
+    threshold_us * NS_PER_US
+}
+
 /// Relative-difference test: every paired measurement must differ by at most
 /// `threshold` in relative terms.
 pub fn rel_diff_match(a: &Segment, b: &Segment, threshold: f64) -> bool {
@@ -29,7 +36,7 @@ pub fn rel_diff_match(a: &Segment, b: &Segment, threshold: f64) -> bool {
 /// Absolute-difference test: every paired measurement must differ by at most
 /// `threshold_us` microseconds.
 pub fn abs_diff_match(a: &Segment, b: &Segment, threshold_us: f64) -> bool {
-    let limit = threshold_us * NS_PER_US;
+    let limit = abs_diff_limit(threshold_us);
     let va = a.measurement_vector();
     let vb = b.measurement_vector();
     va.iter().zip(&vb).all(|(&x, &y)| (x - y).abs() <= limit)
@@ -38,11 +45,24 @@ pub fn abs_diff_match(a: &Segment, b: &Segment, threshold_us: f64) -> bool {
 /// Minkowski-distance test (`order` 1 = Manhattan, 2 = Euclidean,
 /// `None` = Chebyshev): the distance between the measurement vectors must
 /// not exceed `threshold` times the largest measurement in the pair.
+///
+/// Orders 1 and 2 use the dedicated [`stats::manhattan_distance`] /
+/// [`stats::euclidean_distance`] kernels (no `powf`), the same scalar code
+/// the early-abandoning fast path accumulates term by term — so the two
+/// paths agree bit for bit, not just approximately.
 pub fn minkowski_match(a: &Segment, b: &Segment, order: Option<f64>, threshold: f64) -> bool {
     let va = a.measurement_vector();
     let vb = b.measurement_vector();
     let distance = match order {
-        Some(m) => stats::minkowski_distance(&va, &vb, m),
+        Some(m) => {
+            if m == 1.0 {
+                stats::manhattan_distance(&va, &vb)
+            } else if m == 2.0 {
+                stats::euclidean_distance(&va, &vb)
+            } else {
+                stats::minkowski_distance(&va, &vb, m)
+            }
+        }
         None => stats::chebyshev_distance(&va, &vb),
     };
     let max_value = stats::max(&va).max(stats::max(&vb));

@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 
 use trace_model::{AppTrace, ReducedAppTrace, ReducedRankTrace};
 
+use crate::features::MatchScratch;
 use crate::reducer::Reducer;
 
 /// Runs `work(worker_index)` on `workers` crossbeam scoped threads and
@@ -54,13 +55,19 @@ pub fn reduce_app_parallel(reducer: &Reducer, app: &AppTrace, threads: usize) ->
         (0..n_ranks).map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    scoped_workers(threads.min(n_ranks), |_| loop {
-        let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        if index >= n_ranks {
-            break;
+    scoped_workers(threads.min(n_ranks), |_| {
+        // One match scratch per worker: the feature buffers grow to the
+        // largest segment once and are reused across every rank this
+        // worker reduces.
+        let mut scratch = MatchScratch::new();
+        loop {
+            let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if index >= n_ranks {
+                break;
+            }
+            let reduction = reducer.reduce_rank_with_scratch(&app.ranks[index], &mut scratch);
+            *slots[index].lock() = Some(reduction.reduced);
         }
-        let reduction = reducer.reduce_rank(&app.ranks[index]);
-        *slots[index].lock() = Some(reduction.reduced);
     });
 
     let mut reduced = ReducedAppTrace::for_app(app);

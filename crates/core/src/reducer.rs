@@ -15,6 +15,16 @@
 //!   segment of the pattern);
 //! * `iter_avg` stores exactly one instance per pattern whose measurements
 //!   are the running average over all instances.
+//!
+//! Distance methods run through the cached-feature fast path
+//! ([`crate::features`]): each stored representative carries a
+//! [`SegmentFeatures`] cache computed once at store time, the incoming
+//! segment's features are computed once per segment into a reusable
+//! [`MatchScratch`], and admissible prefilters / early-abandoning kernels
+//! prune comparisons the similarity test would reject anyway.  The
+//! pre-fast-path behaviour is preserved verbatim as
+//! [`reduce_rank_reference`] for equivalence testing — both paths produce
+//! bit-identical [`ReducedRankTrace`]s.
 
 use std::collections::HashMap;
 
@@ -23,6 +33,7 @@ use trace_model::{
     StoredSegment, Time,
 };
 
+use crate::features::{segments_match_cached, MatchScratch, MatchStats, SegmentFeatures};
 use crate::method::{Method, MethodConfig};
 use crate::metric::segments_match;
 use crate::segmenter::{segments_of_rank_with_stats, SegmentationStats};
@@ -34,6 +45,10 @@ pub struct RankReduction {
     pub reduced: ReducedRankTrace,
     /// Statistics from the segmentation pass.
     pub segmentation: SegmentationStats,
+    /// Similarity-matching counters (comparisons, prefilter hits, early
+    /// abandons).  The naive reference path only fills the comparison and
+    /// match counts — it has no prefilters to hit.
+    pub matching: MatchStats,
 }
 
 /// Running-average accumulator used by `iter_avg`.
@@ -100,16 +115,38 @@ pub struct OnlineRankReducer {
     buckets: HashMap<SegmentKey, Vec<u32>>,
     // Running averages for iter_avg, indexed by stored id.
     averages: HashMap<u32, AverageState>,
+    // Cached features per stored representative, indexed like
+    // `reduced.stored`.  Empty for the iteration-based methods, which
+    // never run a similarity kernel.
+    features: Vec<SegmentFeatures>,
+    // Reusable buffers + counters for the cached matching kernels.
+    scratch: MatchScratch,
 }
 
 impl OnlineRankReducer {
     /// Creates an empty reduction state for one rank.
     pub fn new(config: MethodConfig, rank: trace_model::Rank) -> Self {
+        OnlineRankReducer::with_scratch(config, rank, MatchScratch::new())
+    }
+
+    /// Creates an empty reduction state reusing the buffers of `scratch`
+    /// (its counters are reset).  Drivers that reduce many ranks — the
+    /// parallel in-memory reducer, the streaming loop — pass the scratch
+    /// from rank to rank via [`OnlineRankReducer::finish_with_scratch`] so
+    /// feature buffers are allocated once per worker.
+    pub fn with_scratch(
+        config: MethodConfig,
+        rank: trace_model::Rank,
+        mut scratch: MatchScratch,
+    ) -> Self {
+        scratch.reset_stats();
         OnlineRankReducer {
             config,
             reduced: ReducedRankTrace::new(rank),
             buckets: HashMap::new(),
             averages: HashMap::new(),
+            features: Vec::new(),
+            scratch,
         }
     }
 
@@ -117,28 +154,41 @@ impl OnlineRankReducer {
     pub fn push_segment(&mut self, segment: Segment) {
         let key = segment.key();
         let start = segment.start;
+        let config = self.config;
+        let is_distance = config.method.is_distance_method();
+        if is_distance {
+            // Features are computed once per incoming segment and reused
+            // for every candidate in the bucket — and, if the segment ends
+            // up stored, cloned into its representative cache.
+            self.scratch.prepare_incoming(config.method, &segment);
+        }
         let bucket = self.buckets.entry(key).or_default();
 
-        let matched: Option<u32> = match self.config.method {
+        let matched: Option<u32> = match config.method {
             Method::IterAvg => bucket.first().copied(),
             Method::IterK => {
-                if bucket.len() >= self.config.iter_k() {
+                if bucket.len() >= config.iter_k() {
                     bucket.last().copied()
                 } else {
                     None
                 }
             }
-            _ => bucket.iter().copied().find(|&id| {
-                let stored = &self.reduced.stored[id as usize].segment;
-                segments_match(&self.config, &segment, stored)
-            }),
+            _ => {
+                let MatchScratch {
+                    incoming, stats, ..
+                } = &mut self.scratch;
+                let features = &self.features;
+                bucket.iter().copied().find(|&id| {
+                    segments_match_cached(&config, incoming, &features[id as usize], stats)
+                })
+            }
         };
 
         match matched {
             Some(id) => {
                 self.reduced.execs.push(SegmentExec { segment: id, start });
                 self.reduced.stored[id as usize].represented += 1;
-                if self.config.method == Method::IterAvg {
+                if config.method == Method::IterAvg {
                     self.averages
                         .get_mut(&id)
                         .expect("iter_avg representative must have an accumulator")
@@ -148,12 +198,17 @@ impl OnlineRankReducer {
             None => {
                 let id = self.reduced.stored.len() as u32;
                 bucket.push(id);
-                if self.config.method == Method::IterAvg {
+                if config.method == Method::IterAvg {
                     self.averages.insert(id, AverageState::new(&segment));
+                }
+                if is_distance {
+                    self.features.push(self.scratch.clone_incoming());
                 }
                 let mut stored_segment = segment;
                 // Representatives are stored rebased; keep the absolute
-                // start only in the execution log.
+                // start only in the execution log.  The cached features are
+                // unaffected: they only read times that are already
+                // relative to the segment start.
                 stored_segment.start = Time::ZERO;
                 self.reduced.stored.push(StoredSegment {
                     id,
@@ -175,9 +230,20 @@ impl OnlineRankReducer {
         self.reduced.exec_count()
     }
 
+    /// The similarity-matching counters accumulated by this reducer.
+    pub fn match_stats(&self) -> MatchStats {
+        self.scratch.stats()
+    }
+
     /// Completes the reduction (finalizing `iter_avg` running averages) and
     /// returns the reduced rank trace.
-    pub fn finish(mut self) -> ReducedRankTrace {
+    pub fn finish(self) -> ReducedRankTrace {
+        self.finish_with_scratch().0
+    }
+
+    /// Like [`OnlineRankReducer::finish`], but also hands the scratch back
+    /// so the caller can thread it into the next rank's reducer.
+    pub fn finish_with_scratch(mut self) -> (ReducedRankTrace, MatchScratch) {
         if self.config.method == Method::IterAvg {
             for stored in &mut self.reduced.stored {
                 if let Some(avg) = self.averages.get(&stored.id) {
@@ -185,7 +251,7 @@ impl OnlineRankReducer {
                 }
             }
         }
-        self.reduced
+        (self.reduced, self.scratch)
     }
 }
 
@@ -213,25 +279,152 @@ impl Reducer {
 
     /// Reduces a single rank trace.
     pub fn reduce_rank(&self, trace: &RankTrace) -> RankReduction {
+        let mut scratch = MatchScratch::new();
+        self.reduce_rank_with_scratch(trace, &mut scratch)
+    }
+
+    /// Reduces a single rank trace reusing the caller's [`MatchScratch`]
+    /// (buffers are threaded through; the counters in the returned
+    /// [`RankReduction::matching`] cover only this rank).
+    pub fn reduce_rank_with_scratch(
+        &self,
+        trace: &RankTrace,
+        scratch: &mut MatchScratch,
+    ) -> RankReduction {
         let (segments, segmentation) = segments_of_rank_with_stats(trace);
-        let mut online = OnlineRankReducer::new(self.config, trace.rank);
+        let mut online =
+            OnlineRankReducer::with_scratch(self.config, trace.rank, std::mem::take(scratch));
         for segment in segments {
             online.push_segment(segment);
         }
+        let matching = online.match_stats();
+        let (reduced, returned) = online.finish_with_scratch();
+        *scratch = returned;
         RankReduction {
-            reduced: online.finish(),
+            reduced,
             segmentation,
+            matching,
         }
     }
 
     /// Reduces every rank of an application trace sequentially.
     pub fn reduce_app(&self, app: &AppTrace) -> ReducedAppTrace {
+        self.reduce_app_with_stats(app).0
+    }
+
+    /// Like [`Reducer::reduce_app`], but also returns the aggregated
+    /// similarity-matching counters — the exact same reduction loop, so
+    /// benches and recorders can report pruning rates without a second
+    /// pass.
+    pub fn reduce_app_with_stats(&self, app: &AppTrace) -> (ReducedAppTrace, MatchStats) {
+        let mut scratch = MatchScratch::new();
+        let mut stats = MatchStats::default();
         let mut reduced = ReducedAppTrace::for_app(app);
         for rank in &app.ranks {
-            reduced.ranks.push(self.reduce_rank(rank).reduced);
+            let reduction = self.reduce_rank_with_scratch(rank, &mut scratch);
+            stats.absorb(&reduction.matching);
+            reduced.ranks.push(reduction.reduced);
         }
-        reduced
+        (reduced, stats)
     }
+}
+
+/// Naive reference implementation of the stored-segments reduction: the
+/// pre-fast-path behaviour, comparing the incoming segment against each
+/// stored representative with the allocating [`segments_match`] predicate
+/// (measurement vectors and wavelet transforms recomputed per comparison,
+/// no prefilters, no early abandoning).
+///
+/// Kept — and exported — purely so property tests and benches can assert
+/// that the cached fast path produces bit-identical output and measure the
+/// speedup; production callers should use [`Reducer`].
+pub fn reduce_rank_reference(config: MethodConfig, trace: &RankTrace) -> RankReduction {
+    let (segments, segmentation) = segments_of_rank_with_stats(trace);
+    let mut reduced = ReducedRankTrace::new(trace.rank);
+    let mut buckets: HashMap<SegmentKey, Vec<u32>> = HashMap::new();
+    let mut averages: HashMap<u32, AverageState> = HashMap::new();
+    let mut matching = MatchStats::default();
+
+    for segment in segments {
+        let key = segment.key();
+        let start = segment.start;
+        let bucket = buckets.entry(key).or_default();
+
+        let matched: Option<u32> = match config.method {
+            Method::IterAvg => bucket.first().copied(),
+            Method::IterK => {
+                if bucket.len() >= config.iter_k() {
+                    bucket.last().copied()
+                } else {
+                    None
+                }
+            }
+            _ => bucket.iter().copied().find(|&id| {
+                let stored = &reduced.stored[id as usize].segment;
+                matching.comparisons += 1;
+                matching.full_kernels += 1;
+                let accepted = segments_match(&config, &segment, stored);
+                if accepted {
+                    matching.matches += 1;
+                }
+                accepted
+            }),
+        };
+
+        match matched {
+            Some(id) => {
+                reduced.execs.push(SegmentExec { segment: id, start });
+                reduced.stored[id as usize].represented += 1;
+                if config.method == Method::IterAvg {
+                    averages
+                        .get_mut(&id)
+                        .expect("iter_avg representative must have an accumulator")
+                        .accumulate(&segment);
+                }
+            }
+            None => {
+                let id = reduced.stored.len() as u32;
+                bucket.push(id);
+                if config.method == Method::IterAvg {
+                    averages.insert(id, AverageState::new(&segment));
+                }
+                let mut stored_segment = segment;
+                stored_segment.start = Time::ZERO;
+                reduced.stored.push(StoredSegment {
+                    id,
+                    segment: stored_segment,
+                    represented: 1,
+                });
+                reduced.execs.push(SegmentExec { segment: id, start });
+            }
+        }
+    }
+
+    if config.method == Method::IterAvg {
+        for stored in &mut reduced.stored {
+            if let Some(avg) = averages.get(&stored.id) {
+                avg.finalize_into(&mut stored.segment);
+            }
+        }
+    }
+
+    RankReduction {
+        reduced,
+        segmentation,
+        matching,
+    }
+}
+
+/// Naive reference reduction of a whole application trace (see
+/// [`reduce_rank_reference`]).
+pub fn reduce_app_reference(config: MethodConfig, app: &AppTrace) -> ReducedAppTrace {
+    let mut reduced = ReducedAppTrace::for_app(app);
+    for rank in &app.ranks {
+        reduced
+            .ranks
+            .push(reduce_rank_reference(config, rank).reduced);
+    }
+    reduced
 }
 
 /// Reduces one rank trace with a caller-supplied similarity predicate.
@@ -249,6 +442,7 @@ where
     let (segments, segmentation) = segments_of_rank_with_stats(trace);
     let mut reduced = ReducedRankTrace::new(trace.rank);
     let mut buckets: HashMap<SegmentKey, Vec<u32>> = HashMap::new();
+    let mut matching = MatchStats::default();
 
     for segment in segments {
         let key = segment.key();
@@ -257,7 +451,13 @@ where
 
         let matched = bucket.iter().copied().find(|&id| {
             let stored = &reduced.stored[id as usize].segment;
-            predicate(&segment, stored)
+            matching.comparisons += 1;
+            matching.full_kernels += 1;
+            let accepted = predicate(&segment, stored);
+            if accepted {
+                matching.matches += 1;
+            }
+            accepted
         });
 
         match matched {
@@ -283,6 +483,7 @@ where
     RankReduction {
         reduced,
         segmentation,
+        matching,
     }
 }
 

@@ -11,7 +11,7 @@
 use std::io::BufRead;
 
 use trace_model::{ReducedAppTrace, ReducedRankTrace, TraceRecord};
-use trace_reduce::{MethodConfig, OnlineRankReducer, OnlineSegmenter};
+use trace_reduce::{MatchScratch, MatchStats, MethodConfig, OnlineRankReducer, OnlineSegmenter};
 
 use crate::error::StreamError;
 use crate::parser::{AppItem, StreamParser};
@@ -47,6 +47,10 @@ pub struct StreamStats {
     /// chunked container.  Merging keeps the per-reader maximum, so the
     /// concurrent total of a sharded run is at most `shards ×` this value.
     pub peak_chunk_bytes: usize,
+    /// Similarity-matching counters from the cached fast path: candidate
+    /// comparisons, prefilter rejects, early abandons and matches across
+    /// every reduced rank.
+    pub matching: MatchStats,
 }
 
 impl StreamStats {
@@ -65,6 +69,7 @@ impl StreamStats {
         self.orphan_events += other.orphan_events;
         self.unterminated_segments += other.unterminated_segments;
         self.peak_chunk_bytes = self.peak_chunk_bytes.max(other.peak_chunk_bytes);
+        self.matching.absorb(&other.matching);
     }
 }
 
@@ -93,6 +98,10 @@ pub(crate) fn reduce_selected_ranks<S: AppItemSource>(
     // Stored representatives retained by already-finished ranks; the final
     // ReducedAppTrace keeps them, so they count toward resident state.
     let mut stored_retained = 0usize;
+    // One match scratch for the whole stream: the feature buffers are
+    // threaded from rank to rank, so the matching loop stays allocation
+    // free however many ranks flow past.
+    let mut scratch = MatchScratch::new();
     let mut active: Option<(usize, OnlineSegmenter, OnlineRankReducer)> = None;
 
     while let Some(item) = parser.next_item()? {
@@ -104,7 +113,7 @@ pub(crate) fn reduce_selected_ranks<S: AppItemSource>(
                     active = Some((
                         index,
                         OnlineSegmenter::new(),
-                        OnlineRankReducer::new(config, rank),
+                        OnlineRankReducer::with_scratch(config, rank, std::mem::take(&mut scratch)),
                     ));
                 } else {
                     parser.skip_current_rank()?;
@@ -137,7 +146,9 @@ pub(crate) fn reduce_selected_ranks<S: AppItemSource>(
                 let seg_stats = segmenter.stats();
                 stats.orphan_events += seg_stats.orphan_events;
                 stats.unterminated_segments += seg_stats.unterminated_segments;
-                let reduced = reducer.finish();
+                stats.matching.absorb(&reducer.match_stats());
+                let (reduced, returned) = reducer.finish_with_scratch();
+                scratch = returned;
                 stored_retained += reduced.stored_count();
                 stats.peak_resident_segments = stats.peak_resident_segments.max(stored_retained);
                 stats.ranks += 1;

@@ -11,7 +11,7 @@ use std::io::Cursor;
 
 use proptest::prelude::*;
 use trace_format::write_app_trace;
-use trace_reduce::{Method, MethodConfig, Reducer};
+use trace_reduce::{reduce_app_reference, Method, MethodConfig, Reducer};
 use trace_sim::specgen::{trace_from_specs, SegmentSpec};
 use trace_stream::{reduce_stream, reduce_stream_sharded};
 
@@ -90,6 +90,56 @@ fn thresholded_methods_agree_across_the_threshold_grid() {
             let in_memory = Reducer::new(config).reduce_app(&app);
             let streamed = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
             assert_eq!(streamed.reduced, in_memory, "{method} @ {threshold}");
+        }
+    }
+}
+
+#[test]
+fn streaming_and_sharded_drivers_match_the_naive_reference_path() {
+    // The streaming loop drives the cached fast path (scratch threaded
+    // from rank to rank); its output must still be bit-identical to the
+    // naive reference reducer across all nine methods and the threshold
+    // grids, sequentially and sharded.
+    let specs: Vec<Vec<SegmentSpec>> = (0..4)
+        .map(|rank| {
+            (0..18)
+                .map(|i| {
+                    (
+                        (rank % 2) as u8,
+                        ((i + rank) % 3) as u8,
+                        ((i * 89 + rank * 37) % 1400) as u16,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let app = build_trace(&specs);
+    let text = write_app_trace(&app);
+    for method in Method::ALL {
+        for threshold in std::iter::once(method.default_threshold()).chain(method.threshold_grid())
+        {
+            let config = MethodConfig::new(method, threshold);
+            let reference = reduce_app_reference(config, &app);
+            let streamed = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
+            assert_eq!(streamed.reduced, reference, "{method} @ {threshold}");
+            // Fast-path counters partition; matches are the same decisions
+            // the reference made.
+            let matching = streamed.stats.matching;
+            assert_eq!(
+                matching.prefilter_rejects + matching.early_abandons + matching.full_kernels,
+                matching.comparisons,
+                "{method} @ {threshold}"
+            );
+            for shards in [2usize, 3] {
+                let sharded = reduce_stream_sharded(config, shards, |_| {
+                    Ok(Cursor::new(text.as_bytes().to_vec()))
+                })
+                .unwrap();
+                assert_eq!(
+                    sharded.reduced, reference,
+                    "{method} @ {threshold}, {shards} shards"
+                );
+            }
         }
     }
 }

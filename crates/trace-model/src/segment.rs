@@ -91,18 +91,33 @@ impl Segment {
                 .all(|(a, b)| a.matches_shape(b))
     }
 
+    /// Number of entries in [`Segment::measurement_vector`].
+    pub fn measurement_len(&self) -> usize {
+        1 + 2 * self.events.len()
+    }
+
     /// The measurement vector compared by the distance metrics: the segment
     /// end time followed by each event's start and end time (all relative to
     /// the segment start), matching the vectors used in Figure 2 of the
     /// paper, e.g. `(49, 1, 17, 18, 48)` for a two-event segment.
     pub fn measurement_vector(&self) -> Vec<f64> {
-        let mut v = Vec::with_capacity(1 + 2 * self.events.len());
-        v.push(self.end.as_f64());
-        for e in &self.events {
-            v.push(e.start.as_f64());
-            v.push(e.end.as_f64());
-        }
+        let mut v = Vec::with_capacity(self.measurement_len());
+        self.measurement_vector_into(&mut v);
         v
+    }
+
+    /// Fills `out` with the measurement vector (see
+    /// [`Segment::measurement_vector`]), clearing it first.  Reusing one
+    /// buffer across segments keeps the hot similarity-matching loop free of
+    /// per-comparison allocations.
+    pub fn measurement_vector_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.measurement_len());
+        out.push(self.end.as_f64());
+        for e in &self.events {
+            out.push(e.start.as_f64());
+            out.push(e.end.as_f64());
+        }
     }
 
     /// The time-stamp vector fed to the wavelet transforms: the relative
@@ -112,13 +127,22 @@ impl Segment {
     /// of two.
     pub fn wavelet_vector(&self) -> Vec<f64> {
         let mut v = Vec::with_capacity(2 + 2 * self.events.len());
-        v.push(0.0);
-        for e in &self.events {
-            v.push(e.start.as_f64());
-            v.push(e.end.as_f64());
-        }
-        v.push(self.end.as_f64());
+        self.wavelet_vector_into(&mut v);
         v
+    }
+
+    /// Fills `out` with the time-stamp vector (see
+    /// [`Segment::wavelet_vector`]), clearing it first.  The scratch-buffer
+    /// counterpart used by the allocation-free similarity kernels.
+    pub fn wavelet_vector_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(2 + 2 * self.events.len());
+        out.push(0.0);
+        for e in &self.events {
+            out.push(e.start.as_f64());
+            out.push(e.end.as_f64());
+        }
+        out.push(self.end.as_f64());
     }
 
     /// Total time spent in events that are message-passing calls.
@@ -205,6 +229,17 @@ mod tests {
     fn wavelet_vector_starts_at_zero_and_ends_at_exit() {
         let s = two_event_segment(0, (1, 17), (18, 48), 49);
         assert_eq!(s.wavelet_vector(), vec![0.0, 1.0, 17.0, 18.0, 48.0, 49.0]);
+    }
+
+    #[test]
+    fn vector_fill_apis_clear_and_match_the_allocating_versions() {
+        let s = two_event_segment(0, (1, 17), (18, 48), 49);
+        let mut buf = vec![f64::NAN; 32];
+        s.measurement_vector_into(&mut buf);
+        assert_eq!(buf, s.measurement_vector());
+        assert_eq!(buf.len(), s.measurement_len());
+        s.wavelet_vector_into(&mut buf);
+        assert_eq!(buf, s.wavelet_vector());
     }
 
     #[test]

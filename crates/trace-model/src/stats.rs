@@ -66,6 +66,16 @@ pub fn minkowski_distance(a: &[f64], b: &[f64], m: f64) -> f64 {
     sum.powf(1.0 / m)
 }
 
+/// Manhattan (L1) distance between two equal-length vectors: the sum of the
+/// absolute component differences.  Equivalent to
+/// [`minkowski_distance`]`(a, b, 1.0)` but computed without `powf`, so the
+/// similarity fast path and the naive reference path share the exact same
+/// floating-point result.
+pub fn manhattan_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
 /// Chebyshev (L-infinity) distance between two equal-length vectors: the
 /// largest absolute component difference.
 pub fn chebyshev_distance(a: &[f64], b: &[f64]) -> f64 {
@@ -150,6 +160,14 @@ mod tests {
         let b = [4.0, 6.0, 3.0];
         assert!((euclidean_distance(&a, &b) - minkowski_distance(&a, &b, 2.0)).abs() < 1e-12);
         assert_eq!(euclidean_distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn manhattan_equals_minkowski_order_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert_eq!(manhattan_distance(&a, &b), 7.0);
+        assert!((manhattan_distance(&a, &b) - minkowski_distance(&a, &b, 1.0)).abs() < 1e-12);
     }
 
     #[test]

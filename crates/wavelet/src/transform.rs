@@ -35,6 +35,30 @@ impl WaveletKind {
         }
     }
 
+    /// Applies this transform writing the coefficients into `out` (cleared
+    /// first), using `tmp` as level scratch.  Produces bit-identical output
+    /// to [`WaveletKind::transform`] — every coefficient is computed with
+    /// the exact same floating-point expression — but performs no
+    /// allocations once the two buffers have grown to the padded length,
+    /// which is what the similarity fast path relies on when it transforms
+    /// one incoming segment per stored-segment *scan* instead of two per
+    /// stored-segment *comparison*.
+    pub fn transform_into(self, values: &[f64], out: &mut Vec<f64>, tmp: &mut Vec<f64>) {
+        match self {
+            WaveletKind::Average => transform_in_place(values, 0.5, out, tmp),
+            WaveletKind::Haar => {
+                transform_in_place(values, std::f64::consts::FRAC_1_SQRT_2, out, tmp)
+            }
+            WaveletKind::Cdf97 => {
+                // The lifting-scheme transform keeps its own working set;
+                // it is only reachable from the extended catalogue, not the
+                // paper fast path.
+                out.clear();
+                out.extend(crate::cdf97::cdf97_transform(values));
+            }
+        }
+    }
+
     /// Human-readable name matching the paper (and, for the extension
     /// transforms, the naming convention of the extended method catalogue).
     pub fn name(self) -> &'static str {
@@ -82,6 +106,34 @@ fn full_transform(values: &[f64], scale: f64) -> Vec<f64> {
         out.extend(fluctuations);
     }
     out
+}
+
+/// Allocation-free multi-level decomposition into caller-provided buffers.
+///
+/// `out` ends up holding the padded signal length; each level reads the
+/// current trends from `out[..len]`, writes `(a + b) * scale` trends and
+/// `(a - b) * scale` fluctuations into `tmp`, and copies them back — so the
+/// final layout `[trend | coarsest .. finest fluctuations]` and every
+/// coefficient value match [`full_transform`] exactly.
+fn transform_in_place(values: &[f64], scale: f64, out: &mut Vec<f64>, tmp: &mut Vec<f64>) {
+    let n = crate::pad::next_power_of_two(values.len());
+    out.clear();
+    out.extend_from_slice(values);
+    out.resize(n, 0.0);
+    tmp.clear();
+    tmp.resize(n, 0.0);
+    let mut len = n;
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            let a = out[2 * i];
+            let b = out[2 * i + 1];
+            tmp[i] = (a + b) * scale;
+            tmp[half + i] = (a - b) * scale;
+        }
+        out[..len].copy_from_slice(&tmp[..len]);
+        len = half;
+    }
 }
 
 /// The average wavelet transform (`avgWave`): pairwise averages and halved
@@ -213,6 +265,29 @@ mod tests {
         let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
         assert_close(&inverse_average_transform(&average_transform(&v)), &v, 1e-9);
         assert_close(&inverse_haar_transform(&haar_transform(&v)), &v, 1e-9);
+    }
+
+    #[test]
+    fn transform_into_is_bit_identical_to_the_allocating_transform() {
+        let signals: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![5.0],
+            vec![0.0, 1.0, 17.0, 18.0, 48.0, 49.0],
+            vec![4.0, 6.0, 10.0, 12.0],
+            (0..37).map(|i| (i as f64) * 1.75 - 11.0).collect(),
+        ];
+        let mut out = Vec::new();
+        let mut tmp = Vec::new();
+        for kind in [WaveletKind::Average, WaveletKind::Haar, WaveletKind::Cdf97] {
+            for signal in &signals {
+                kind.transform_into(signal, &mut out, &mut tmp);
+                let reference = kind.transform(signal);
+                assert_eq!(out.len(), reference.len(), "{kind:?} {signal:?}");
+                for (a, b) in out.iter().zip(&reference) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} {signal:?}");
+                }
+            }
+        }
     }
 
     #[test]

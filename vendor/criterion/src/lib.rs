@@ -13,10 +13,15 @@
 //! fences (1.5 × IQR beyond the interpolated quartiles) are rejected as
 //! outliers, and the *trimmed mean* over the surviving samples is reported
 //! alongside — a one-off scheduler hiccup no longer shifts the headline
-//! number.  There is no HTML report, but baselines are supported: set
+//! number.  A 95% percentile-bootstrap confidence interval of the trimmed
+//! mean (what real criterion computes, at a smaller resample count and
+//! with a fixed-seed RNG so runs are deterministic) is printed next to it.
+//! There is no HTML report, but baselines are supported: set
 //! `CRITERION_BASELINE=<file>` to compare against a saved run — if the
 //! file exists, every benchmark line gains a `Δ vs baseline` percentage
-//! (of trimmed mean time); if it does not, the run's trimmed means are
+//! (of trimmed mean time) annotated with whether the baseline lies inside
+//! or outside the interval, so a ~1 % delta within the CI reads as noise
+//! rather than a regression; if it does not, the run's trimmed means are
 //! written there as a flat JSON object (`{"bench name": nanoseconds, ...}`)
 //! when `criterion_main!` finishes, ready for the next comparison run.
 
@@ -202,17 +207,81 @@ struct SampleStats {
     trimmed_mean: Duration,
     /// How many samples fell outside the Tukey fences.
     outliers: usize,
+    /// Lower bound of the 95% percentile-bootstrap confidence interval of
+    /// the trimmed mean.
+    ci_lo: Duration,
+    /// Upper bound of the 95% percentile-bootstrap confidence interval.
+    ci_hi: Duration,
 }
 
 /// Linearly interpolated quantile (type-7, what numpy and criterion use)
-/// over an ascending slice, in nanoseconds.
-fn quantile_ns(sorted: &[Duration], p: f64) -> f64 {
-    let position = (sorted.len() - 1) as f64 * p;
+/// over an ascending slice of nanosecond values.
+fn quantile_of(sorted_ns: &[f64], p: f64) -> f64 {
+    let position = (sorted_ns.len() - 1) as f64 * p;
     let below = position.floor() as usize;
     let above = position.ceil() as usize;
-    let lower = sorted[below].as_nanos() as f64;
-    let upper = sorted[above].as_nanos() as f64;
+    let lower = sorted_ns[below];
+    let upper = sorted_ns[above];
     lower + (upper - lower) * (position - below as f64)
+}
+
+/// Trimmed mean over an ascending slice: the mean of the values inside the
+/// Tukey fences (q1 − 1.5·IQR, q3 + 1.5·IQR), plus how many fell outside.
+/// The fences are inclusive, so a zero-IQR sample set rejects nothing.
+fn trimmed_mean_of(sorted_ns: &[f64]) -> (f64, usize) {
+    let q1 = quantile_of(sorted_ns, 0.25);
+    let q3 = quantile_of(sorted_ns, 0.75);
+    let iqr = q3 - q1;
+    let (low, high) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = sorted_ns
+        .iter()
+        .copied()
+        .filter(|&ns| ns >= low && ns <= high)
+        .collect();
+    let outliers = sorted_ns.len() - kept.len();
+    let mean = if kept.is_empty() {
+        // Unreachable in practice: the median is always inside the fences.
+        sorted_ns.iter().sum::<f64>() / sorted_ns.len() as f64
+    } else {
+        kept.iter().sum::<f64>() / kept.len() as f64
+    };
+    (mean, outliers)
+}
+
+/// How many bootstrap resamples the confidence interval draws.  Real
+/// criterion defaults to 100 000; with sample sizes of 10–100 the interval
+/// stabilizes far earlier, and 500 keeps the shim's overhead negligible.
+const BOOTSTRAP_RESAMPLES: usize = 500;
+
+/// 95% percentile-bootstrap confidence interval of the trimmed mean:
+/// resample the samples with replacement, compute each resample's trimmed
+/// mean, and take the 2.5th / 97.5th percentiles of those.  The RNG is a
+/// fixed-seed xorshift64*, so a given sample set always produces the same
+/// interval (the shim's tests — and CI — rely on determinism).
+fn bootstrap_ci_of(sorted_ns: &[f64]) -> (f64, f64) {
+    if sorted_ns.len() < 2 {
+        let v = sorted_ns.first().copied().unwrap_or(0.0);
+        return (v, v);
+    }
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (sorted_ns.len() as u64);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut means = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+    let mut resample = vec![0.0f64; sorted_ns.len()];
+    for _ in 0..BOOTSTRAP_RESAMPLES {
+        for slot in resample.iter_mut() {
+            let idx = ((next() >> 33) as usize) % sorted_ns.len();
+            *slot = sorted_ns[idx];
+        }
+        resample.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        means.push(trimmed_mean_of(&resample).0);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("means are finite"));
+    (quantile_of(&means, 0.025), quantile_of(&means, 0.975))
 }
 
 fn sample_stats(samples: &[Duration]) -> SampleStats {
@@ -240,24 +309,9 @@ fn sample_stats(samples: &[Duration]) -> SampleStats {
         var.sqrt()
     };
 
-    // IQR-based outlier rejection: keep samples inside the Tukey fences and
-    // average those.  The fences are inclusive, so a zero-IQR sample set
-    // (all equal) rejects nothing.
-    let q1 = quantile_ns(&sorted, 0.25);
-    let q3 = quantile_ns(&sorted, 0.75);
-    let iqr = q3 - q1;
-    let (low, high) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
-    let kept: Vec<f64> = sorted
-        .iter()
-        .map(|s| s.as_nanos() as f64)
-        .filter(|&ns| ns >= low && ns <= high)
-        .collect();
-    let outliers = sorted.len() - kept.len();
-    let trimmed_mean_ns = if kept.is_empty() {
-        mean_ns // unreachable in practice: the median is always inside
-    } else {
-        kept.iter().sum::<f64>() / kept.len() as f64
-    };
+    let sorted_ns: Vec<f64> = sorted.iter().map(|s| s.as_nanos() as f64).collect();
+    let (trimmed_mean_ns, outliers) = trimmed_mean_of(&sorted_ns);
+    let (ci_lo_ns, ci_hi_ns) = bootstrap_ci_of(&sorted_ns);
 
     SampleStats {
         min,
@@ -267,6 +321,8 @@ fn sample_stats(samples: &[Duration]) -> SampleStats {
         stddev: Duration::from_nanos(stddev_ns as u64),
         trimmed_mean: Duration::from_nanos(trimmed_mean_ns as u64),
         outliers,
+        ci_lo: Duration::from_nanos(ci_lo_ns as u64),
+        ci_hi: Duration::from_nanos(ci_hi_ns as u64),
     }
 }
 
@@ -438,8 +494,17 @@ fn run_one<F>(
         .and_then(|b| b.get(&full_name))
         .map(|&base_ns| {
             if base_ns > 0.0 {
+                // A baseline inside the bootstrap CI is statistical noise;
+                // only a baseline outside it marks a real shift.
+                let lo = stats.ci_lo.as_nanos() as f64;
+                let hi = stats.ci_hi.as_nanos() as f64;
+                let verdict = if base_ns < lo || base_ns > hi {
+                    "outside 95% CI"
+                } else {
+                    "within 95% CI"
+                };
                 format!(
-                    " Δ vs baseline {:+.1}%",
+                    " Δ vs baseline {:+.1}% ({verdict})",
                     100.0 * (trimmed_ns - base_ns) / base_ns
                 )
             } else {
@@ -448,13 +513,15 @@ fn run_one<F>(
         })
         .unwrap_or_default();
     println!(
-        "  {full_name}: [{:?} {:?} {:?} {:?}] ±{:?} trimmed mean {:?} ({} outliers){}{delta}",
+        "  {full_name}: [{:?} {:?} {:?} {:?}] ±{:?} trimmed mean {:?} 95% CI [{:?}, {:?}] ({} outliers){}{delta}",
         stats.min,
         stats.median,
         stats.mean,
         stats.max,
         stats.stddev,
         stats.trimmed_mean,
+        stats.ci_lo,
+        stats.ci_hi,
         stats.outliers,
         rate.unwrap_or_default()
     );
@@ -562,6 +629,37 @@ mod tests {
         let stats = sample_stats(&[Duration::from_millis(3)]);
         assert_eq!(stats.outliers, 0);
         assert_eq!(stats.trimmed_mean, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_trimmed_mean_and_is_deterministic() {
+        let samples: Vec<Duration> = [10u64, 20, 30, 40, 100]
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .collect();
+        let first = sample_stats(&samples);
+        let second = sample_stats(&samples);
+        // Fixed-seed bootstrap: identical input, identical interval.
+        assert_eq!(first.ci_lo, second.ci_lo);
+        assert_eq!(first.ci_hi, second.ci_hi);
+        assert!(first.ci_lo < first.ci_hi);
+        assert!(
+            first.ci_lo <= first.trimmed_mean && first.trimmed_mean <= first.ci_hi,
+            "trimmed mean {:?} outside CI [{:?}, {:?}]",
+            first.trimmed_mean,
+            first.ci_lo,
+            first.ci_hi
+        );
+    }
+
+    #[test]
+    fn bootstrap_ci_collapses_for_constant_and_single_samples() {
+        let stats = sample_stats(&[Duration::from_millis(5); 7]);
+        assert_eq!(stats.ci_lo, Duration::from_millis(5));
+        assert_eq!(stats.ci_hi, Duration::from_millis(5));
+        let stats = sample_stats(&[Duration::from_millis(3)]);
+        assert_eq!(stats.ci_lo, Duration::from_millis(3));
+        assert_eq!(stats.ci_hi, Duration::from_millis(3));
     }
 
     #[test]
