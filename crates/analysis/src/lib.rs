@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! EXPERT/CUBE-style automatic performance analysis.
 //!
 //! The paper evaluates *retention of performance trends* by feeding both the

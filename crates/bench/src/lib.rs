@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the benchmark harness.
 //!
 //! Every bench target regenerates the data series of one (or one group of)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Library backing the `trace-tools` command-line binary.
 //!
 //! Every subcommand is implemented as a pure function over parsed options

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The `trace-tools` binary: generate, reduce, convert and analyze traces.
 
 use std::process::ExitCode;

@@ -120,6 +120,7 @@ pub fn is_valid_distance_matrix(matrix: &[Vec<f64>]) -> bool {
     matrix.iter().enumerate().all(|(i, row)| {
         row.len() == n
             && row.iter().all(|&v| v >= 0.0 && v.is_finite())
+            // lint:allow(float_eq) -- a distance matrix diagonal is exactly zero by definition
             && matrix[i][i] == 0.0
             && (0..n).all(|j| (matrix[i][j] - matrix[j][i]).abs() < 1e-9)
     })

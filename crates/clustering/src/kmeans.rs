@@ -80,11 +80,7 @@ fn seed_centroids(rows: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>
     let first = rows
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            squared_distance(a, &mean)
-                .partial_cmp(&squared_distance(b, &mean))
-                .unwrap()
-        })
+        .min_by(|(_, a), (_, b)| squared_distance(a, &mean).total_cmp(&squared_distance(b, &mean)))
         .map(|(i, _)| i)
         .unwrap_or(0);
     centroids.push(rows[first].clone());
@@ -147,8 +143,7 @@ pub fn kmeans(features: &FeatureMatrix, config: &KMeansConfig) -> KMeansResult {
             let best = (0..k)
                 .min_by(|&a, &b| {
                     squared_distance(row, &centroids[a])
-                        .partial_cmp(&squared_distance(row, &centroids[b]))
-                        .unwrap()
+                        .total_cmp(&squared_distance(row, &centroids[b]))
                 })
                 .unwrap();
             if assignments[i] != best {

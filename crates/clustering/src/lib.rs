@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Inter-process statistical clustering of trace data.
 //!
 //! The paper's related-work section describes a second family of trace

@@ -80,7 +80,7 @@ fn medoid(members: &[usize], matrix: &[Vec<f64>]) -> usize {
         .min_by(|&&a, &&b| {
             let da: f64 = members.iter().map(|&m| matrix[a][m]).sum();
             let db: f64 = members.iter().map(|&m| matrix[b][m]).sum();
-            da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+            da.total_cmp(&db).then(a.cmp(&b))
         })
         .expect("clusters are non-empty")
 }

@@ -81,10 +81,18 @@ mod tag {
 }
 
 fn collective_op_tag(op: CollectiveOp) -> u8 {
-    CollectiveOp::ALL
-        .iter()
-        .position(|&o| o == op)
-        .expect("every collective op is in ALL") as u8
+    // Exhaustive match instead of a position() lookup so adding a variant is
+    // a compile error here rather than a panic path.
+    match op {
+        CollectiveOp::Barrier => 0,
+        CollectiveOp::Bcast => 1,
+        CollectiveOp::Scatter => 2,
+        CollectiveOp::Gather => 3,
+        CollectiveOp::Reduce => 4,
+        CollectiveOp::Allgather => 5,
+        CollectiveOp::Allreduce => 6,
+        CollectiveOp::Alltoall => 7,
+    }
 }
 
 fn collective_op_from_tag(byte: u8) -> Result<CollectiveOp, CompressError> {
@@ -215,7 +223,7 @@ fn write_streams(count: u64, streams: &[&[u8]]) -> Vec<u8> {
 fn read_streams<const N: usize>(payload: &[u8]) -> Result<(u64, [&[u8]; N]), CompressError> {
     let mut reader = Reader::new(payload);
     let count = read_u64(&mut reader)?;
-    let mut streams = [&payload[0..0]; N];
+    let mut streams: [&[u8]; N] = [&[]; N];
     for stream in streams.iter_mut() {
         let len = read_u64(&mut reader)?;
         if len > reader.remaining() as u64 {
@@ -225,7 +233,11 @@ fn read_streams<const N: usize>(payload: &[u8]) -> Result<(u64, [&[u8]; N]), Com
                 limit: reader.remaining() as u64,
             });
         }
-        *stream = reader.read_bytes(len as usize).expect("length checked");
+        *stream = reader
+            .read_bytes(len as usize)
+            .map_err(|_| CompressError::Truncated {
+                what: "columnar stream",
+            })?;
     }
     if !reader.is_at_end() {
         return Err(CompressError::TrailingBytes {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Per-chunk trace compression (`trace_compress`).
 //!
 //! The `.trc` v2 container frames trace data into self-contained chunks;

@@ -42,19 +42,25 @@ pub const MAX_RAW_LEN: u64 = 1 << 30;
 
 #[inline]
 fn hash4(window: &[u8]) -> usize {
-    let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+    // Callers pass windows of at least MIN_MATCH bytes; a shorter window
+    // hashes to a fixed bucket instead of panicking.
+    let v = match window.first_chunk::<4>() {
+        Some(&bytes) => u32::from_le_bytes(bytes),
+        None => 0,
+    };
     (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
 }
 
 /// Length of the common prefix of `input[a..]` and `input[b..]` (`a < b`).
 #[inline]
 fn match_length(input: &[u8], a: usize, b: usize) -> usize {
-    let limit = input.len() - b;
-    let mut len = 0;
-    while len < limit && input[a + len] == input[b + len] {
-        len += 1;
-    }
-    len
+    let tail_a = input.get(a..).unwrap_or(&[]);
+    let tail_b = input.get(b..).unwrap_or(&[]);
+    tail_a
+        .iter()
+        .zip(tail_b)
+        .take_while(|(x, y)| x == y)
+        .count()
 }
 
 fn write_sequence(out: &mut Vec<u8>, literals: &[u8], matched: Option<(usize, usize)>) {
@@ -87,17 +93,25 @@ pub fn lz_compress(input: &[u8]) -> Vec<u8> {
         return out;
     }
 
+    // The hash-chain internals index with loop invariants (hash4 yields
+    // values below the table size by construction, positions stay below
+    // input.len()); this is the trusted in-process encoder hot loop, not
+    // untrusted input, so the invariants are allowed rather than re-checked
+    // per byte.
     let mut head = vec![usize::MAX; 1 << HASH_BITS];
     let mut prev = vec![usize::MAX; input.len()];
     let insert = |head: &mut Vec<usize>, prev: &mut Vec<usize>, pos: usize| {
-        let h = hash4(&input[pos..]);
+        let h = hash4(input.get(pos..).unwrap_or(&[]));
+        // lint:allow(indexing) -- pos < input.len() == prev.len(); h < head.len() by the hash shift
         prev[pos] = head[h];
+        // lint:allow(indexing) -- h < head.len() by the hash shift
         head[h] = pos;
     };
     let find = |head: &Vec<usize>, prev: &Vec<usize>, pos: usize| -> (usize, usize) {
         let mut best_len = 0usize;
         let mut best_pos = 0usize;
-        let mut candidate = head[hash4(&input[pos..])];
+        // lint:allow(indexing) -- h < head.len() by the hash shift
+        let mut candidate = head[hash4(input.get(pos..).unwrap_or(&[]))];
         let mut depth = 0usize;
         while candidate != usize::MAX && depth < MAX_CHAIN {
             let len = match_length(input, candidate, pos);
@@ -108,6 +122,7 @@ pub fn lz_compress(input: &[u8]) -> Vec<u8> {
                     break; // cannot do better than reaching the end
                 }
             }
+            // lint:allow(indexing) -- chain entries are positions already inserted, all < prev.len()
             candidate = prev[candidate];
             depth += 1;
         }
@@ -136,6 +151,7 @@ pub fn lz_compress(input: &[u8]) -> Vec<u8> {
         }
         write_sequence(
             &mut out,
+            // lint:allow(indexing) -- lit_start <= pos <= input.len() by the scan loop
             &input[lit_start..pos],
             Some((pos - best_pos, best_len)),
         );
@@ -147,6 +163,7 @@ pub fn lz_compress(input: &[u8]) -> Vec<u8> {
         lit_start = pos;
     }
     if lit_start < input.len() {
+        // lint:allow(indexing) -- guarded by the bounds check on the previous line
         write_sequence(&mut out, &input[lit_start..], None);
     }
     out
@@ -229,6 +246,7 @@ pub fn lz_decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
         // Overlapping matches are legal (distance < length): copy byte by
         // byte so the just-written bytes feed the rest of the match.
         for i in 0..match_len as usize {
+            // lint:allow(indexing) -- distance <= out.len() is checked above and each iteration pushes one byte, so start + i < out.len()
             let byte = out[start + i];
             out.push(byte);
         }

@@ -32,6 +32,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let table = table();
     let mut crc = !0u32;
     for &byte in bytes {
+        // lint:allow(indexing) -- the index is masked to 0..=255 and the table has 256 entries
         crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xff) as usize];
     }
     !crc

@@ -86,10 +86,14 @@ pub fn read_index<R: Read + Seek>(reader: &mut R) -> Result<ContainerIndex, Cont
     reader
         .read_exact(&mut trailer)
         .map_err(ContainerError::from)?;
-    if trailer[8..12] != INDEX_MAGIC {
+    let (offset_bytes, magic) = trailer.split_at(8);
+    if *magic != INDEX_MAGIC {
         return Err(ContainerError::BadTrailer);
     }
-    let index_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+    let Some(&offset_bytes) = offset_bytes.first_chunk::<8>() else {
+        return Err(ContainerError::BadTrailer);
+    };
+    let index_offset = u64::from_le_bytes(offset_bytes);
     if index_offset >= end - TRAILER_LEN {
         return Err(ContainerError::BadTrailer);
     }

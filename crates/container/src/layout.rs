@@ -227,8 +227,9 @@ impl<R: Read> ChunkStream<R> {
     fn read_frame(&mut self) -> Result<(ChunkKind, Codec, u64, u32), ContainerError> {
         let mut kind_codec = [0u8; 2];
         self.read_exact(&mut kind_codec, "chunk header")?;
-        let kind = ChunkKind::from_byte(kind_codec[0])?;
-        let codec = Codec::from_byte(kind_codec[1])?;
+        let [kind_byte, codec_byte] = kind_codec;
+        let kind = ChunkKind::from_byte(kind_byte)?;
+        let codec = Codec::from_byte(codec_byte)?;
         let mut len = [0u8; 4];
         self.read_exact(&mut len, "chunk header")?;
         let mut crc = [0u8; 4];
@@ -259,6 +260,7 @@ impl<R: Read> ChunkStream<R> {
             let take = (len - payload.len() as u64).min(READ_STEP) as usize;
             let start = payload.len();
             payload.resize(start + take, 0);
+            // lint:allow(indexing) -- start < payload.len() by the resize on the previous line
             self.read_exact(&mut payload[start..], "chunk payload")?;
         }
         let found = crc32(&payload);
@@ -291,6 +293,7 @@ impl<R: Read> ChunkStream<R> {
         let mut scratch = [0u8; 8192];
         while remaining > 0 {
             let take = remaining.min(scratch.len() as u64) as usize;
+            // lint:allow(indexing) -- take is clamped to scratch.len() on the previous line
             self.read_exact(&mut scratch[..take], "chunk payload")?;
             remaining -= take as u64;
         }
@@ -302,9 +305,8 @@ impl<R: Read> ChunkStream<R> {
     pub fn finish_trailer(&mut self, index_offset: u64) -> Result<(), ContainerError> {
         let mut trailer = [0u8; TRAILER_LEN as usize];
         self.read_exact(&mut trailer, "index trailer")?;
-        if trailer[8..12] != INDEX_MAGIC
-            || u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes")) != index_offset
-        {
+        let (offset_bytes, magic) = trailer.split_at(8);
+        if *magic != INDEX_MAGIC || *offset_bytes != index_offset.to_le_bytes() {
             return Err(ContainerError::BadTrailer);
         }
         // The trailer is the last 12 bytes of a container by definition;
@@ -328,10 +330,11 @@ pub fn read_header<R: Read>(stream: &mut ChunkStream<R>) -> Result<PayloadKind, 
     }
     let mut rest = [0u8; 2];
     stream.read_exact(&mut rest, "file header")?;
-    if rest[0] != CONTAINER_VERSION {
-        return Err(ContainerError::UnsupportedVersion(rest[0]));
+    let [version, kind_byte] = rest;
+    if version != CONTAINER_VERSION {
+        return Err(ContainerError::UnsupportedVersion(version));
     }
-    PayloadKind::from_byte(rest[1])
+    PayloadKind::from_byte(kind_byte)
 }
 
 /// Writes the 6-byte file header.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Chunked, indexed binary trace container (`.trc` v2).
 //!
 //! The monolithic v1 codec in `trace_model::codec` can only decode a fully

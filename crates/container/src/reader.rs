@@ -91,7 +91,9 @@ impl ChunkCursor {
     }
 
     fn next_record(&mut self) -> Result<TraceRecord, ContainerError> {
-        let slice = &self.payload[self.pos..];
+        // A broken position invariant degrades to an empty slice, which the
+        // record decoder reports as a typed truncation error.
+        let slice = self.payload.get(self.pos..).unwrap_or(&[]);
         let mut reader = Reader::new(slice);
         let (record, new_prev) = read_record(&mut reader, self.prev_time)?;
         self.pos += slice.len() - reader.remaining();
@@ -202,7 +204,12 @@ impl<R: Read> ChunkReader<R> {
         let ReaderState::InSection(progress) =
             std::mem::replace(&mut self.state, ReaderState::Idle)
         else {
-            unreachable!("end_section only runs inside a section");
+            // Only reachable through a caller bug; still a typed error so the
+            // decode surface stays panic-free.
+            return Err(ContainerError::UnexpectedChunk {
+                expected: "an open rank section at RANK_END",
+                found: "no open section",
+            });
         };
         let mut reader = Reader::new(payload);
         let rank = Rank(varint_read_u64(&mut reader)? as u32);
@@ -346,7 +353,12 @@ impl<R: Read> ChunkReader<R> {
 /// Materializes a full [`AppTrace`] from an app-trace container.
 pub fn read_app_container<R: Read>(reader: R) -> Result<AppTrace, ContainerError> {
     let mut chunks = ChunkReader::new(reader)?;
-    let preamble = chunks.preamble().expect("whole-file mode").clone();
+    let Some(preamble) = chunks.preamble().cloned() else {
+        return Err(ContainerError::UnexpectedChunk {
+            expected: "a decoded PREAMBLE (whole-file mode)",
+            found: "a section-mode reader",
+        });
+    };
     let mut app = AppTrace {
         name: preamble.name,
         regions: preamble.regions,
@@ -359,11 +371,18 @@ pub fn read_app_container<R: Read>(reader: R) -> Result<AppTrace, ContainerError
             ContainerItem::RankStart(rank) => open = Some(RankTrace::new(rank)),
             ContainerItem::Record(record) => open
                 .as_mut()
-                .expect("records only arrive inside a section")
+                .ok_or(ContainerError::UnexpectedChunk {
+                    expected: "RANK_BEGIN",
+                    found: "RECORDS",
+                })?
                 .push(record),
-            ContainerItem::RankEnd(_) => app
-                .ranks
-                .push(open.take().expect("END closes an open section")),
+            ContainerItem::RankEnd(_) => {
+                let section = open.take().ok_or(ContainerError::UnexpectedChunk {
+                    expected: "RANK_BEGIN",
+                    found: "RANK_END",
+                })?;
+                app.ranks.push(section);
+            }
         }
     }
     Ok(app)
@@ -525,12 +544,10 @@ pub fn read_reduced_container<R: Read>(reader: R) -> Result<ReducedAppTrace, Con
 /// (magic `TRC2`) or monolithic v1 files (magic `TRCF`) via the fallback
 /// decoder.
 pub fn decode_app_any(bytes: &[u8]) -> Result<AppTrace, ContainerError> {
-    match bytes.get(..4) {
-        Some(magic) if magic == CONTAINER_MAGIC => read_app_container(bytes),
-        Some(magic) if magic == APP_TRACE_MAGIC => Ok(decode_app_trace(bytes)?),
-        Some(magic) => Err(ContainerError::BadMagic {
-            found: magic.try_into().expect("4 bytes"),
-        }),
+    match bytes.first_chunk::<4>() {
+        Some(&magic) if magic == CONTAINER_MAGIC => read_app_container(bytes),
+        Some(&magic) if magic == APP_TRACE_MAGIC => Ok(decode_app_trace(bytes)?),
+        Some(&magic) => Err(ContainerError::BadMagic { found: magic }),
         None => Err(ContainerError::Truncated {
             what: "file header",
         }),
@@ -540,12 +557,10 @@ pub fn decode_app_any(bytes: &[u8]) -> Result<AppTrace, ContainerError> {
 /// Decodes a reduced trace from either format: chunked v2 containers or
 /// monolithic v1 files via the fallback decoder.
 pub fn decode_reduced_any(bytes: &[u8]) -> Result<ReducedAppTrace, ContainerError> {
-    match bytes.get(..4) {
-        Some(magic) if magic == CONTAINER_MAGIC => read_reduced_container(bytes),
-        Some(magic) if magic == REDUCED_TRACE_MAGIC => Ok(decode_reduced_trace(bytes)?),
-        Some(magic) => Err(ContainerError::BadMagic {
-            found: magic.try_into().expect("4 bytes"),
-        }),
+    match bytes.first_chunk::<4>() {
+        Some(&magic) if magic == CONTAINER_MAGIC => read_reduced_container(bytes),
+        Some(&magic) if magic == REDUCED_TRACE_MAGIC => Ok(decode_reduced_trace(bytes)?),
+        Some(&magic) => Err(ContainerError::BadMagic { found: magic }),
         None => Err(ContainerError::Truncated {
             what: "file header",
         }),

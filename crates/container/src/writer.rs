@@ -233,10 +233,9 @@ impl<W: Write> ChunkWriter<W> {
                 write_chunk(&mut self.out, kind, Codec::None, &payload)?;
             }
         }
-        let section = self
-            .section
-            .as_mut()
-            .expect("chunks are only flushed inside a section");
+        let Some(section) = self.section.as_mut() else {
+            return Err(Self::state_error("chunk flushed outside a rank section"));
+        };
         section.chunks += 1;
         self.body.clear();
         self.items_in_chunk = 0;
@@ -285,22 +284,19 @@ impl<W: Write> ChunkWriter<W> {
         if self.kind != PayloadKind::App {
             return Err(Self::state_error("record on a reduced container"));
         }
-        if self.section.is_none() {
+        let Some(section) = self.section.as_mut() else {
             return Err(Self::state_error("record outside a rank section"));
-        }
+        };
         self.prev_time = write_record(&mut self.body, record, self.prev_time);
         self.items_in_chunk += 1;
-        {
-            let section = self.section.as_mut().expect("checked above");
-            section.records += 1;
-            match record {
-                TraceRecord::Event(_) => section.events += 1,
-                TraceRecord::SegmentEnd { .. } => {
-                    section.segments += 1;
-                    self.segments_in_chunk += 1;
-                }
-                TraceRecord::SegmentBegin { .. } => {}
+        section.records += 1;
+        match record {
+            TraceRecord::Event(_) => section.events += 1,
+            TraceRecord::SegmentEnd { .. } => {
+                section.segments += 1;
+                self.segments_in_chunk += 1;
             }
+            TraceRecord::SegmentBegin { .. } => {}
         }
         if self.segments_in_chunk >= self.spec.segments_per_chunk {
             self.flush_chunk(ChunkKind::Records)?;
@@ -337,20 +333,22 @@ impl<W: Write> ChunkWriter<W> {
         if self.kind != PayloadKind::Reduced {
             return Err(Self::state_error("exec on an app container"));
         }
-        if self.section.is_none() {
+        let Some(section) = self.section.as_ref() else {
             return Err(Self::state_error("exec outside a rank section"));
-        }
-        if !self.section.as_ref().expect("checked above").exec_phase {
+        };
+        if !section.exec_phase {
             self.flush_chunk(ChunkKind::Stored)?;
-            self.section.as_mut().expect("checked above").exec_phase = true;
+            if let Some(section) = self.section.as_mut() {
+                section.exec_phase = true;
+            }
         }
         self.prev_time = write_exec(&mut self.body, exec, self.prev_time);
         self.items_in_chunk += 1;
-        {
-            let section = self.section.as_mut().expect("checked above");
-            section.records += 1;
-            section.events += 1;
-        }
+        let Some(section) = self.section.as_mut() else {
+            return Err(Self::state_error("exec outside a rank section"));
+        };
+        section.records += 1;
+        section.events += 1;
         if self.items_in_chunk >= self.spec.execs_per_chunk as u64 {
             self.flush_chunk(ChunkKind::Execs)?;
         }
@@ -360,12 +358,13 @@ impl<W: Write> ChunkWriter<W> {
     /// Closes the open rank section, flushing the partial chunk and writing
     /// the `RANK_END` summary.
     pub fn end_rank(&mut self) -> io::Result<()> {
-        if self.section.is_none() {
-            return Err(Self::state_error("end_rank outside a rank section"));
-        }
         let kind = self.pending_chunk_kind();
+        // An empty pending chunk makes this a no-op, so a missing section
+        // falls through to the state error below.
         self.flush_chunk(kind)?;
-        let section = self.section.take().expect("checked above");
+        let Some(section) = self.section.take() else {
+            return Err(Self::state_error("end_rank outside a rank section"));
+        };
         let mut payload = Vec::new();
         varint_write_u64(&mut payload, u64::from(section.rank.as_u32()));
         varint_write_u64(&mut payload, section.chunks);
@@ -463,11 +462,15 @@ pub fn write_reduced_container<W: Write>(
 }
 
 /// Encodes `app` as a chunked container into a byte buffer.
+#[allow(clippy::expect_used)]
 pub fn encode_app_container(app: &AppTrace, spec: ChunkSpec) -> Vec<u8> {
+    // lint:allow(expect) -- Vec<u8> as a Write sink is infallible and the writer is driven in order
     write_app_container(Vec::new(), app, spec).expect("writing to a Vec cannot fail")
 }
 
 /// Encodes `reduced` as a chunked container into a byte buffer.
+#[allow(clippy::expect_used)]
 pub fn encode_reduced_container(reduced: &ReducedAppTrace, spec: ChunkSpec) -> Vec<u8> {
+    // lint:allow(expect) -- Vec<u8> as a Write sink is infallible and the writer is driven in order
     write_reduced_container(Vec::new(), reduced, spec).expect("writing to a Vec cannot fail")
 }

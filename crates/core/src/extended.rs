@@ -186,8 +186,10 @@ pub fn cosine_dissimilarity(a: &[f64], b: &[f64]) -> f64 {
     let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
     let norm_a: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
     let norm_b: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    // lint:allow(float_eq) -- exact zero-vector guards per the documented definition; norms are non-negative
     if norm_a == 0.0 && norm_b == 0.0 {
         0.0
+    // lint:allow(float_eq) -- exact zero-vector guards per the documented definition; norms are non-negative
     } else if norm_a == 0.0 || norm_b == 0.0 {
         1.0
     } else {

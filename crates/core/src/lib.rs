@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Similarity-based trace reduction (the paper's primary contribution).
 //!
 //! This crate implements the intra-process trace-reduction technique of

@@ -55,8 +55,10 @@ pub fn minkowski_match(a: &Segment, b: &Segment, order: Option<f64>, threshold: 
     let vb = b.measurement_vector();
     let distance = match order {
         Some(m) => {
+            // lint:allow(float_eq) -- exact dispatch sentinels: orders 1 and 2 select the powf-free kernels
             if m == 1.0 {
                 stats::manhattan_distance(&va, &vb)
+            // lint:allow(float_eq) -- exact dispatch sentinels: orders 1 and 2 select the powf-free kernels
             } else if m == 2.0 {
                 stats::euclidean_distance(&va, &vb)
             } else {

@@ -26,7 +26,7 @@
 //! [`reduce_rank_reference`] for equivalence testing — both paths produce
 //! bit-identical [`ReducedRankTrace`]s.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use trace_model::{
     AppTrace, RankTrace, ReducedAppTrace, ReducedRankTrace, Segment, SegmentExec, SegmentKey,
@@ -112,9 +112,9 @@ pub struct OnlineRankReducer {
     // Stored-representative ids grouped by segment key (structural
     // identity); scanning a bucket in insertion order is equivalent to
     // the paper's linear scan restricted to eligible segments.
-    buckets: HashMap<SegmentKey, Vec<u32>>,
+    buckets: BTreeMap<SegmentKey, Vec<u32>>,
     // Running averages for iter_avg, indexed by stored id.
-    averages: HashMap<u32, AverageState>,
+    averages: BTreeMap<u32, AverageState>,
     // Cached features per stored representative, indexed like
     // `reduced.stored`.  Empty for the iteration-based methods, which
     // never run a similarity kernel.
@@ -143,8 +143,8 @@ impl OnlineRankReducer {
         OnlineRankReducer {
             config,
             reduced: ReducedRankTrace::new(rank),
-            buckets: HashMap::new(),
-            averages: HashMap::new(),
+            buckets: BTreeMap::new(),
+            averages: BTreeMap::new(),
             features: Vec::new(),
             scratch,
         }
@@ -341,8 +341,8 @@ impl Reducer {
 pub fn reduce_rank_reference(config: MethodConfig, trace: &RankTrace) -> RankReduction {
     let (segments, segmentation) = segments_of_rank_with_stats(trace);
     let mut reduced = ReducedRankTrace::new(trace.rank);
-    let mut buckets: HashMap<SegmentKey, Vec<u32>> = HashMap::new();
-    let mut averages: HashMap<u32, AverageState> = HashMap::new();
+    let mut buckets: BTreeMap<SegmentKey, Vec<u32>> = BTreeMap::new();
+    let mut averages: BTreeMap<u32, AverageState> = BTreeMap::new();
     let mut matching = MatchStats::default();
 
     for segment in segments {
@@ -441,7 +441,7 @@ where
 {
     let (segments, segmentation) = segments_of_rank_with_stats(trace);
     let mut reduced = ReducedRankTrace::new(trace.rank);
-    let mut buckets: HashMap<SegmentKey, Vec<u32>> = HashMap::new();
+    let mut buckets: BTreeMap<SegmentKey, Vec<u32>> = BTreeMap::new();
     let mut matching = MatchStats::default();
 
     for segment in segments {

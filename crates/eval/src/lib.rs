@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Evaluation framework: the paper's criteria and experiment drivers.
 //!
 //! Section 4.3 of the paper defines four evaluation criteria; this crate

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Text trace format: an OTF-style, line-oriented ASCII encoding.
 //!
 //! The reproduction-difficulty note for this paper calls trace-format

@@ -38,7 +38,7 @@ impl<'a> Lines<'a> {
         None
     }
 
-    fn expect(&mut self, what: &str) -> Result<(usize, &'a str), FormatError> {
+    fn require(&mut self, what: &str) -> Result<(usize, &'a str), FormatError> {
         self.next().ok_or_else(|| {
             FormatError::structural(format!("unexpected end of input, expected {what}"))
         })
@@ -47,7 +47,7 @@ impl<'a> Lines<'a> {
 
 /// Checks the magic first line of a trace file.
 fn expect_magic(lines: &mut Lines<'_>, magic: &str) -> Result<(), FormatError> {
-    let (line_no, first) = lines.expect("header")?;
+    let (line_no, first) = lines.require("header")?;
     if first != magic {
         return Err(FormatError::at(
             line_no,
@@ -64,7 +64,7 @@ fn parse_header(
 ) -> Result<(TraceTables, Option<(usize, String)>), FormatError> {
     let mut builder = HeaderBuilder::new();
     loop {
-        let (line_no, line) = lines.expect(builder.expecting())?;
+        let (line_no, line) = lines.require(builder.expecting())?;
         if !builder.feed(line_no, line)? {
             return Ok((builder.finish()?, Some((line_no, line.to_string()))));
         }
@@ -93,21 +93,27 @@ pub fn parse_app_trace(text: &str) -> Result<AppTrace, FormatError> {
                 } else {
                     "RANK or END_TRACE"
                 };
-                let (n, l) = lines.expect(what)?;
+                let (n, l) = lines.require(what)?;
                 (n, l.to_string())
             }
         };
+        // `parse_app_body_line` only yields records and END_RANK when told a
+        // rank section is open, so these arms report a parser bug as a
+        // structural error instead of trusting the invariant with a panic.
         match parse_app_body_line(&tables, line_no, &line, open_rank.is_some())? {
             AppBodyLine::RankStart(rank) => open_rank = Some(RankTrace::new(rank)),
-            AppBodyLine::Record(record) => open_rank
-                .as_mut()
-                .expect("records are only parsed inside a rank section")
-                .push(record),
-            AppBodyLine::EndRank => app.ranks.push(
-                open_rank
-                    .take()
-                    .expect("END_RANK is only parsed inside a rank section"),
-            ),
+            AppBodyLine::Record(record) => match open_rank.as_mut() {
+                Some(rank) => rank.push(record),
+                None => {
+                    return Err(FormatError::at(line_no, "record outside a rank section"));
+                }
+            },
+            AppBodyLine::EndRank => match open_rank.take() {
+                Some(rank) => app.ranks.push(rank),
+                None => {
+                    return Err(FormatError::at(line_no, "END_RANK outside a rank section"));
+                }
+            },
             AppBodyLine::EndTrace => break,
         }
     }
@@ -138,7 +144,7 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
         let (line_no, line) = match pending.take() {
             Some((n, l)) => (n, l),
             None => {
-                let (n, l) = lines.expect("RANK or END_TRACE")?;
+                let (n, l) = lines.require("RANK or END_TRACE")?;
                 (n, l.to_string())
             }
         };
@@ -149,7 +155,7 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
                 let rank_id = parse_u32(line_no, tokens.next(), "rank id")?;
                 let mut rank = ReducedRankTrace::new(trace_model::Rank(rank_id));
                 loop {
-                    let (line_no, line) = lines.expect("STORED/EXEC records or END_RANK")?;
+                    let (line_no, line) = lines.require("STORED/EXEC records or END_RANK")?;
                     let mut tokens = line.split_whitespace();
                     match tokens.next() {
                         Some("END_RANK") => break,
@@ -172,7 +178,7 @@ pub fn parse_reduced_trace(text: &str) -> Result<ReducedAppTrace, FormatError> {
                                 parse_u64(line_no, tokens.next(), "event count")? as usize;
                             let mut events = Vec::with_capacity(n_events);
                             for _ in 0..n_events {
-                                let (event_line_no, event_line) = lines.expect("EVENT line")?;
+                                let (event_line_no, event_line) = lines.require("EVENT line")?;
                                 if !event_line.starts_with("EVENT") {
                                     return Err(FormatError::at(
                                         event_line_no,

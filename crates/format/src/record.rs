@@ -122,8 +122,8 @@ impl HeaderBuilder {
             // The name is everything after the literal ` NAME ` marker; a
             // missing remainder (empty program name) is tolerated.
             self.name = line
-                .find(" NAME ")
-                .map(|idx| line[idx + " NAME ".len()..].to_string())
+                .split_once(" NAME ")
+                .map(|(_, rest)| rest.to_string())
                 .unwrap_or_default();
             self.saw_trace_line = true;
             return Ok(true);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Trace-sampling reduction methods.
 //!
 //! The paper's conclusion names *trace sampling* as the first candidate for

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Virtual-time message-passing simulator and workload generators.
 //!
 //! The paper evaluates its trace-reduction methods on traces collected from

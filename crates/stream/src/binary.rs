@@ -81,10 +81,12 @@ pub fn reduce_container_stream<R: Read>(
     reader: R,
 ) -> Result<StreamReduction, StreamError> {
     let mut source = ContainerSource::new(reader)?;
-    let preamble = source
-        .preamble()
-        .expect("whole-file mode has a preamble")
-        .clone();
+    let Some(preamble) = source.preamble().cloned() else {
+        return Err(StreamError::Container(ContainerError::UnexpectedChunk {
+            expected: "a PREAMBLE chunk",
+            found: "no preamble before the first rank section",
+        }));
+    };
     let (ranks, mut stats) = reduce_selected_ranks(config, &mut source, |_| true)?;
     stats.peak_chunk_bytes = source.peak_chunk_bytes();
     Ok(StreamReduction {
@@ -123,10 +125,13 @@ pub fn reduce_container_file(
     file.seek(SeekFrom::Start(0))?;
     let preamble = {
         let source = ContainerSource::new(BufReader::new(file))?;
-        source
-            .preamble()
-            .expect("whole-file mode has a preamble")
-            .clone()
+        let Some(preamble) = source.preamble().cloned() else {
+            return Err(StreamError::Container(ContainerError::UnexpectedChunk {
+                expected: "a PREAMBLE chunk",
+                found: "no preamble before the first rank section",
+            }));
+        };
+        preamble
     };
     // The sequential reader validates this when it reaches the INDEX
     // chunk; the sharded path never scans that far, so a short index must
@@ -168,13 +173,19 @@ pub fn reduce_container_file(
             }
             Ok((out, stats))
         })();
+        // lint:allow(indexing) -- worker < workers == slots.len() by construction
         *slots[worker].lock() = Some(result);
     });
 
     let mut all: Vec<(usize, ReducedRankTrace)> = Vec::new();
     let mut stats = StreamStats::default();
     for slot in slots {
-        let (ranks, worker_stats) = slot.into_inner().expect("every worker fills its slot")?;
+        // `scoped_workers` joins every worker before returning and each
+        // worker unconditionally fills its slot; an empty slot means a
+        // worker died, which surfaces as an error rather than a panic.
+        let (ranks, worker_stats) = slot.into_inner().unwrap_or_else(|| {
+            Err(std::io::Error::other("reduction worker left no result").into())
+        })?;
         all.extend(ranks);
         stats.absorb(&worker_stats);
     }
@@ -222,17 +233,10 @@ impl TraceInputKind {
 /// that is not a known binary magic is treated as text, so text parse
 /// errors keep their precise line-level diagnostics.
 pub fn detect_input(path: impl AsRef<Path>) -> Result<TraceInputKind, StreamError> {
-    let mut file = File::open(path.as_ref())?;
-    let mut magic = [0u8; 4];
-    let mut filled = 0;
-    while filled < magic.len() {
-        let n = file.read(&mut magic[filled..])?;
-        if n == 0 {
-            break;
-        }
-        filled += n;
-    }
-    Ok(match &magic[..filled] {
+    let file = File::open(path.as_ref())?;
+    let mut magic = Vec::with_capacity(4);
+    file.take(4).read_to_end(&mut magic)?;
+    Ok(match magic.as_slice() {
         m if m == CONTAINER_MAGIC => TraceInputKind::ContainerV2,
         m if m == APP_TRACE_MAGIC => TraceInputKind::BinaryV1,
         _ => TraceInputKind::Text,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Streaming, bounded-memory trace reduction.
 //!
 //! The paper's stored-segments reducer exists because full event traces are

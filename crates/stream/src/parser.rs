@@ -51,9 +51,11 @@ impl<R: BufRead> LineReader<R> {
     }
 
     /// The text of the line [`LineReader::next_line`] advanced to.
+    /// `next_line` only stops on meaningful lines, so the fallback empty
+    /// string is never produced in practice; an empty line simply fails the
+    /// caller's grammar with a parse error instead of panicking here.
     fn current(&self) -> &str {
-        trace_format::record::meaningful_line(&self.buf)
-            .expect("next_line only stops on meaningful lines")
+        trace_format::record::meaningful_line(&self.buf).unwrap_or("")
     }
 }
 
@@ -174,8 +176,11 @@ impl<R: BufRead> StreamParser<R> {
             }
             AppBodyLine::Record(record) => Ok(Some(AppItem::Record(record))),
             AppBodyLine::EndRank => {
+                // `parse_app_body_line` only yields END_RANK when told a
+                // rank section is open; report a parser bug as a structural
+                // error rather than trusting the invariant with a panic.
                 let State::InRank(rank) = self.state else {
-                    unreachable!("END_RANK only parses inside a rank section");
+                    return Err(FormatError::structural("END_RANK outside a rank section").into());
                 };
                 self.state = State::Body;
                 self.ranks_seen += 1;

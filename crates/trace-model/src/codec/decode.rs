@@ -32,10 +32,10 @@ fn collective_op_from_tag(tag: u8) -> Result<CollectiveOp, CodecError> {
 
 fn read_header(reader: &mut Reader<'_>, expected_magic: [u8; 4]) -> Result<(), CodecError> {
     let magic = reader.read_bytes(4)?;
-    if magic != expected_magic {
-        return Err(CodecError::BadMagic {
-            found: [magic[0], magic[1], magic[2], magic[3]],
-        });
+    match magic.first_chunk::<4>() {
+        Some(&found) if found == expected_magic => {}
+        Some(&found) => return Err(CodecError::BadMagic { found }),
+        None => return Err(CodecError::UnexpectedEof),
     }
     let version = reader.read_byte()?;
     if version != FORMAT_VERSION {

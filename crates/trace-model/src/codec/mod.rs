@@ -101,10 +101,10 @@ impl<'a> Reader<'a> {
     /// Reads exactly `n` bytes.
     pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         let end = self.pos.checked_add(n).ok_or(CodecError::UnexpectedEof)?;
-        if end > self.data.len() {
-            return Err(CodecError::UnexpectedEof);
-        }
-        let slice = &self.data[self.pos..end];
+        let slice = self
+            .data
+            .get(self.pos..end)
+            .ok_or(CodecError::UnexpectedEof)?;
         self.pos = end;
         Ok(slice)
     }

@@ -12,7 +12,7 @@ use crate::ids::{Rank, RegionId};
 use crate::time::{Duration, Time};
 
 /// The collective operation performed by a collective event.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum CollectiveOp {
     /// `MPI_Barrier`-style N-to-N synchronization with no payload.
     Barrier,
@@ -88,7 +88,7 @@ impl CollectiveOp {
 /// tag and payload size; collectives carry the operation, root and
 /// communicator size.  These parameters participate in segment-match
 /// eligibility.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum CommInfo {
     /// A purely local computation region (e.g. `do_work`).
     #[default]

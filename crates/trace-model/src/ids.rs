@@ -6,7 +6,7 @@
 //! once per trace file, which is part of what makes the reduced trace format
 //! compact.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A process (MPI task) identifier.
@@ -73,7 +73,7 @@ impl ContextId {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct InternTable {
     names: Vec<String>,
-    index: HashMap<String, u32>,
+    index: BTreeMap<String, u32>,
 }
 
 impl InternTable {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Trace data model for similarity-based trace reduction.
 //!
 //! This crate defines the event-trace representation shared by the whole

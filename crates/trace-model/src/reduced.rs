@@ -7,7 +7,7 @@
 //! trace can be approximated again by replaying each execution's
 //! representative at its recorded start time.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::ids::{ContextTable, Rank, RegionTable};
 use crate::segment::Segment;
@@ -81,7 +81,7 @@ impl ReducedRankTrace {
     /// execution can only possibly match if an earlier segment instance had
     /// the same context, events and call parameters (Section 4.3.2).
     pub fn possible_match_count(&self) -> usize {
-        let distinct_keys: HashSet<_> = self.stored.iter().map(|s| s.segment.key()).collect();
+        let distinct_keys: BTreeSet<_> = self.stored.iter().map(|s| s.segment.key()).collect();
         self.exec_count().saturating_sub(distinct_keys.len())
     }
 

@@ -16,7 +16,7 @@ use crate::time::Time;
 ///
 /// Two segments with equal keys may still fail to match under a similarity
 /// metric; two segments with different keys can never match.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SegmentKey {
     /// Segment context (code location).
     pub context: ContextId,

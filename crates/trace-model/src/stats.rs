@@ -29,7 +29,10 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
     }
     let q = q.clamp(0.0, 1.0);
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp gives NaNs a fixed position instead of the
+    // comparator-dependent placement partial_cmp would allow.
+    sorted.sort_by(f64::total_cmp);
+    // lint:allow(float_eq) -- exact sentinel check: q was just clamped, 0.0 means "the minimum"
     if q == 0.0 {
         return sorted[0];
     }
@@ -47,6 +50,7 @@ pub fn max(values: &[f64]) -> f64 {
 /// `|x1 - x2| / max(|x1|, |x2|)`, defined as 0 when both values are 0.
 pub fn relative_difference(x1: f64, x2: f64) -> f64 {
     let denom = x1.abs().max(x2.abs());
+    // lint:allow(float_eq) -- exact zero guard against dividing by zero, per the relDiff definition
     if denom == 0.0 {
         0.0
     } else {

@@ -79,10 +79,11 @@ pub fn compress_top_k(signal: &[f64], kind: WaveletKind, keep: usize) -> Compres
         // Always retain the overall approximation.
         coefficients.push(indexed[0]);
         indexed.remove(0);
-        indexed.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+        indexed.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
         coefficients.extend(indexed.into_iter().take(keep.saturating_sub(1)));
         coefficients.sort_by_key(|&(i, _)| i);
         // Drop retained zeros — they carry no information.
+        // lint:allow(float_eq) -- exact-zero coefficients are the ones that encode nothing
         coefficients.retain(|&(i, v)| i == 0 || v != 0.0);
     }
 
@@ -115,6 +116,7 @@ pub fn rms_error(original: &[f64], approximation: &[f64]) -> f64 {
 /// (0 = perfect, 1 ≈ as wrong as predicting zero everywhere).
 pub fn normalized_rms_error(original: &[f64], approximation: &[f64]) -> f64 {
     let magnitude = rms_error(original, &vec![0.0; original.len()]);
+    // lint:allow(float_eq) -- exact zero guard against dividing by zero
     if magnitude == 0.0 {
         rms_error(original, approximation)
     } else {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Discrete wavelet transforms used by the wavelet similarity metrics.
 //!
 //! The paper's `avgWave` and `haarWave` metrics transform the time-stamp

@@ -1,0 +1,54 @@
+#![forbid(unsafe_code)]
+//! `cargo run -p xtask -- lint [--json]` — run the in-house static-analysis
+//! pass over the workspace.  Exits 0 when clean, 1 when any rule fires.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut command = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "lint" if command.is_none() => command = Some("lint"),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if command != Some("lint") {
+        usage();
+        return ExitCode::from(2);
+    }
+
+    let root = xtask::workspace_root();
+    let report = match xtask::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("xtask lint: failed to scan workspace: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo run -p xtask -- lint [--json]");
+    eprintln!();
+    eprintln!("Rules enforced (see docs/static-analysis.md):");
+    for rule in xtask::rules::RULE_NAMES {
+        eprintln!("  {rule}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Workspace-level lint report: text rendering for humans, hand-rolled JSON
+//! for the CI artifact (no serde in the tree — the build environment has no
+//! crates registry).
+
+use crate::rules::{AllowEntry, Violation};
+
+/// A violation tagged with the workspace-relative file it was found in.
+#[derive(Clone, Debug)]
+pub struct FileViolation {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// The violation itself.
+    pub violation: Violation,
+}
+
+/// A used allow tagged with its file.
+#[derive(Clone, Debug)]
+pub struct FileAllow {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// The inventoried allow.
+    pub allow: AllowEntry,
+}
+
+/// The outcome of linting the whole workspace.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Unsuppressed violations, sorted by (file, line).
+    pub violations: Vec<FileViolation>,
+    /// Every justified, used `lint:allow`, sorted by (file, line).
+    pub allows: Vec<FileAllow>,
+    /// Number of `.rs` files the pass scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable report, one `file:line: [rule] message` per violation.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                v.file, v.violation.line, v.violation.rule, v.violation.message
+            ));
+        }
+        out.push_str(&format!(
+            "{} violation{} across {} file{} scanned; {} lint:allow escape{} in use\n",
+            self.violations.len(),
+            plural(self.violations.len()),
+            self.files_scanned,
+            plural(self.files_scanned),
+            self.allows.len(),
+            plural(self.allows.len()),
+        ));
+        out
+    }
+
+    /// Machine-readable report with the allow inventory, for the CI artifact.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}\n",
+                json_str(&v.file),
+                v.violation.line,
+                json_str(v.violation.rule),
+                json_str(&v.violation.message),
+                comma(i, self.violations.len()),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"allows\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"justification\": {}}}{}\n",
+                json_str(&a.file),
+                a.allow.line,
+                json_str(&a.allow.rule),
+                json_str(&a.allow.justification),
+                comma(i, self.allows.len()),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 == len {
+        ""
+    } else {
+        ","
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            violations: vec![FileViolation {
+                file: "crates/x/src/lib.rs".to_string(),
+                violation: Violation {
+                    line: 3,
+                    rule: "unwrap",
+                    message: "a \"quoted\" message".to_string(),
+                },
+            }],
+            allows: vec![FileAllow {
+                file: "crates/y/src/lib.rs".to_string(),
+                allow: AllowEntry {
+                    line: 9,
+                    rule: "indexing".to_string(),
+                    justification: "bounds checked above".to_string(),
+                },
+            }],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn text_report_lists_violations_with_spans() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/x/src/lib.rs:3: [unwrap]"));
+        assert!(text.contains("1 violation across 2 files"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_inventories_allows() {
+        let json = sample().render_json();
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"justification\": \"bounds checked above\""));
+        assert!(json.contains("\"files_scanned\": 2"));
+        // Sanity: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: a justified `lint:allow` suppresses the violation and is
+// inventoried instead.
+pub fn first(bytes: &[u8]) -> u8 {
+    // lint:allow(indexing) -- the caller guarantees a non-empty slice
+    bytes[0]
+}

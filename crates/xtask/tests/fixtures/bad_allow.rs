@@ -1,0 +1,6 @@
+// Fixture: a `lint:allow` without a `-- justification` must trip
+// `bad_allow` and must NOT suppress the underlying violation.
+pub fn parse(input: Option<u32>) -> u32 {
+    // lint:allow(unwrap)
+    input.unwrap()
+}

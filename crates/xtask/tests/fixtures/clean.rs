@@ -1,0 +1,26 @@
+// Fixture: panic-free decode-surface code with near-miss identifiers
+// (`unwrap_or`, array literals, test-only unwraps) must produce zero
+// findings on any surface.
+pub fn add(a: u32, b: u32) -> u32 {
+    a.checked_add(b).unwrap_or(u32::MAX)
+}
+
+pub fn table() -> [u8; 3] {
+    [1, 2, 3]
+}
+
+pub fn head(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(v[0], 1);
+        assert_eq!(head(&v).unwrap(), 1);
+    }
+}

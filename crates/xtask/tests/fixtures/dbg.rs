@@ -1,0 +1,4 @@
+// Fixture: a leftover `dbg!` must trip the `dbg` rule everywhere.
+pub fn inspect(value: u32) -> u32 {
+    dbg!(value)
+}

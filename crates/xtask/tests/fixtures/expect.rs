@@ -1,0 +1,4 @@
+// Fixture: `.expect()` on a decode surface must trip the `expect` rule.
+pub fn parse(input: Option<u32>) -> u32 {
+    input.expect("the caller promised a value")
+}

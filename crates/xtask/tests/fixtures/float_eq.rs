@@ -1,0 +1,4 @@
+// Fixture: float `==`/`!=` in a determinism crate must trip `float_eq`.
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

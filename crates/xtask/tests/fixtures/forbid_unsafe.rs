@@ -1,0 +1,5 @@
+// Fixture: a crate root without `#![forbid(unsafe_code)]` must trip
+// `forbid_unsafe`.
+pub fn lib_entry() -> u32 {
+    7
+}

@@ -1,0 +1,7 @@
+// Fixture: `HashMap` in a determinism crate must trip `hash_collection`
+// (iteration order varies run to run).
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<String, u32> {
+    HashMap::new()
+}

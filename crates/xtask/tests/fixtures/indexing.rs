@@ -1,0 +1,6 @@
+// Fixture: slice indexing on a decode surface must trip the `indexing`
+// rule; the full-range form `[..]` stays exempt.
+pub fn first(bytes: &[u8]) -> u8 {
+    let whole = &bytes[..];
+    whole[0]
+}

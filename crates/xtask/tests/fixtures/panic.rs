@@ -1,0 +1,12 @@
+// Fixture: panic-family macros on a decode surface must trip the `panic`
+// rule — both the direct form and the unreachable! variant.
+pub fn decode(byte: u8) -> u8 {
+    if byte > 0x7f {
+        panic!("byte out of range");
+    }
+    match byte {
+        0 => 0,
+        b if b < 0x80 => b,
+        _ => unreachable!("guarded above"),
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: `.partial_cmp()` in a determinism crate must trip `partial_cmp`
+// (use `total_cmp` for floats instead).
+pub fn ascending(values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

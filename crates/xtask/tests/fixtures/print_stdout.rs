@@ -1,0 +1,5 @@
+// Fixture: `println!` outside a binary-interface crate must trip
+// `print_stdout`.
+pub fn report(total: usize) {
+    println!("total: {total}");
+}

@@ -1,0 +1,5 @@
+// Fixture: `process::exit` outside a binary-interface crate must trip
+// `process_exit` (libraries return errors, they do not kill the process).
+pub fn bail() -> ! {
+    std::process::exit(2)
+}

@@ -1,0 +1,7 @@
+// Fixture: deriving behaviour from the machine's parallelism in a
+// determinism crate must trip `thread_count`.
+pub fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,6 @@
+// Fixture: a justified allow that suppresses nothing must trip
+// `unused_allow` so stale escapes get cleaned up.
+// lint:allow(unwrap) -- nothing on the next line unwraps
+pub fn benign() -> u32 {
+    7
+}

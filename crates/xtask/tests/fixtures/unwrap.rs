@@ -1,0 +1,4 @@
+// Fixture: `.unwrap()` on a decode surface must trip the `unwrap` rule.
+pub fn parse(input: Option<u32>) -> u32 {
+    input.unwrap()
+}

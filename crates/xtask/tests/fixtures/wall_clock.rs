@@ -1,0 +1,4 @@
+// Fixture: wall-clock reads in a determinism crate must trip `wall_clock`.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

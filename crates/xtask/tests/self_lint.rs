@@ -1,0 +1,16 @@
+//! Self-lint smoke test: the workspace itself must stay clean, so the
+//! tier-1 `cargo test` gate fails the moment a violation lands — even
+//! before CI runs the dedicated lint job.
+
+use xtask::{lint_workspace, workspace_root};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "workspace lint violations:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 50, "suspiciously small scan");
+}

@@ -10,6 +10,9 @@
 //! cargo run --release --example cluster_ranks
 //! ```
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use trace_reduction::clustering::{
     cluster_reduce, euclidean_distance_matrix, hierarchical_clustering, kmeans, rank_features,
     silhouette_score, KMeansConfig, Linkage, Normalization,

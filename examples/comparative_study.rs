@@ -7,6 +7,9 @@
 //! TRACE_REPRO_PRESET=paper cargo run --release --example comparative_study
 //! ```
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use trace_reduction::eval::comparative::comparative_study;
 use trace_reduction::sim::{SizePreset, Workload};
 

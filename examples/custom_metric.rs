@@ -13,6 +13,9 @@
 //! cargo run --release --example custom_metric
 //! ```
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use trace_reduction::eval::criteria::{
     approximation_distance_us, file_size_percent, trends_retained,
 };

@@ -6,6 +6,9 @@
 //! cargo run --release --example export_import
 //! ```
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use trace_reduction::format::{parse_app_trace, write_app_trace, write_reduced_trace};
 use trace_reduction::model::codec::{encode_app_trace, encode_reduced_trace};
 use trace_reduction::reduce::{Method, Reducer};

@@ -6,6 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use trace_reduction::analysis::{compare_diagnoses, diagnose, ComparisonConfig};
 use trace_reduction::eval::criteria::{approximation_distance_us, file_size_percent};
 use trace_reduction::model::codec::{encode_app_trace, encode_reduced_trace};

@@ -12,6 +12,9 @@
 //! TRACE_REPRO_PRESET=paper cargo run --release --example sampling_vs_similarity
 //! ```
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use trace_reduction::eval::{extension_study, extension_summary_table, extension_table};
 use trace_reduction::sim::{SizePreset, Workload, WorkloadKind};
 

@@ -12,6 +12,9 @@
 //! TRACE_REPRO_PRESET=paper cargo run --release --example sweep3d_analysis
 //! ```
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use trace_reduction::eval::evaluation::evaluate_all_methods;
 use trace_reduction::eval::report::{fmt_f64, fmt_retained, Table};
 use trace_reduction::sim::{SizePreset, Workload, WorkloadKind};

@@ -9,6 +9,9 @@
 //! TRACE_REPRO_PRESET=paper cargo run --release --example threshold_study
 //! ```
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use trace_reduction::eval::threshold::{
     threshold_figure_table, threshold_study_for_method, trend_retention_by_threshold_table,
 };

@@ -9,6 +9,9 @@
 //! cargo run --release --example trend_grids -- sweep3d_8p   # any workload by name
 //! ```
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use trace_reduction::eval::comparative::trend_grids;
 use trace_reduction::sim::{SizePreset, Workload, WorkloadKind};
 

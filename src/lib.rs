@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate re-exporting the trace-reduction workspace public API.
 //!
 //! See the individual crates for details:
