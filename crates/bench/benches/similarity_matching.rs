@@ -45,9 +45,14 @@ fn bench_similarity_matching(c: &mut Criterion) {
             "{method}: fast path must be bit-identical to the reference"
         );
         println!(
-            "  {}: {} comparisons, {:.1}% prefilter-rejected, {:.1}% early-abandoned, {} full kernels",
+            "  {}: {} of {} eligible candidates visited ({:.1}%), {} window-pruned, \
+             {} pivot-pruned, {:.1}% prefilter-rejected, {:.1}% early-abandoned, {} full kernels",
             config.label(),
             stats.comparisons,
+            stats.eligible,
+            100.0 * stats.visited_fraction(),
+            stats.index_window_prunes,
+            stats.index_pivot_prunes,
             100.0 * stats.prefilter_reject_rate(),
             100.0 * stats.early_abandon_rate(),
             stats.full_kernels

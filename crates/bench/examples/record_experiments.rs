@@ -8,12 +8,14 @@
 use std::io::Cursor;
 use std::time::Instant;
 
-use trace_bench::preset_from_env;
+use trace_bench::{matching_sweep_scales, preset_from_env, scaled_dynload};
 use trace_container::{read_app_container, ChunkSpec, Codec};
 use trace_eval::file_size_percent;
 use trace_format::parse_app_trace;
 use trace_model::codec::{decode_app_trace, encode_app_trace};
-use trace_reduce::{reduce_app_reference, MatchStats, Method, MethodConfig, Reducer};
+use trace_reduce::{
+    reduce_app_reference, CandidateSearch, MatchStats, Method, MethodConfig, Reducer,
+};
 use trace_sim::{SizePreset, Workload, WorkloadKind};
 use trace_stream::{
     reduce_container_file, reduce_container_stream, reduce_stream, reduce_stream_sharded,
@@ -263,9 +265,9 @@ fn main() {
          reference = naive per-comparison kernels):\n"
     );
     println!(
-        "| method | reference (ms) | fast (ms) | speedup | fast segments/s | comparisons | prefilter-rejected | early-abandoned |"
+        "| method | reference (ms) | fast (ms) | speedup | fast segments/s | visited / eligible | index-pruned | prefilter-rejected | early-abandoned |"
     );
-    println!("|---|---:|---:|---:|---:|---:|---:|---:|");
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|");
     let mut baseline_entries: Vec<(String, f64)> =
         vec![("matching/total_segments".to_string(), total_segments as f64)];
     for method in Method::ALL {
@@ -297,13 +299,16 @@ fn main() {
         let fast_rate = total_segments as f64 / fast_wall.as_secs_f64();
         let reference_rate = total_segments as f64 / reference_wall.as_secs_f64();
         println!(
-            "| {} | {:.1} | {:.1} | {:.2}x | {:.0} | {} | {:.1}% | {:.1}% |",
+            "| {} | {:.1} | {:.1} | {:.2}x | {:.0} | {} / {} ({:.1}%) | {} | {:.1}% | {:.1}% |",
             config.label(),
             reference_wall.as_secs_f64() * 1e3,
             fast_wall.as_secs_f64() * 1e3,
             reference_wall.as_secs_f64() / fast_wall.as_secs_f64(),
             fast_rate,
             stats.comparisons,
+            stats.eligible,
+            100.0 * stats.visited_fraction(),
+            stats.index_window_prunes + stats.index_pivot_prunes,
             100.0 * stats.prefilter_reject_rate(),
             100.0 * stats.early_abandon_rate()
         );
@@ -316,6 +321,56 @@ fn main() {
             reference_rate,
         ));
     }
+    // Table 7: stored-set-size sweep — the candidate index's scaling
+    // curve.  `dyn_load_balance` regenerated with its stored set scaled
+    // up while the match rate stays ≥ 0.97 (the matching-heavy regime);
+    // the indexed visited fraction must *fall* with the stored-set size
+    // while the linear scan's stays flat.  The per-scale fractions are
+    // committed to BENCH_matching.json as the scaling curve.
+    println!(
+        "\nstored-set-size sweep (dyn_load_balance rescaled, default thresholds; \
+         visited fraction = comparisons / eligible stored candidates):\n"
+    );
+    println!(
+        "| scale | method | stored | degree of matching | indexed visited / eligible | indexed fraction | linear fraction |"
+    );
+    println!("|---:|---|---:|---:|---:|---:|---:|");
+    for &scale in matching_sweep_scales(preset) {
+        let app = scaled_dynload(preset, scale);
+        for method in Method::ALL.into_iter().filter(|m| m.is_distance_method()) {
+            let config = MethodConfig::with_default_threshold(method);
+            let (reduced, indexed) =
+                Reducer::with_search(config, CandidateSearch::Indexed).reduce_app_with_stats(&app);
+            let (scan_reduced, linear) = Reducer::with_search(config, CandidateSearch::LinearScan)
+                .reduce_app_with_stats(&app);
+            assert_eq!(reduced, scan_reduced, "{method} x{scale}: paths must agree");
+            println!(
+                "| {scale} | {} | {} | {:.3} | {} / {} | {:.1}% | {:.1}% |",
+                config.label(),
+                reduced.total_stored(),
+                reduced.degree_of_matching(),
+                indexed.comparisons,
+                indexed.eligible,
+                100.0 * indexed.visited_fraction(),
+                100.0 * linear.visited_fraction(),
+            );
+            baseline_entries.push((
+                format!(
+                    "matching_scaling/x{scale}/{}/indexed_visited_pct",
+                    method.name()
+                ),
+                100.0 * indexed.visited_fraction(),
+            ));
+            baseline_entries.push((
+                format!(
+                    "matching_scaling/x{scale}/{}/linear_visited_pct",
+                    method.name()
+                ),
+                100.0 * linear.visited_fraction(),
+            ));
+        }
+    }
+
     let json = matching_baseline_json(&baseline_entries);
     match std::fs::write("BENCH_matching.json", &json) {
         Ok(()) => eprintln!("[record_experiments] wrote BENCH_matching.json"),

@@ -47,6 +47,43 @@ pub fn sweep3d_workloads(preset: SizePreset) -> Vec<trace_model::AppTrace> {
         .collect()
 }
 
+/// Stored-set-size scale factors for the matching sweep at a preset:
+/// larger presets sweep further so the asymptotic regime of the candidate
+/// index is visible, while tiny stays CI-fast.
+pub fn matching_sweep_scales(preset: SizePreset) -> &'static [usize] {
+    // The largest scale must grow the per-rank buckets well past the
+    // index's small-bucket fallback, or the sweep (and the CI assertion
+    // that the index out-prunes the scan there) measures nothing.
+    match preset {
+        SizePreset::Paper => &[1, 2, 4, 8, 16, 32],
+        SizePreset::Small => &[1, 4, 16],
+        SizePreset::Tiny => &[1, 4, 16],
+    }
+}
+
+/// Generates `dyn_load_balance` with its stored set scaled by `scale`.
+///
+/// Iterations *and* the rebalance period grow together, so the drift
+/// sawtooth keeps its ten cycles but each cycle visits `scale`× more
+/// distinct per-iteration durations: the stored-representative set grows
+/// with `scale` while later cycles still re-match the first cycle's
+/// representatives (degree of matching stays ≥ 0.96 at every swept size —
+/// the matching-heavy regime the candidate index targets).
+pub fn scaled_dynload(preset: SizePreset, scale: usize) -> trace_model::AppTrace {
+    use trace_sim::dynload::{dyn_load_balance, DynLoadParams};
+    let base_iterations = match preset {
+        SizePreset::Paper => 100,
+        SizePreset::Small => 50,
+        SizePreset::Tiny => 30,
+    };
+    let params = DynLoadParams {
+        iterations: base_iterations * scale,
+        rebalance_every: base_iterations * scale / 10,
+        ..DynLoadParams::paper()
+    };
+    dyn_load_balance(&params)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

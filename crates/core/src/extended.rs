@@ -30,13 +30,14 @@
 use std::fmt;
 
 use trace_model::{stats, AppTrace, RankTrace, ReducedAppTrace, Segment};
-use trace_wavelet::WaveletKind;
+use trace_wavelet::{coefficient_distance, WaveletKind};
 
 use crate::dtw::dtw_within;
+use crate::features::{FeatureKind, SegmentFeatures};
 use crate::method::{Method, MethodConfig};
 use crate::metric::{segments_match, wavelet_match};
 use crate::reducer::{
-    reduce_app_with_predicate, reduce_rank_with_predicate, RankReduction, Reducer,
+    reduce_rank_with_cached_features, reduce_rank_with_predicate, RankReduction, Reducer,
 };
 
 /// Number of bins used by the delta-time histogram method.
@@ -291,6 +292,53 @@ pub fn normalized_euclidean_match(a: &Segment, b: &Segment, threshold: f64) -> b
     distance <= threshold * max_value
 }
 
+/// Cosine dissimilarity over cached measurement features: only the dot
+/// product is computed per pair; the norms come from the feature cache.
+/// The cache fills `norm_l2` with the identical expression
+/// [`cosine_dissimilarity`] evaluates, so the result is bit-identical to
+/// running the naive predicate on the raw measurement vectors.
+fn cosine_dissimilarity_cached(a: &SegmentFeatures, b: &SegmentFeatures) -> f64 {
+    let dot: f64 = a
+        .measurements
+        .iter()
+        .zip(&b.measurements)
+        .map(|(x, y)| x * y)
+        .sum();
+    let norm_a = a.norm_l2;
+    let norm_b = b.norm_l2;
+    // lint:allow(float_eq) -- exact zero-vector guards mirroring `cosine_dissimilarity`; norms are non-negative
+    if norm_a == 0.0 && norm_b == 0.0 {
+        0.0
+    // lint:allow(float_eq) -- exact zero-vector guards mirroring `cosine_dissimilarity`; norms are non-negative
+    } else if norm_a == 0.0 || norm_b == 0.0 {
+        1.0
+    } else {
+        (1.0 - dot / (norm_a * norm_b)).max(0.0)
+    }
+}
+
+/// [`normalized_euclidean_match`] over cached features: the cached maxima
+/// are the same `stats::max` folds the naive test computes per comparison.
+fn normalized_euclidean_cached(a: &SegmentFeatures, b: &SegmentFeatures, threshold: f64) -> bool {
+    if a.measurements.is_empty() && b.measurements.is_empty() {
+        return true;
+    }
+    let distance = stats::euclidean_distance(&a.measurements, &b.measurements)
+        / (a.measurements.len().max(1) as f64).sqrt();
+    let max_value = a.max_measurement.max(b.max_measurement);
+    distance <= threshold * max_value
+}
+
+/// The CDF 9/7 wavelet test over cached coefficients.  `max(max_abs(a),
+/// max_abs(b))` equals the joint `max_abs_coefficient(a, b)` fold exactly
+/// (the maximum of two sub-folds of a max fold), so this is bit-identical
+/// to [`wavelet_match`] with [`WaveletKind::Cdf97`].
+fn cdf97_wave_cached(a: &SegmentFeatures, b: &SegmentFeatures, threshold: f64) -> bool {
+    let distance = coefficient_distance(&a.coeffs, &b.coeffs);
+    let max_coefficient = a.coeff_max_abs.max(b.coeff_max_abs);
+    distance <= threshold * max_coefficient
+}
+
 /// Dispatches the similarity test for an extended configuration.
 pub fn segments_match_extended(config: &ExtendedConfig, a: &Segment, b: &Segment) -> bool {
     match config.method {
@@ -305,9 +353,17 @@ pub fn segments_match_extended(config: &ExtendedConfig, a: &Segment, b: &Segment
 
 /// Reduces traces with an extended method configuration.
 ///
-/// Paper methods delegate to the unchanged [`Reducer`] (so `iter_k` and
-/// `iter_avg` keep their special stored-segment handling); extension methods
-/// run through the predicate-based reducer.
+/// Paper methods delegate to the unchanged [`Reducer`] — so `iter_k` and
+/// `iter_avg` keep their special stored-segment handling and the distance
+/// methods get the candidate index ([`crate::index`]).  Extension methods
+/// that read only measurement vectors or wavelet coefficients (`cosine`,
+/// `normEuclidean`, `cdf97Wave`) run through the cached-feature candidate
+/// path (features computed once per segment, once per representative);
+/// `cosine` gets no index window because it is scale-invariant — a segment
+/// of any duration can be a perfect cosine match — so no duration bound is
+/// admissible for it.  Only the structural methods (DTW's banded warping,
+/// the delta-time histograms) remain on the naive per-comparison
+/// predicate.
 #[derive(Clone, Copy, Debug)]
 pub struct ExtendedReducer {
     config: ExtendedConfig,
@@ -331,11 +387,27 @@ impl ExtendedReducer {
 
     /// Reduces a single rank trace.
     pub fn reduce_rank(&self, trace: &RankTrace) -> RankReduction {
+        let threshold = self.config.threshold;
         match self.config.method {
             ExtendedMethod::Paper(m) => {
-                Reducer::new(MethodConfig::new(m, self.config.threshold)).reduce_rank(trace)
+                Reducer::new(MethodConfig::new(m, threshold)).reduce_rank(trace)
             }
-            _ => {
+            ExtendedMethod::Cosine => {
+                reduce_rank_with_cached_features(trace, FeatureKind::Measurements, move |a, b| {
+                    cosine_dissimilarity_cached(a, b) <= threshold
+                })
+            }
+            ExtendedMethod::NormalizedEuclidean => {
+                reduce_rank_with_cached_features(trace, FeatureKind::Measurements, move |a, b| {
+                    normalized_euclidean_cached(a, b, threshold)
+                })
+            }
+            ExtendedMethod::Cdf97Wave => reduce_rank_with_cached_features(
+                trace,
+                FeatureKind::Wavelet(WaveletKind::Cdf97),
+                move |a, b| cdf97_wave_cached(a, b, threshold),
+            ),
+            ExtendedMethod::Dtw | ExtendedMethod::HistogramDelta => {
                 let config = self.config;
                 reduce_rank_with_predicate(trace, move |a, b| {
                     segments_match_extended(&config, a, b)
@@ -351,8 +423,11 @@ impl ExtendedReducer {
                 Reducer::new(MethodConfig::new(m, self.config.threshold)).reduce_app(app)
             }
             _ => {
-                let config = self.config;
-                reduce_app_with_predicate(app, move |a, b| segments_match_extended(&config, a, b))
+                let mut reduced = ReducedAppTrace::for_app(app);
+                for rank in &app.ranks {
+                    reduced.ranks.push(self.reduce_rank(rank).reduced);
+                }
+                reduced
             }
         }
     }
@@ -522,6 +597,28 @@ mod tests {
                 .reduce_app(&app);
         assert_eq!(via_paper.total_stored(), via_extended.total_stored());
         assert_eq!(via_paper.total_execs(), via_extended.total_execs());
+    }
+
+    #[test]
+    fn cached_feature_extensions_are_bit_identical_to_the_predicate_path() {
+        // The ported extensions (cosine / normEuclidean / cdf97Wave) run on
+        // the cached-feature candidate path; the naive per-comparison
+        // predicate must agree on every threshold of the grid.
+        let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+        for method in [
+            ExtendedMethod::Cosine,
+            ExtendedMethod::NormalizedEuclidean,
+            ExtendedMethod::Cdf97Wave,
+        ] {
+            for threshold in method.threshold_grid() {
+                let config = ExtendedConfig::new(method, threshold);
+                let cached = ExtendedReducer::new(config).reduce_app(&app);
+                let naive = crate::reducer::reduce_app_with_predicate(&app, |a, b| {
+                    segments_match_extended(&config, a, b)
+                });
+                assert_eq!(cached, naive, "{method} at {threshold}");
+            }
+        }
     }
 
     #[test]

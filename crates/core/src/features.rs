@@ -89,12 +89,15 @@ const SUP_GAP_MARGIN: f64 = 1.0 - 1e-9;
 /// and the comparison side inflates the threshold bound by the matching
 /// `1 + 4 · n · ε` to absorb the distance computation's own accumulation
 /// error.
-fn norm_gap_slack(n: usize, norm_a: f64, norm_b: f64) -> f64 {
+pub(crate) fn norm_gap_slack(n: usize, norm_a: f64, norm_b: f64) -> f64 {
     4.0 * n as f64 * f64::EPSILON * (norm_a + norm_b)
 }
 
 /// The comparison-side inflation factor paired with [`norm_gap_slack`].
-fn distance_error_factor(n: usize) -> f64 {
+/// Shared with the candidate index ([`crate::index`]), whose pivot bounds
+/// generalize the norm prefilters (a norm is the distance to the zero
+/// vector — a pivot that happens to be cached).
+pub(crate) fn distance_error_factor(n: usize) -> f64 {
     1.0 + 4.0 * n as f64 * f64::EPSILON
 }
 
@@ -148,6 +151,9 @@ pub struct SegmentFeatures {
     pub(crate) coeffs: Vec<f64>,
     /// Largest absolute wavelet coefficient.
     pub(crate) coeff_max_abs: f64,
+    /// L2 norm of the coefficient vector — the coefficient distance to the
+    /// zero vector, used by the candidate index's origin pivot.
+    pub(crate) coeff_norm_l2: f64,
 }
 
 impl SegmentFeatures {
@@ -196,6 +202,7 @@ impl SegmentFeatures {
                 segment.wavelet_vector_into(wavelet_input);
                 kind.transform_into(wavelet_input, &mut self.coeffs, level_tmp);
                 self.coeff_max_abs = max_abs_coefficient(&self.coeffs, &[]);
+                self.coeff_norm_l2 = self.coeffs.iter().map(|v| v * v).sum::<f64>().sqrt();
                 self.measurements.clear();
             }
         }
@@ -207,9 +214,18 @@ impl SegmentFeatures {
 ///
 /// `comparisons = prefilter_rejects + early_abandons + full_kernels`;
 /// `matches ≤ full_kernels` (a pruned comparison is always a reject).
+///
+/// With the candidate index ([`crate::index`]) in front of the match loop,
+/// `comparisons` counts only the candidates actually *visited*; the
+/// candidates the index skipped are split into `index_window_prunes` and
+/// `index_pivot_prunes`.  [`MatchStats::candidates`] reconstructs the
+/// number of candidates a plain linear scan would have examined (including
+/// its truncation at the first match), so the indexed path's `candidates()`
+/// equals the linear scan's `comparisons` exactly.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MatchStats {
-    /// Candidate pairs tested after shape bucketing.
+    /// Candidate pairs tested (visited) after shape bucketing and index
+    /// pruning.
     pub comparisons: usize,
     /// Comparisons rejected by an O(1) lower bound before any kernel ran.
     pub prefilter_rejects: usize,
@@ -220,6 +236,17 @@ pub struct MatchStats {
     pub full_kernels: usize,
     /// Comparisons that accepted (always via a completed kernel).
     pub matches: usize,
+    /// Candidates skipped unvisited because they fell outside the index's
+    /// sorted center window.
+    pub index_window_prunes: usize,
+    /// Candidates skipped unvisited because an origin/pivot triangle bound
+    /// proved they cannot match.
+    pub index_pivot_prunes: usize,
+    /// Total same-shape stored candidates eligible across all queries (the
+    /// summed bucket sizes), regardless of how each scan terminated.  The
+    /// denominator of [`MatchStats::visited_fraction`]: a full scan with
+    /// no first-match truncation would visit exactly this many.
+    pub eligible: usize,
 }
 
 impl MatchStats {
@@ -230,6 +257,32 @@ impl MatchStats {
         self.early_abandons += other.early_abandons;
         self.full_kernels += other.full_kernels;
         self.matches += other.matches;
+        self.index_window_prunes += other.index_window_prunes;
+        self.index_pivot_prunes += other.index_pivot_prunes;
+        self.eligible += other.eligible;
+    }
+
+    /// Candidates a linear first-match scan would have examined: the
+    /// visited comparisons plus everything the index pruned.
+    pub fn candidates(&self) -> usize {
+        self.comparisons + self.index_window_prunes + self.index_pivot_prunes
+    }
+
+    /// Fraction of *eligible* stored candidates actually visited — the
+    /// sub-linearity figure of merit (0.0 when no candidates arose).
+    /// First-match truncation already keeps this below 1.0 on a linear
+    /// scan; the index has to push it further down.
+    pub fn visited_fraction(&self) -> f64 {
+        fraction(self.comparisons, self.eligible)
+    }
+
+    /// Fraction of scan-equivalent candidates the index skipped unvisited
+    /// (relative to what a linear first-match scan would have examined).
+    pub fn index_prune_rate(&self) -> f64 {
+        fraction(
+            self.index_window_prunes + self.index_pivot_prunes,
+            self.candidates(),
+        )
     }
 
     /// Fraction of comparisons resolved by a prefilter (0.0 when none ran).
@@ -274,6 +327,8 @@ pub struct MatchScratch {
     pub(crate) wavelet_input: Vec<f64>,
     /// Per-level scratch for the in-place wavelet transform.
     pub(crate) level_tmp: Vec<f64>,
+    /// Surviving-candidate positions buffer for the candidate index.
+    pub(crate) index_buf: Vec<u32>,
     /// Counters accumulated since the last [`MatchScratch::reset_stats`].
     pub(crate) stats: MatchStats,
 }
@@ -296,7 +351,13 @@ impl MatchScratch {
 
     /// Computes the incoming segment's features into the scratch buffers.
     pub(crate) fn prepare_incoming(&mut self, method: Method, segment: &Segment) {
-        let kind = feature_kind(method);
+        self.prepare_incoming_kind(feature_kind(method), segment);
+    }
+
+    /// Like [`MatchScratch::prepare_incoming`], but for an explicit
+    /// [`FeatureKind`] — the cached-predicate drivers of the extended
+    /// catalogue use feature kinds with no paper-method name (CDF 9/7).
+    pub(crate) fn prepare_incoming_kind(&mut self, kind: FeatureKind, segment: &Segment) {
         let MatchScratch {
             incoming,
             wavelet_input,
@@ -734,14 +795,24 @@ mod tests {
             early_abandons: 2,
             full_kernels: 4,
             matches: 3,
+            index_window_prunes: 25,
+            index_pivot_prunes: 5,
+            eligible: 50,
         };
         let b = a;
         a.absorb(&b);
         assert_eq!(a.comparisons, 20);
         assert_eq!(a.matches, 6);
+        assert_eq!(a.index_window_prunes, 50);
+        assert_eq!(a.index_pivot_prunes, 10);
+        assert_eq!(a.candidates(), 80);
+        assert_eq!(a.eligible, 100);
         assert!((a.prefilter_reject_rate() - 0.4).abs() < 1e-12);
         assert!((a.early_abandon_rate() - 0.2).abs() < 1e-12);
         assert!((a.pruned_rate() - 0.6).abs() < 1e-12);
+        assert!((a.visited_fraction() - 0.2).abs() < 1e-12);
+        assert!((a.index_prune_rate() - 0.75).abs() < 1e-12);
         assert_eq!(MatchStats::default().prefilter_reject_rate(), 0.0);
+        assert_eq!(MatchStats::default().visited_fraction(), 0.0);
     }
 }

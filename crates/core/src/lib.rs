@@ -21,6 +21,12 @@
 //!   default; the naive reference loop survives as
 //!   [`reducer::reduce_rank_reference`] and the two paths are
 //!   property-tested to produce bit-identical reduced traces.
+//! * [`index`] — the sub-linear candidate index in front of the match
+//!   loop: duration-sorted windows plus triangle-inequality pivot pruning
+//!   over the cached features, returning surviving candidates in insertion
+//!   order so first-match semantics are preserved bit-identically
+//!   (`docs/index-design.md`; the linear scan survives as
+//!   [`CandidateSearch::LinearScan`]).
 //! * [`parallel`] — per-rank parallel reduction on top of crossbeam scoped
 //!   threads (each rank's trace is reduced independently, exactly as the
 //!   paper's intra-process technique allows).
@@ -54,6 +60,7 @@
 pub mod dtw;
 pub mod extended;
 pub mod features;
+pub mod index;
 pub mod method;
 pub mod metric;
 pub mod parallel;
@@ -63,9 +70,10 @@ pub mod segmenter;
 pub use dtw::{dtw_distance, dtw_within, normalized_dtw_distance};
 pub use extended::{segments_match_extended, ExtendedConfig, ExtendedMethod, ExtendedReducer};
 pub use features::{segments_match_cached, MatchScratch, MatchStats, SegmentFeatures};
+pub use index::CandidateSearch;
 pub use method::{Method, MethodConfig};
 pub use metric::segments_match;
-pub use parallel::{reduce_app_parallel, scoped_workers};
+pub use parallel::{reduce_app_parallel, reduce_app_parallel_with_stats, scoped_workers};
 pub use reducer::{
     reduce_app_reference, reduce_app_with_predicate, reduce_rank_reference,
     reduce_rank_with_predicate, OnlineRankReducer, RankReduction, Reducer,

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 
 use trace_model::{AppTrace, ReducedAppTrace, ReducedRankTrace};
 
-use crate::features::MatchScratch;
+use crate::features::{MatchScratch, MatchStats};
 use crate::reducer::Reducer;
 
 /// Runs `work(worker_index)` on `workers` crossbeam scoped threads and
@@ -46,13 +46,28 @@ where
 /// The output is identical to [`Reducer::reduce_app`]; parallelism only
 /// changes wall-clock time, never the result, because ranks are independent.
 pub fn reduce_app_parallel(reducer: &Reducer, app: &AppTrace, threads: usize) -> ReducedAppTrace {
+    reduce_app_parallel_with_stats(reducer, app, threads).0
+}
+
+/// Like [`reduce_app_parallel`], but also returns the aggregated
+/// similarity-matching counters (visited comparisons, prefilter hits and
+/// index prunes summed over every rank).  The counter totals are identical
+/// to the sequential [`Reducer::reduce_app_with_stats`] — ranks are
+/// independent and each rank's counters are deterministic — only the order
+/// in which workers produced them differs.
+pub fn reduce_app_parallel_with_stats(
+    reducer: &Reducer,
+    app: &AppTrace,
+    threads: usize,
+) -> (ReducedAppTrace, MatchStats) {
     let n_ranks = app.rank_count();
     if threads <= 1 || n_ranks <= 1 {
-        return reducer.reduce_app(app);
+        return reducer.reduce_app_with_stats(app);
     }
 
     let slots: Vec<Mutex<Option<ReducedRankTrace>>> =
         (0..n_ranks).map(|_| Mutex::new(None)).collect();
+    let total_stats = Mutex::new(MatchStats::default());
     let next = std::sync::atomic::AtomicUsize::new(0);
 
     scoped_workers(threads.min(n_ranks), |_| {
@@ -60,14 +75,17 @@ pub fn reduce_app_parallel(reducer: &Reducer, app: &AppTrace, threads: usize) ->
         // largest segment once and are reused across every rank this
         // worker reduces.
         let mut scratch = MatchScratch::new();
+        let mut worker_stats = MatchStats::default();
         loop {
             let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             if index >= n_ranks {
                 break;
             }
             let reduction = reducer.reduce_rank_with_scratch(&app.ranks[index], &mut scratch);
+            worker_stats.absorb(&reduction.matching);
             *slots[index].lock() = Some(reduction.reduced);
         }
+        total_stats.lock().absorb(&worker_stats);
     });
 
     let mut reduced = ReducedAppTrace::for_app(app);
@@ -76,7 +94,7 @@ pub fn reduce_app_parallel(reducer: &Reducer, app: &AppTrace, threads: usize) ->
             .ranks
             .push(slot.into_inner().expect("every rank slot must be filled"));
     }
-    reduced
+    (reduced, total_stats.into_inner())
 }
 
 #[cfg(test)]

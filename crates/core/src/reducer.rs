@@ -33,7 +33,10 @@ use trace_model::{
     StoredSegment, Time,
 };
 
-use crate::features::{segments_match_cached, MatchScratch, MatchStats, SegmentFeatures};
+use crate::features::{
+    segments_match_cached, FeatureKind, MatchScratch, MatchStats, SegmentFeatures,
+};
+use crate::index::{CandidateIndex, CandidateSearch};
 use crate::method::{Method, MethodConfig};
 use crate::metric::segments_match;
 use crate::segmenter::{segments_of_rank_with_stats, SegmentationStats};
@@ -96,6 +99,17 @@ impl AverageState {
     }
 }
 
+/// One same-shape candidate bucket: stored-representative ids in insertion
+/// order plus (on the indexed path) the sorted/pivoted candidate index
+/// over their cached features.
+#[derive(Clone, Debug, Default)]
+struct Bucket {
+    /// Stored ids in insertion order — the paper's scan order.
+    ids: Vec<u32>,
+    /// Candidate index; only maintained under [`CandidateSearch::Indexed`].
+    index: CandidateIndex,
+}
+
 /// Online (segment-at-a-time) form of the stored-segments algorithm.
 ///
 /// [`Reducer::reduce_rank`] and the streaming reduction path (the
@@ -108,11 +122,14 @@ impl AverageState {
 #[derive(Clone, Debug)]
 pub struct OnlineRankReducer {
     config: MethodConfig,
+    search: CandidateSearch,
     reduced: ReducedRankTrace,
     // Stored-representative ids grouped by segment key (structural
     // identity); scanning a bucket in insertion order is equivalent to
-    // the paper's linear scan restricted to eligible segments.
-    buckets: BTreeMap<SegmentKey, Vec<u32>>,
+    // the paper's linear scan restricted to eligible segments.  The
+    // indexed path visits the same candidates minus the ones its window /
+    // pivot bounds prove unmatchable — in the same order.
+    buckets: BTreeMap<SegmentKey, Bucket>,
     // Running averages for iter_avg, indexed by stored id.
     averages: BTreeMap<u32, AverageState>,
     // Cached features per stored representative, indexed like
@@ -137,11 +154,29 @@ impl OnlineRankReducer {
     pub fn with_scratch(
         config: MethodConfig,
         rank: trace_model::Rank,
+        scratch: MatchScratch,
+    ) -> Self {
+        OnlineRankReducer::with_scratch_and_search(
+            config,
+            rank,
+            scratch,
+            CandidateSearch::default(),
+        )
+    }
+
+    /// Like [`OnlineRankReducer::with_scratch`] with an explicit candidate
+    /// search strategy (the linear scan exists for benchmarks and
+    /// equivalence tests; both strategies produce bit-identical output).
+    pub fn with_scratch_and_search(
+        config: MethodConfig,
+        rank: trace_model::Rank,
         mut scratch: MatchScratch,
+        search: CandidateSearch,
     ) -> Self {
         scratch.reset_stats();
         OnlineRankReducer {
             config,
+            search,
             reduced: ReducedRankTrace::new(rank),
             buckets: BTreeMap::new(),
             averages: BTreeMap::new(),
@@ -162,25 +197,43 @@ impl OnlineRankReducer {
             // up stored, cloned into its representative cache.
             self.scratch.prepare_incoming(config.method, &segment);
         }
+        let search = self.search;
         let bucket = self.buckets.entry(key).or_default();
 
         let matched: Option<u32> = match config.method {
-            Method::IterAvg => bucket.first().copied(),
+            Method::IterAvg => bucket.ids.first().copied(),
             Method::IterK => {
-                if bucket.len() >= config.iter_k() {
-                    bucket.last().copied()
+                if bucket.ids.len() >= config.iter_k() {
+                    bucket.ids.last().copied()
                 } else {
                     None
                 }
             }
             _ => {
                 let MatchScratch {
-                    incoming, stats, ..
+                    incoming,
+                    stats,
+                    index_buf,
+                    ..
                 } = &mut self.scratch;
+                let incoming = &*incoming;
                 let features = &self.features;
-                bucket.iter().copied().find(|&id| {
-                    segments_match_cached(&config, incoming, &features[id as usize], stats)
-                })
+                stats.eligible += bucket.ids.len();
+                match search {
+                    CandidateSearch::Indexed => bucket.index.find_first(
+                        &config,
+                        incoming,
+                        features,
+                        stats,
+                        index_buf,
+                        |id, stats| {
+                            segments_match_cached(&config, incoming, &features[id as usize], stats)
+                        },
+                    ),
+                    CandidateSearch::LinearScan => bucket.ids.iter().copied().find(|&id| {
+                        segments_match_cached(&config, incoming, &features[id as usize], stats)
+                    }),
+                }
             }
         };
 
@@ -197,12 +250,15 @@ impl OnlineRankReducer {
             }
             None => {
                 let id = self.reduced.stored.len() as u32;
-                bucket.push(id);
+                bucket.ids.push(id);
                 if config.method == Method::IterAvg {
                     self.averages.insert(id, AverageState::new(&segment));
                 }
                 if is_distance {
                     self.features.push(self.scratch.clone_incoming());
+                    if search == CandidateSearch::Indexed {
+                        bucket.index.insert(id, &config, &self.features);
+                    }
                 }
                 let mut stored_segment = segment;
                 // Representatives are stored rebased; keep the absolute
@@ -259,12 +315,21 @@ impl OnlineRankReducer {
 #[derive(Clone, Copy, Debug)]
 pub struct Reducer {
     config: MethodConfig,
+    search: CandidateSearch,
 }
 
 impl Reducer {
-    /// Creates a reducer for the given method configuration.
+    /// Creates a reducer for the given method configuration (using the
+    /// default [`CandidateSearch::Indexed`] candidate search).
     pub fn new(config: MethodConfig) -> Self {
-        Reducer { config }
+        Reducer::with_search(config, CandidateSearch::default())
+    }
+
+    /// Creates a reducer with an explicit candidate-search strategy.  The
+    /// linear scan exists so benches and tests can measure/verify the
+    /// index against PR 5's behaviour; both strategies are bit-identical.
+    pub fn with_search(config: MethodConfig, search: CandidateSearch) -> Self {
+        Reducer { config, search }
     }
 
     /// Convenience constructor using the paper's default threshold.
@@ -275,6 +340,11 @@ impl Reducer {
     /// The method configuration in use.
     pub fn config(&self) -> MethodConfig {
         self.config
+    }
+
+    /// The candidate-search strategy in use.
+    pub fn search(&self) -> CandidateSearch {
+        self.search
     }
 
     /// Reduces a single rank trace.
@@ -292,8 +362,12 @@ impl Reducer {
         scratch: &mut MatchScratch,
     ) -> RankReduction {
         let (segments, segmentation) = segments_of_rank_with_stats(trace);
-        let mut online =
-            OnlineRankReducer::with_scratch(self.config, trace.rank, std::mem::take(scratch));
+        let mut online = OnlineRankReducer::with_scratch_and_search(
+            self.config,
+            trace.rank,
+            std::mem::take(scratch),
+            self.search,
+        );
         for segment in segments {
             online.push_segment(segment);
         }
@@ -359,16 +433,19 @@ pub fn reduce_rank_reference(config: MethodConfig, trace: &RankTrace) -> RankRed
                     None
                 }
             }
-            _ => bucket.iter().copied().find(|&id| {
-                let stored = &reduced.stored[id as usize].segment;
-                matching.comparisons += 1;
-                matching.full_kernels += 1;
-                let accepted = segments_match(&config, &segment, stored);
-                if accepted {
-                    matching.matches += 1;
-                }
-                accepted
-            }),
+            _ => {
+                matching.eligible += bucket.len();
+                bucket.iter().copied().find(|&id| {
+                    let stored = &reduced.stored[id as usize].segment;
+                    matching.comparisons += 1;
+                    matching.full_kernels += 1;
+                    let accepted = segments_match(&config, &segment, stored);
+                    if accepted {
+                        matching.matches += 1;
+                    }
+                    accepted
+                })
+            }
         };
 
         match matched {
@@ -449,6 +526,7 @@ where
         let start = segment.start;
         let bucket = buckets.entry(key).or_default();
 
+        matching.eligible += bucket.len();
         let matched = bucket.iter().copied().find(|&id| {
             let stored = &reduced.stored[id as usize].segment;
             matching.comparisons += 1;
@@ -500,6 +578,76 @@ where
             .push(reduce_rank_with_predicate(rank, &predicate).reduced);
     }
     reduced
+}
+
+/// Reduces one rank trace with a predicate over *cached features* instead
+/// of raw segments: the same stored-segments candidate path as the paper
+/// methods (one feature computation per incoming segment, one per stored
+/// representative — never one per comparison).
+///
+/// This is how the extended catalogue's measurement/wavelet-space methods
+/// (`cosine`, `normEuclidean`, `cdf97Wave`) run; methods that read raw
+/// segment structure (DTW's banded warping, the delta-time histograms)
+/// stay on [`reduce_rank_with_predicate`].
+pub(crate) fn reduce_rank_with_cached_features<F>(
+    trace: &RankTrace,
+    kind: FeatureKind,
+    predicate: F,
+) -> RankReduction
+where
+    F: Fn(&SegmentFeatures, &SegmentFeatures) -> bool,
+{
+    let (segments, segmentation) = segments_of_rank_with_stats(trace);
+    let mut reduced = ReducedRankTrace::new(trace.rank);
+    let mut buckets: BTreeMap<SegmentKey, Vec<u32>> = BTreeMap::new();
+    let mut features: Vec<SegmentFeatures> = Vec::new();
+    let mut scratch = MatchScratch::new();
+    let mut matching = MatchStats::default();
+
+    for segment in segments {
+        let key = segment.key();
+        let start = segment.start;
+        scratch.prepare_incoming_kind(kind, &segment);
+        let bucket = buckets.entry(key).or_default();
+
+        let incoming = &scratch.incoming;
+        matching.eligible += bucket.len();
+        let matched = bucket.iter().copied().find(|&id| {
+            matching.comparisons += 1;
+            matching.full_kernels += 1;
+            let accepted = predicate(incoming, &features[id as usize]);
+            if accepted {
+                matching.matches += 1;
+            }
+            accepted
+        });
+
+        match matched {
+            Some(id) => {
+                reduced.execs.push(SegmentExec { segment: id, start });
+                reduced.stored[id as usize].represented += 1;
+            }
+            None => {
+                let id = reduced.stored.len() as u32;
+                bucket.push(id);
+                features.push(scratch.clone_incoming());
+                let mut stored_segment = segment;
+                stored_segment.start = Time::ZERO;
+                reduced.stored.push(StoredSegment {
+                    id,
+                    segment: stored_segment,
+                    represented: 1,
+                });
+                reduced.execs.push(SegmentExec { segment: id, start });
+            }
+        }
+    }
+
+    RankReduction {
+        reduced,
+        segmentation,
+        matching,
+    }
 }
 
 #[cfg(test)]

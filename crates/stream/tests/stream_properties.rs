@@ -11,7 +11,7 @@ use std::io::Cursor;
 
 use proptest::prelude::*;
 use trace_format::write_app_trace;
-use trace_reduce::{reduce_app_reference, Method, MethodConfig, Reducer};
+use trace_reduce::{reduce_app_reference, reduce_rank_reference, Method, MethodConfig, Reducer};
 use trace_sim::specgen::{trace_from_specs, SegmentSpec};
 use trace_stream::{reduce_stream, reduce_stream_sharded};
 
@@ -140,6 +140,60 @@ fn streaming_and_sharded_drivers_match_the_naive_reference_path() {
                     "{method} @ {threshold}, {shards} shards"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn streaming_index_counters_reconcile_with_the_reference_scan() {
+    // The streaming loop drives the candidate index by default.  Every
+    // candidate the naive reference compared must be accounted for by the
+    // streamed counters — either visited (`comparisons`) or attributed to
+    // a window / pivot prune — and the sharded driver must aggregate the
+    // identical totals, merely in a different worker order.  (60 segments
+    // per rank: the per-shape buckets must outgrow the index's
+    // small-bucket fallback for the prune counters to be non-trivial.)
+    let specs: Vec<Vec<SegmentSpec>> = (0..3)
+        .map(|rank| {
+            (0..60)
+                .map(|i| {
+                    (
+                        (rank % 2) as u8,
+                        (i % 3) as u8,
+                        ((i * 211 + rank * 53) % 1600) as u16,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let app = build_trace(&specs);
+    let text = write_app_trace(&app);
+    for method in Method::ALL.into_iter().filter(|m| m.is_distance_method()) {
+        let config = MethodConfig::with_default_threshold(method);
+        let reference_comparisons: usize = app
+            .ranks
+            .iter()
+            .map(|rank| reduce_rank_reference(config, rank).matching.comparisons)
+            .sum();
+        let streamed = reduce_stream(config, Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(
+            streamed.stats.matching.candidates(),
+            reference_comparisons,
+            "{method}: streamed candidates must cover the reference scan"
+        );
+        assert!(
+            streamed.stats.matching.comparisons <= reference_comparisons,
+            "{method}: the index must never visit more than the scan"
+        );
+        for shards in [2usize, 3] {
+            let sharded = reduce_stream_sharded(config, shards, |_| {
+                Ok(Cursor::new(text.as_bytes().to_vec()))
+            })
+            .unwrap();
+            assert_eq!(
+                sharded.stats.matching, streamed.stats.matching,
+                "{method} with {shards} shards: counters aggregate identically"
+            );
         }
     }
 }
