@@ -38,23 +38,21 @@ fn bench_container_ingestion(c: &mut Criterion) {
     let monolithic = encode_app_trace(&app);
     let config = MethodConfig::with_default_threshold(Method::AvgWave);
 
-    // Report the memory story once: peak buffered chunk vs whole file.
+    // Report the memory story once, through the same run-report formatter
+    // the CLI's `--obs` flag uses (a monolithic decode holds the whole v1
+    // buffer; the streaming reader only `stream.peak_chunk_bytes`).
     let reduction = reduce_container_stream(config, Cursor::new(&container)).unwrap();
     println!(
-        "container {}: v1 {} bytes, v2 {} bytes, {} segments streamed, peak chunk {} bytes \
-         (monolithic decode holds all {} bytes)",
+        "container {}: v1 {} bytes, v2 {} bytes",
         workload.name(),
         monolithic.len(),
-        container.len(),
-        reduction.stats.segments,
-        reduction.stats.peak_chunk_bytes,
-        monolithic.len()
+        container.len()
     );
-    println!(
-        "matching: {} comparisons, {:.1}% pruned before a full kernel",
-        reduction.stats.matching.comparisons,
-        100.0 * reduction.stats.matching.pruned_rate()
-    );
+    let recorder = trace_obs::Recorder::enabled();
+    let mut shard = recorder.shard();
+    reduction.stats.record_into(&mut shard);
+    shard.finish();
+    println!("{}", recorder.report().render_text());
 
     // The sharded driver needs a real file for the seekable index footer.
     let mut path = std::env::temp_dir();

@@ -32,24 +32,20 @@ fn bench_streaming_reduction(c: &mut Criterion) {
         .expect("writing to a Vec cannot fail");
     let config = MethodConfig::with_default_threshold(Method::AvgWave);
 
-    // Report the memory story once: peak resident segments vs streamed —
-    // plus the similarity fast path's pruning counters.
+    // Report the memory and pruning story once, through the same run-report
+    // formatter the CLI's `--obs` flag uses (one rendering, no bench-local
+    // stat formatting to drift out of sync).
     let reduction = reduce_stream(config, Cursor::new(text.as_slice())).unwrap();
     println!(
-        "streaming {}: {} bytes of text, {} segments streamed, {} stored, peak resident {}",
+        "streaming {}: {} bytes of text",
         workload.name(),
-        text.len(),
-        reduction.stats.segments,
-        reduction.stats.stored,
-        reduction.stats.peak_resident_segments
+        text.len()
     );
-    let matching = reduction.stats.matching;
-    println!(
-        "matching: {} comparisons, {:.1}% prefilter-rejected, {:.1}% early-abandoned",
-        matching.comparisons,
-        100.0 * matching.prefilter_reject_rate(),
-        100.0 * matching.early_abandon_rate()
-    );
+    let recorder = trace_obs::Recorder::enabled();
+    let mut shard = recorder.shard();
+    reduction.stats.record_into(&mut shard);
+    shard.finish();
+    println!("{}", recorder.report().render_text());
 
     let mut group = c.benchmark_group("streaming/reduce");
     group.sample_size(10);

@@ -12,7 +12,8 @@ use trace_container::{ChunkSpec, Codec};
 
 use crate::cli::Invocation;
 use crate::io::{
-    load_app_trace, load_reduced_trace, store_app_trace, store_reduced_trace, BinaryFormat,
+    load_app_trace, load_app_trace_obs, load_reduced_trace, store_app_trace, store_reduced_trace,
+    store_reduced_trace_obs, BinaryFormat,
 };
 
 /// The usage text printed by `trace-tools help` and after errors.
@@ -49,6 +50,14 @@ binary output flags (generate, reduce, convert):
   --v1                                   write the monolithic v1 encoding instead
                                          of the default chunked .trc v2 container
 
+observability flags (generate, reduce, convert):
+  --obs                                  record pipeline metrics and stage spans
+  --obs-out FILE                         write the run report to FILE instead of
+                                         appending it to the command output
+  --obs-format text|json|chrome          report format (default: json with
+                                         --obs-out, text otherwise); `chrome`
+                                         is a chrome://tracing event stream
+
 file formats are chosen by extension: .txt/.trctxt = text, anything else = binary
 (binary reads autodetect monolithic v1 and chunked v2 containers by magic)"
         .to_string()
@@ -61,7 +70,17 @@ file formats are chosen by extension: .txt/.trctxt = text, anything else = binar
 fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
     Some(match command {
         "help" | "--help" | "-h" | "list" => &[],
-        "generate" => &["workload", "preset", "out", "codec", "chunk-segments", "v1"],
+        "generate" => &[
+            "workload",
+            "preset",
+            "out",
+            "codec",
+            "chunk-segments",
+            "v1",
+            "obs",
+            "obs-out",
+            "obs-format",
+        ],
         "reduce" => &[
             "in",
             "out",
@@ -72,10 +91,23 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "codec",
             "chunk-segments",
             "v1",
+            "obs",
+            "obs-out",
+            "obs-format",
         ],
         "sample" => &["in", "out", "policy", "seed"],
         "reconstruct" => &["in", "out"],
-        "convert" => &["in", "out", "container", "chunk-segments", "codec", "v1"],
+        "convert" => &[
+            "in",
+            "out",
+            "container",
+            "chunk-segments",
+            "codec",
+            "v1",
+            "obs",
+            "obs-out",
+            "obs-format",
+        ],
         "analyze" => &["in"],
         "evaluate" => &["workload", "method", "threshold", "preset"],
         "cluster" => &["in", "k", "algorithm", "out"],
@@ -218,6 +250,114 @@ fn parse_binary_format(invocation: &Invocation, out: &Path) -> Result<BinaryForm
     Ok(BinaryFormat::ContainerV2(spec))
 }
 
+/// Output format for the observability run report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ObsFormat {
+    /// Human-readable summary ([`trace_obs::RunReport::render_text`]).
+    Text,
+    /// Machine-readable report with a documented stable schema
+    /// ([`trace_obs::RunReport::render_json`]).
+    Json,
+    /// chrome://tracing event stream
+    /// ([`trace_obs::RunReport::render_chrome_trace`]).
+    Chrome,
+}
+
+impl ObsFormat {
+    fn label(self) -> &'static str {
+        match self {
+            ObsFormat::Text => "text",
+            ObsFormat::Json => "json",
+            ObsFormat::Chrome => "chrome",
+        }
+    }
+}
+
+/// Parsed observability flags (`--obs`, `--obs-out`, `--obs-format`).
+struct ObsSettings {
+    /// Report destination; `None` appends to the command output.
+    out: Option<std::path::PathBuf>,
+    format: ObsFormat,
+}
+
+/// Parses the observability flags shared by `generate`, `reduce` and
+/// `convert`.  Giving any of the three enables recording; the format
+/// defaults to `json` when a `--obs-out` file is given (the
+/// machine-readable case) and `text` otherwise.
+fn parse_obs(invocation: &Invocation) -> Result<Option<ObsSettings>, String> {
+    let enabled =
+        invocation.has("obs") || invocation.has("obs-out") || invocation.has("obs-format");
+    if !enabled {
+        return Ok(None);
+    }
+    let out = if invocation.has("obs-out") {
+        Some(std::path::PathBuf::from(invocation.require("obs-out")?))
+    } else {
+        None
+    };
+    let format = match invocation.get("obs-format") {
+        None | Some("") => {
+            if out.is_some() {
+                ObsFormat::Json
+            } else {
+                ObsFormat::Text
+            }
+        }
+        Some("text") => ObsFormat::Text,
+        Some("json") => ObsFormat::Json,
+        Some("chrome") => ObsFormat::Chrome,
+        Some(other) => {
+            return Err(format!(
+                "unknown obs format {other:?} (expected text, json or chrome)"
+            ))
+        }
+    };
+    Ok(Some(ObsSettings { out, format }))
+}
+
+/// Creates the recorder for a command: enabled when obs flags were given.
+fn obs_recorder(settings: &Option<ObsSettings>) -> trace_obs::Recorder {
+    if settings.is_some() {
+        trace_obs::Recorder::enabled()
+    } else {
+        trace_obs::Recorder::disabled()
+    }
+}
+
+/// Renders the run report and either writes it to `--obs-out` or appends
+/// it to the command output.
+fn emit_obs(
+    settings: &Option<ObsSettings>,
+    recorder: &trace_obs::Recorder,
+    message: &mut String,
+) -> Result<(), String> {
+    let Some(settings) = settings else {
+        return Ok(());
+    };
+    let report = recorder.report();
+    let rendered = match settings.format {
+        ObsFormat::Text => report.render_text(),
+        ObsFormat::Json => report.render_json(),
+        ObsFormat::Chrome => report.render_chrome_trace(),
+    };
+    match &settings.out {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            message.push_str(&format!(
+                "\nrun report ({}) -> {}",
+                settings.format.label(),
+                path.display()
+            ));
+        }
+        None => {
+            message.push('\n');
+            message.push_str(&rendered);
+        }
+    }
+    Ok(())
+}
+
 /// Short human-readable description of a binary write format.
 fn format_label(format: BinaryFormat) -> String {
     match format {
@@ -247,20 +387,24 @@ fn cmd_generate(invocation: &Invocation) -> Result<String, String> {
     let preset = parse_preset(invocation.get("preset"))?;
     let out = Path::new(invocation.require("out")?);
     let format = parse_binary_format(invocation, out)?;
+    let obs = parse_obs(invocation)?;
+    let recorder = obs_recorder(&obs);
     let app = Workload::new(kind, preset).generate();
-    let written = store_app_trace(out, &app, format)?;
+    let written = crate::io::store_app_trace_obs(out, &app, format, &recorder)?;
     let encoding = if crate::io::is_text_path(out) {
         "text".to_string()
     } else {
         format_label(format)
     };
-    Ok(format!(
+    let mut message = format!(
         "generated {}: {} ranks, {} events, {written} bytes ({encoding}) -> {}",
         app.name,
         app.rank_count(),
         app.total_events(),
         out.display()
-    ))
+    );
+    emit_obs(&obs, &recorder, &mut message)?;
+    Ok(message)
 }
 
 /// `reduce --stream`: one-pass, bounded-memory reduction of a trace file.
@@ -284,10 +428,12 @@ fn cmd_reduce_stream(invocation: &Invocation) -> Result<String, String> {
         return Err("--shards must be at least 1".to_string());
     }
 
+    let obs = parse_obs(invocation)?;
+    let recorder = obs_recorder(&obs);
     let method_config = MethodConfig::new(method, config.threshold);
-    let (result, kind) = trace_stream::reduce_any_file(method_config, input, shards)
+    let (result, kind) = trace_stream::reduce_any_file_obs(method_config, input, shards, &recorder)
         .map_err(|e| format!("{}: {e}", input.display()))?;
-    store_reduced_trace(out, &result.reduced, format)?;
+    store_reduced_trace_obs(out, &result.reduced, format, &recorder)?;
     // The v1 fallback decodes the whole file single-threaded: no sharding
     // happened and the "peak" is simply every segment, so the message must
     // not claim otherwise.
@@ -334,6 +480,7 @@ fn cmd_reduce_stream(invocation: &Invocation) -> Result<String, String> {
              `--container` for true streaming",
         );
     }
+    emit_obs(&obs, &recorder, &mut message)?;
     Ok(message)
 }
 
@@ -348,10 +495,30 @@ fn cmd_reduce(invocation: &Invocation) -> Result<String, String> {
     let input = Path::new(invocation.require("in")?);
     let out = Path::new(invocation.require("out")?);
     let format = parse_binary_format(invocation, out)?;
-    let app = load_app_trace(input)?;
-    let reduced = ExtendedReducer::new(config).reduce_app(&app);
-    store_reduced_trace(out, &reduced, format)?;
-    Ok(format!(
+    let obs = parse_obs(invocation)?;
+    let recorder = obs_recorder(&obs);
+    let app = load_app_trace_obs(input, &recorder)?;
+    // Paper methods reduce through the instrumented core path (identical
+    // output — `ExtendedReducer` delegates Paper methods to `Reducer`);
+    // extension methods record one coarse Match span around the reduction.
+    let reduced = match config.method {
+        ExtendedMethod::Paper(method) => {
+            let (reduced, _stats) =
+                trace_reduce::Reducer::new(MethodConfig::new(method, config.threshold))
+                    .reduce_app_obs(&app, &recorder);
+            reduced
+        }
+        _ => {
+            let mut shard = recorder.shard();
+            let span = shard.start();
+            let reduced = ExtendedReducer::new(config).reduce_app(&app);
+            shard.end(trace_obs::Stage::Match, span);
+            shard.finish();
+            reduced
+        }
+    };
+    store_reduced_trace_obs(out, &reduced, format, &recorder)?;
+    let mut message = format!(
         "reduced {} with {}: {} stored segments for {} executions, {:.2}% of the full size, degree of matching {:.3} -> {}",
         app.name,
         config.label(),
@@ -360,7 +527,9 @@ fn cmd_reduce(invocation: &Invocation) -> Result<String, String> {
         file_size_percent(&app, &reduced),
         reduced.degree_of_matching(),
         out.display()
-    ))
+    );
+    emit_obs(&obs, &recorder, &mut message)?;
+    Ok(message)
 }
 
 fn cmd_sample(invocation: &Invocation) -> Result<String, String> {
@@ -403,18 +572,22 @@ fn cmd_convert(invocation: &Invocation) -> Result<String, String> {
     // the default binary write format now, so the flag only forbids `--v1`
     // and text outputs (both checked inside parse_binary_format).
     let format = parse_binary_format(invocation, out)?;
-    let app = load_app_trace(input)?;
-    let written = store_app_trace(out, &app, format)?;
+    let obs = parse_obs(invocation)?;
+    let recorder = obs_recorder(&obs);
+    let app = load_app_trace_obs(input, &recorder)?;
+    let written = crate::io::store_app_trace_obs(out, &app, format, &recorder)?;
     let encoding = if crate::io::is_text_path(out) {
         "text".to_string()
     } else {
         format_label(format)
     };
-    Ok(format!(
+    let mut message = format!(
         "converted {} -> {} ({encoding}, {written} bytes)",
         input.display(),
         out.display()
-    ))
+    );
+    emit_obs(&obs, &recorder, &mut message)?;
+    Ok(message)
 }
 
 fn cmd_analyze(invocation: &Invocation) -> Result<String, String> {
@@ -1108,6 +1281,163 @@ mod tests {
         assert!(out.contains("Extension study"), "{out}");
         assert!(out.contains("summary"), "{out}");
         assert!(out.contains("sampling:every10"), "{out}");
+    }
+
+    #[test]
+    fn obs_flags_emit_reports_without_changing_the_output() {
+        let trace = temp_path("obs_in.trc");
+        let plain = temp_path("obs_plain.trc");
+        let observed = temp_path("obs_observed.trc");
+        let report = temp_path("obs_report.json");
+
+        // generate with --obs appends a text run report with Store timing.
+        let out = run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "late_sender"),
+                ("preset", "tiny"),
+                ("out", trace.to_str().unwrap()),
+                ("obs", ""),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("== run report =="), "{out}");
+        assert!(out.contains("store"), "{out}");
+        assert!(out.contains("chunk.writes"), "{out}");
+
+        // The reduced output is byte-identical with and without recording.
+        run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("out", plain.to_str().unwrap()),
+                ("method", "avgWave"),
+            ],
+        ))
+        .unwrap();
+        let out = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("out", observed.to_str().unwrap()),
+                ("method", "avgWave"),
+                ("obs-out", report.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("run report (json) ->"), "{out}");
+        assert_eq!(
+            std::fs::read(&plain).unwrap(),
+            std::fs::read(&observed).unwrap(),
+            "recording must not change the written trace"
+        );
+
+        // The --obs-out file is valid against the documented schema and
+        // round-trips through the parser losslessly.
+        let json = std::fs::read_to_string(&report).unwrap();
+        let parsed = trace_obs::RunReport::from_json(&json).unwrap();
+        assert!(parsed.counters.contains_key("match.comparisons"), "{json}");
+        assert_eq!(parsed.render_json(), json, "one canonical serialization");
+
+        cleanup(&[&trace, &plain, &observed, &report]);
+    }
+
+    #[test]
+    fn obs_covers_streaming_extension_and_chrome_formats() {
+        let trace = temp_path("obs_stream_in.trc");
+        let reduced = temp_path("obs_stream_out.trc");
+        run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "dyn_load_balance"),
+                ("preset", "tiny"),
+                ("out", trace.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+
+        // Streaming reduction with a text report: per-rank spans show up.
+        let out = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("out", reduced.to_str().unwrap()),
+                ("method", "relDiff"),
+                ("stream", ""),
+                ("shards", "2"),
+                ("obs", ""),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("== run report =="), "{out}");
+        assert!(out.contains("rank"), "{out}");
+        assert!(out.contains("stream.events"), "{out}");
+
+        // Extension methods record the coarse Match span.
+        let out = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("out", reduced.to_str().unwrap()),
+                ("method", "dtw"),
+                ("obs", ""),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("match"), "{out}");
+
+        // convert emits a chrome trace with Parse and Store slices.
+        let out = run(&Invocation::new(
+            "convert",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("out", reduced.to_str().unwrap()),
+                ("obs-format", "chrome"),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("traceEvents"), "{out}");
+        assert!(out.contains("\"parse\""), "{out}");
+        assert!(out.contains("\"store\""), "{out}");
+
+        // Bad formats are rejected with the valid set.
+        let err = run(&Invocation::new(
+            "convert",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("out", reduced.to_str().unwrap()),
+                ("obs-format", "xml"),
+            ],
+        ))
+        .unwrap_err();
+        assert!(err.contains("text, json or chrome"), "{err}");
+
+        // --obs-out without a value is an error, not a silent drop.
+        let err = run(&Invocation::new(
+            "convert",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("out", reduced.to_str().unwrap()),
+                ("obs-out", ""),
+            ],
+        ))
+        .unwrap_err();
+        assert!(err.contains("--obs-out"), "{err}");
+
+        // Commands that never record reject the obs flags.
+        let err = run(&Invocation::new(
+            "sample",
+            &[
+                ("in", "a"),
+                ("out", "b"),
+                ("policy", "every:4"),
+                ("obs", ""),
+            ],
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown option --obs"), "{err}");
+
+        cleanup(&[&trace, &reduced]);
     }
 
     #[test]

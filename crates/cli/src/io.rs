@@ -12,9 +12,7 @@
 use std::fs;
 use std::path::Path;
 
-use trace_container::{
-    decode_app_any, decode_reduced_any, encode_app_container, encode_reduced_container, ChunkSpec,
-};
+use trace_container::{decode_app_any, decode_reduced_any, ChunkSpec};
 use trace_format::{parse_app_trace, parse_reduced_trace, write_app_trace, write_reduced_trace};
 use trace_model::codec::{encode_app_trace, encode_reduced_trace};
 use trace_model::{AppTrace, ReducedAppTrace};
@@ -48,28 +46,59 @@ pub fn is_text_path(path: &Path) -> bool {
 
 /// Loads a full application trace from `path` (text or binary by extension).
 pub fn load_app_trace(path: &Path) -> Result<AppTrace, String> {
-    if is_text_path(path) {
+    load_app_trace_obs(path, &trace_obs::Recorder::disabled())
+}
+
+/// [`load_app_trace`] with observability: the whole read-and-decode is
+/// bracketed by one [`trace_obs::Stage::Parse`] span.  With a disabled
+/// recorder this is exactly [`load_app_trace`].
+pub fn load_app_trace_obs(path: &Path, recorder: &trace_obs::Recorder) -> Result<AppTrace, String> {
+    let mut obs = recorder.shard();
+    let span = obs.start();
+    let result = if is_text_path(path) {
         let text =
             fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         parse_app_trace(&text).map_err(|e| format!("{}: {e}", path.display()))
     } else {
         let bytes = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         decode_app_any(&bytes).map_err(|e| format!("{}: {e}", path.display()))
-    }
+    };
+    obs.end(trace_obs::Stage::Parse, span);
+    obs.finish();
+    result
 }
 
 /// Stores a full application trace to `path`: text by extension, otherwise
 /// the requested binary format.  Returns the number of bytes written.
 pub fn store_app_trace(path: &Path, app: &AppTrace, format: BinaryFormat) -> Result<usize, String> {
+    store_app_trace_obs(path, app, format, &trace_obs::Recorder::disabled())
+}
+
+/// [`store_app_trace`] with observability: the encode-and-write is
+/// bracketed by one [`trace_obs::Stage::Store`] span, and container writes
+/// additionally record per-chunk compression spans and codec byte
+/// counters.  The bytes written are identical.
+pub fn store_app_trace_obs(
+    path: &Path,
+    app: &AppTrace,
+    format: BinaryFormat,
+    recorder: &trace_obs::Recorder,
+) -> Result<usize, String> {
+    let mut obs = recorder.shard();
+    let span = obs.start();
     let bytes = if is_text_path(path) {
         write_app_trace(app).into_bytes()
     } else {
         match format {
-            BinaryFormat::ContainerV2(spec) => encode_app_container(app, spec),
+            BinaryFormat::ContainerV2(spec) => {
+                trace_container::encode_app_container_obs(app, spec, recorder.shard())
+            }
             BinaryFormat::MonolithicV1 => encode_app_trace(app),
         }
     };
     fs::write(path, &bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    obs.end(trace_obs::Stage::Store, span);
+    obs.finish();
     Ok(bytes.len())
 }
 
@@ -92,15 +121,32 @@ pub fn store_reduced_trace(
     reduced: &ReducedAppTrace,
     format: BinaryFormat,
 ) -> Result<usize, String> {
+    store_reduced_trace_obs(path, reduced, format, &trace_obs::Recorder::disabled())
+}
+
+/// [`store_reduced_trace`] with observability (see
+/// [`store_app_trace_obs`]).
+pub fn store_reduced_trace_obs(
+    path: &Path,
+    reduced: &ReducedAppTrace,
+    format: BinaryFormat,
+    recorder: &trace_obs::Recorder,
+) -> Result<usize, String> {
+    let mut obs = recorder.shard();
+    let span = obs.start();
     let bytes = if is_text_path(path) {
         write_reduced_trace(reduced).into_bytes()
     } else {
         match format {
-            BinaryFormat::ContainerV2(spec) => encode_reduced_container(reduced, spec),
+            BinaryFormat::ContainerV2(spec) => {
+                trace_container::encode_reduced_container_obs(reduced, spec, recorder.shard())
+            }
             BinaryFormat::MonolithicV1 => encode_reduced_trace(reduced),
         }
     };
     fs::write(path, &bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    obs.end(trace_obs::Stage::Store, span);
+    obs.finish();
     Ok(bytes.len())
 }
 

@@ -21,7 +21,7 @@
 
 use std::io::{self, Read, Write};
 
-use trace_compress::{decompress, Codec, PayloadClass};
+use trace_compress::{decompress_observed, Codec, PayloadClass};
 
 use crate::crc::crc32;
 use crate::error::ContainerError;
@@ -186,6 +186,7 @@ pub struct ChunkStream<R> {
     inner: R,
     offset: u64,
     peak_payload_bytes: usize,
+    obs: trace_obs::ObsShard,
 }
 
 impl<R: Read> ChunkStream<R> {
@@ -196,7 +197,16 @@ impl<R: Read> ChunkStream<R> {
             inner,
             offset,
             peak_payload_bytes: 0,
+            obs: trace_obs::ObsShard::disabled(),
         }
+    }
+
+    /// Attaches an observability shard: subsequent chunk reads record
+    /// [`trace_obs::Stage::ChunkIo`]/[`trace_obs::Stage::Compress`] spans
+    /// and `chunk.reads` counters.  The shard flushes to its recorder when
+    /// the stream is dropped.
+    pub fn set_obs(&mut self, obs: trace_obs::ObsShard) {
+        self.obs = obs;
     }
 
     /// Current byte offset (start of the next chunk's framing header).
@@ -254,6 +264,7 @@ impl<R: Read> ChunkStream<R> {
     pub fn next_chunk(&mut self) -> Result<RawChunk, ContainerError> {
         const READ_STEP: u64 = 1 << 20;
         let offset = self.offset;
+        let io_span = self.obs.start();
         let (kind, codec, len, expected) = self.read_frame()?;
         let mut payload = Vec::with_capacity(len.min(READ_STEP) as usize);
         while (payload.len() as u64) < len {
@@ -271,9 +282,11 @@ impl<R: Read> ChunkStream<R> {
                 found,
             });
         }
+        self.obs.end(trace_obs::Stage::ChunkIo, io_span);
+        self.obs.add(trace_obs::names::CHUNK_READS, 1);
         self.peak_payload_bytes = self.peak_payload_bytes.max(payload.len());
         if codec != Codec::None {
-            payload = decompress(codec, kind.payload_class(), &payload)?;
+            payload = decompress_observed(codec, kind.payload_class(), &payload, &mut self.obs)?;
             self.peak_payload_bytes = self.peak_payload_bytes.max(payload.len());
         }
         Ok(RawChunk {

@@ -200,6 +200,12 @@ impl<R: Read> ChunkReader<R> {
         self.stream.peak_payload_bytes()
     }
 
+    /// Attaches an observability shard to the underlying chunk stream (see
+    /// [`ChunkStream::set_obs`]).
+    pub fn set_obs(&mut self, obs: trace_obs::ObsShard) {
+        self.stream.set_obs(obs);
+    }
+
     fn end_section(&mut self, payload: &[u8]) -> Result<ContainerItem, ContainerError> {
         let ReaderState::InSection(progress) =
             std::mem::replace(&mut self.state, ReaderState::Idle)

@@ -10,7 +10,7 @@
 
 use std::io::{self, Write};
 
-use trace_compress::{compress, Codec};
+use trace_compress::{compress_observed, Codec};
 use trace_model::codec::varint::write_u64 as varint_write_u64;
 use trace_model::codec::{
     write_exec, write_record, write_stored_segment, write_string, write_string_table,
@@ -124,6 +124,7 @@ pub struct ChunkWriter<W: Write> {
     prev_time: Time,
     section: Option<SectionState>,
     sections: Vec<RankSectionEntry>,
+    obs: trace_obs::ObsShard,
 }
 
 impl<W: Write> ChunkWriter<W> {
@@ -162,7 +163,16 @@ impl<W: Write> ChunkWriter<W> {
             prev_time: Time::ZERO,
             section: None,
             sections: Vec::new(),
+            obs: trace_obs::ObsShard::disabled(),
         })
+    }
+
+    /// Attaches an observability shard: subsequent chunk flushes record
+    /// [`trace_obs::Stage::Compress`] spans, `chunk.writes` and per-codec
+    /// stored/raw byte counters.  The shard flushes to its recorder when
+    /// the writer is finished or dropped.
+    pub fn set_obs(&mut self, obs: trace_obs::ObsShard) {
+        self.obs = obs;
     }
 
     /// Starts an application-trace container (header + preamble chunk).
@@ -219,19 +229,43 @@ impl<W: Write> ChunkWriter<W> {
         let mut payload = Vec::with_capacity(self.body.len() + 4);
         varint_write_u64(&mut payload, self.items_in_chunk);
         payload.extend_from_slice(&self.body);
-        if self.spec.codec == Codec::None {
+        // The codec byte actually written (after the raw fallback decided)
+        // and the stored payload length, for the per-codec counters.
+        let (stored_codec, stored_len) = if self.spec.codec == Codec::None {
             write_chunk(&mut self.out, kind, Codec::None, &payload)?;
+            (Codec::None, payload.len())
         } else {
             // The payload was just produced by the row codec, so the
             // transform cannot fail; surface the impossible as io::Error
             // rather than panicking.
-            let packed = compress(self.spec.codec, kind.payload_class(), &payload)
-                .map_err(|e| io::Error::other(format!("chunk compression failed: {e}")))?;
+            let packed = compress_observed(
+                self.spec.codec,
+                kind.payload_class(),
+                &payload,
+                &mut self.obs,
+            )
+            .map_err(|e| io::Error::other(format!("chunk compression failed: {e}")))?;
             if packed.len() < payload.len() {
                 write_chunk(&mut self.out, kind, self.spec.codec, &packed)?;
+                (self.spec.codec, packed.len())
             } else {
+                self.obs.add(trace_obs::names::CHUNK_COMPRESS_FALLBACKS, 1);
                 write_chunk(&mut self.out, kind, Codec::None, &payload)?;
+                (Codec::None, payload.len())
             }
+        };
+        if self.obs.is_enabled() {
+            let name = stored_codec.name();
+            self.obs.add(trace_obs::names::CHUNK_WRITES, 1);
+            self.obs.add(trace_obs::names::codec_chunks(name), 1);
+            self.obs.add(
+                trace_obs::names::codec_raw_bytes(name),
+                payload.len() as u64,
+            );
+            self.obs.add(
+                trace_obs::names::codec_stored_bytes(name),
+                stored_len as u64,
+            );
         }
         let Some(section) = self.section.as_mut() else {
             return Err(Self::state_error("chunk flushed outside a rank section"));
@@ -416,6 +450,18 @@ impl<W: Write> ChunkWriter<W> {
 
 /// Writes `app` as a chunked container to `out` and returns the sink.
 pub fn write_app_container<W: Write>(out: W, app: &AppTrace, spec: ChunkSpec) -> io::Result<W> {
+    write_app_container_obs(out, app, spec, trace_obs::ObsShard::disabled())
+}
+
+/// [`write_app_container`] with observability: the writer records
+/// per-chunk compression spans and chunk/codec byte counters into `obs`
+/// (see [`ChunkWriter::set_obs`]).  The encoded bytes are identical.
+pub fn write_app_container_obs<W: Write>(
+    out: W,
+    app: &AppTrace,
+    spec: ChunkSpec,
+    obs: trace_obs::ObsShard,
+) -> io::Result<W> {
     let mut writer = ChunkWriter::app(
         out,
         &app.name,
@@ -424,6 +470,7 @@ pub fn write_app_container<W: Write>(out: W, app: &AppTrace, spec: ChunkSpec) ->
         app.contexts.names(),
         spec,
     )?;
+    writer.set_obs(obs);
     for rank in &app.ranks {
         writer.begin_rank(rank.rank)?;
         for record in &rank.records {
@@ -440,6 +487,17 @@ pub fn write_reduced_container<W: Write>(
     reduced: &ReducedAppTrace,
     spec: ChunkSpec,
 ) -> io::Result<W> {
+    write_reduced_container_obs(out, reduced, spec, trace_obs::ObsShard::disabled())
+}
+
+/// [`write_reduced_container`] with observability (see
+/// [`write_app_container_obs`]).
+pub fn write_reduced_container_obs<W: Write>(
+    out: W,
+    reduced: &ReducedAppTrace,
+    spec: ChunkSpec,
+    obs: trace_obs::ObsShard,
+) -> io::Result<W> {
     let mut writer = ChunkWriter::reduced(
         out,
         &reduced.name,
@@ -448,6 +506,7 @@ pub fn write_reduced_container<W: Write>(
         reduced.contexts.names(),
         spec,
     )?;
+    writer.set_obs(obs);
     for rank in &reduced.ranks {
         writer.begin_rank(rank.rank)?;
         for stored in &rank.stored {
@@ -462,15 +521,36 @@ pub fn write_reduced_container<W: Write>(
 }
 
 /// Encodes `app` as a chunked container into a byte buffer.
-#[allow(clippy::expect_used)]
 pub fn encode_app_container(app: &AppTrace, spec: ChunkSpec) -> Vec<u8> {
+    encode_app_container_obs(app, spec, trace_obs::ObsShard::disabled())
+}
+
+/// [`encode_app_container`] with observability (see
+/// [`write_app_container_obs`]).
+#[allow(clippy::expect_used)]
+pub fn encode_app_container_obs(
+    app: &AppTrace,
+    spec: ChunkSpec,
+    obs: trace_obs::ObsShard,
+) -> Vec<u8> {
     // lint:allow(expect) -- Vec<u8> as a Write sink is infallible and the writer is driven in order
-    write_app_container(Vec::new(), app, spec).expect("writing to a Vec cannot fail")
+    write_app_container_obs(Vec::new(), app, spec, obs).expect("writing to a Vec cannot fail")
 }
 
 /// Encodes `reduced` as a chunked container into a byte buffer.
-#[allow(clippy::expect_used)]
 pub fn encode_reduced_container(reduced: &ReducedAppTrace, spec: ChunkSpec) -> Vec<u8> {
-    // lint:allow(expect) -- Vec<u8> as a Write sink is infallible and the writer is driven in order
-    write_reduced_container(Vec::new(), reduced, spec).expect("writing to a Vec cannot fail")
+    encode_reduced_container_obs(reduced, spec, trace_obs::ObsShard::disabled())
+}
+
+/// [`encode_reduced_container`] with observability (see
+/// [`write_app_container_obs`]).
+#[allow(clippy::expect_used)]
+pub fn encode_reduced_container_obs(
+    reduced: &ReducedAppTrace,
+    spec: ChunkSpec,
+    obs: trace_obs::ObsShard,
+) -> Vec<u8> {
+    write_reduced_container_obs(Vec::new(), reduced, spec, obs)
+        // lint:allow(expect) -- Vec<u8> as a Write sink is infallible and the writer is driven in order
+        .expect("writing to a Vec cannot fail")
 }

@@ -262,6 +262,33 @@ impl MatchStats {
         self.eligible += other.eligible;
     }
 
+    /// Drains these counters into an observability shard under the
+    /// canonical `match.*` metric names.  Call once per merged total (not
+    /// per rank) so sharded drivers don't double-count.
+    pub fn record_into(&self, obs: &mut trace_obs::ObsShard) {
+        if !obs.is_enabled() {
+            return;
+        }
+        use trace_obs::names;
+        obs.add(names::MATCH_COMPARISONS, self.comparisons as u64);
+        obs.add(
+            names::MATCH_PREFILTER_REJECTS,
+            self.prefilter_rejects as u64,
+        );
+        obs.add(names::MATCH_EARLY_ABANDONS, self.early_abandons as u64);
+        obs.add(names::MATCH_FULL_KERNELS, self.full_kernels as u64);
+        obs.add(names::MATCH_MATCHES, self.matches as u64);
+        obs.add(
+            names::MATCH_INDEX_WINDOW_PRUNES,
+            self.index_window_prunes as u64,
+        );
+        obs.add(
+            names::MATCH_INDEX_PIVOT_PRUNES,
+            self.index_pivot_prunes as u64,
+        );
+        obs.add(names::MATCH_ELIGIBLE, self.eligible as u64);
+    }
+
     /// Candidates a linear first-match scan would have examined: the
     /// visited comparisons plus everything the index pruned.
     pub fn candidates(&self) -> usize {

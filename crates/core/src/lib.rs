@@ -73,7 +73,9 @@ pub use features::{segments_match_cached, MatchScratch, MatchStats, SegmentFeatu
 pub use index::CandidateSearch;
 pub use method::{Method, MethodConfig};
 pub use metric::segments_match;
-pub use parallel::{reduce_app_parallel, reduce_app_parallel_with_stats, scoped_workers};
+pub use parallel::{
+    reduce_app_parallel, reduce_app_parallel_obs, reduce_app_parallel_with_stats, scoped_workers,
+};
 pub use reducer::{
     reduce_app_reference, reduce_app_with_predicate, reduce_rank_reference,
     reduce_rank_with_predicate, OnlineRankReducer, RankReduction, Reducer,

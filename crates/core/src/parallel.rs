@@ -60,9 +60,23 @@ pub fn reduce_app_parallel_with_stats(
     app: &AppTrace,
     threads: usize,
 ) -> (ReducedAppTrace, MatchStats) {
+    reduce_app_parallel_obs(reducer, app, threads, &trace_obs::Recorder::disabled())
+}
+
+/// Like [`reduce_app_parallel_with_stats`], recording per-rank stage spans
+/// into one [`trace_obs::ObsShard`] per worker and draining the merged
+/// matching counters into the recorder once (so shards never double-count).
+/// With a disabled recorder this is exactly
+/// [`reduce_app_parallel_with_stats`].
+pub fn reduce_app_parallel_obs(
+    reducer: &Reducer,
+    app: &AppTrace,
+    threads: usize,
+    recorder: &trace_obs::Recorder,
+) -> (ReducedAppTrace, MatchStats) {
     let n_ranks = app.rank_count();
     if threads <= 1 || n_ranks <= 1 {
-        return reducer.reduce_app_with_stats(app);
+        return reducer.reduce_app_obs(app, recorder);
     }
 
     let slots: Vec<Mutex<Option<ReducedRankTrace>>> =
@@ -73,18 +87,22 @@ pub fn reduce_app_parallel_with_stats(
     scoped_workers(threads.min(n_ranks), |_| {
         // One match scratch per worker: the feature buffers grow to the
         // largest segment once and are reused across every rank this
-        // worker reduces.
+        // worker reduces.  Likewise one obs shard per worker, flushed into
+        // the recorder when the worker finishes.
         let mut scratch = MatchScratch::new();
         let mut worker_stats = MatchStats::default();
+        let mut obs = recorder.shard();
         loop {
             let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             if index >= n_ranks {
                 break;
             }
-            let reduction = reducer.reduce_rank_with_scratch(&app.ranks[index], &mut scratch);
+            let reduction =
+                reducer.reduce_rank_with_scratch_obs(&app.ranks[index], &mut scratch, &mut obs);
             worker_stats.absorb(&reduction.matching);
             *slots[index].lock() = Some(reduction.reduced);
         }
+        obs.finish();
         total_stats.lock().absorb(&worker_stats);
     });
 
@@ -94,7 +112,11 @@ pub fn reduce_app_parallel_with_stats(
             .ranks
             .push(slot.into_inner().expect("every rank slot must be filled"));
     }
-    (reduced, total_stats.into_inner())
+    let stats = total_stats.into_inner();
+    let mut obs = recorder.shard();
+    stats.record_into(&mut obs);
+    obs.finish();
+    (reduced, stats)
 }
 
 #[cfg(test)]

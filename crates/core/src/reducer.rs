@@ -187,6 +187,16 @@ impl OnlineRankReducer {
 
     /// Feeds the next segment in trace order.
     pub fn push_segment(&mut self, segment: Segment) {
+        self.push_segment_obs(segment, &mut trace_obs::ObsShard::disabled());
+    }
+
+    /// Like [`OnlineRankReducer::push_segment`], recording an
+    /// [`trace_obs::Stage::Index`] span when a stored representative is
+    /// inserted into the candidate index.  Store events are rare (one per
+    /// representative, not one per segment), so the clock is only read on
+    /// that path; with a disabled shard this is identical to
+    /// [`OnlineRankReducer::push_segment`].
+    pub fn push_segment_obs(&mut self, segment: Segment, obs: &mut trace_obs::ObsShard) {
         let key = segment.key();
         let start = segment.start;
         let config = self.config;
@@ -255,10 +265,12 @@ impl OnlineRankReducer {
                     self.averages.insert(id, AverageState::new(&segment));
                 }
                 if is_distance {
+                    let span = obs.start();
                     self.features.push(self.scratch.clone_incoming());
                     if search == CandidateSearch::Indexed {
                         bucket.index.insert(id, &config, &self.features);
                     }
+                    obs.end(trace_obs::Stage::Index, span);
                 }
                 let mut stored_segment = segment;
                 // Representatives are stored rebased; keep the absolute
@@ -361,16 +373,33 @@ impl Reducer {
         trace: &RankTrace,
         scratch: &mut MatchScratch,
     ) -> RankReduction {
+        self.reduce_rank_with_scratch_obs(trace, scratch, &mut trace_obs::ObsShard::disabled())
+    }
+
+    /// Like [`Reducer::reduce_rank_with_scratch`], recording per-rank
+    /// [`trace_obs::Stage::Segment`] and [`trace_obs::Stage::Match`] spans
+    /// (two clock reads per rank; nothing per segment).  With a disabled
+    /// shard the reduction is identical — recording observes, never steers.
+    pub fn reduce_rank_with_scratch_obs(
+        &self,
+        trace: &RankTrace,
+        scratch: &mut MatchScratch,
+        obs: &mut trace_obs::ObsShard,
+    ) -> RankReduction {
+        let span = obs.start();
         let (segments, segmentation) = segments_of_rank_with_stats(trace);
+        obs.end(trace_obs::Stage::Segment, span);
         let mut online = OnlineRankReducer::with_scratch_and_search(
             self.config,
             trace.rank,
             std::mem::take(scratch),
             self.search,
         );
+        let span = obs.start();
         for segment in segments {
-            online.push_segment(segment);
+            online.push_segment_obs(segment, obs);
         }
+        obs.end(trace_obs::Stage::Match, span);
         let matching = online.match_stats();
         let (reduced, returned) = online.finish_with_scratch();
         *scratch = returned;
@@ -391,14 +420,28 @@ impl Reducer {
     /// benches and recorders can report pruning rates without a second
     /// pass.
     pub fn reduce_app_with_stats(&self, app: &AppTrace) -> (ReducedAppTrace, MatchStats) {
+        self.reduce_app_obs(app, &trace_obs::Recorder::disabled())
+    }
+
+    /// Like [`Reducer::reduce_app_with_stats`], recording per-rank stage
+    /// spans and draining the matching counters into `recorder`.  With a
+    /// disabled recorder this is exactly [`Reducer::reduce_app_with_stats`].
+    pub fn reduce_app_obs(
+        &self,
+        app: &AppTrace,
+        recorder: &trace_obs::Recorder,
+    ) -> (ReducedAppTrace, MatchStats) {
+        let mut obs = recorder.shard();
         let mut scratch = MatchScratch::new();
         let mut stats = MatchStats::default();
         let mut reduced = ReducedAppTrace::for_app(app);
         for rank in &app.ranks {
-            let reduction = self.reduce_rank_with_scratch(rank, &mut scratch);
+            let reduction = self.reduce_rank_with_scratch_obs(rank, &mut scratch, &mut obs);
             stats.absorb(&reduction.matching);
             reduced.ranks.push(reduction.reduced);
         }
+        stats.record_into(&mut obs);
+        obs.finish();
         (reduced, stats)
     }
 }

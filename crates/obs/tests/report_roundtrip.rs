@@ -1,0 +1,87 @@
+//! Property tests: randomly recorded runs survive the JSON schema
+//! round-trip losslessly, and every sink renders without panicking.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use trace_obs::{json, Clock, ManualClock, Recorder, RunReport, Stage};
+
+/// Names a random run can record against (the report schema does not care
+/// which names exist, only that they are stable strings).
+const COUNTER_NAMES: [&str; 3] = [
+    trace_obs::names::MATCH_COMPARISONS,
+    trace_obs::names::STREAM_SEGMENTS,
+    trace_obs::names::CHUNK_READS,
+];
+const GAUGE_NAMES: [&str; 2] = [
+    trace_obs::names::STREAM_PEAK_CHUNK_BYTES,
+    trace_obs::names::STREAM_PEAK_RESIDENT_SEGMENTS,
+];
+
+struct ArcClock(Arc<ManualClock>);
+
+impl Clock for ArcClock {
+    fn now_ns(&self) -> u64 {
+        self.0.now_ns()
+    }
+}
+
+/// Replays `ops` through a sharded recorder and snapshots the report.
+/// Each op: (kind, name selector, value).
+fn record_run(shards: usize, ops: &[(u8, u8, u64)]) -> RunReport {
+    let clock = Arc::new(ManualClock::new(0));
+    let recorder = Recorder::with_clock(ArcClock(Arc::clone(&clock)));
+    let mut handles: Vec<_> = (0..shards).map(|_| recorder.shard()).collect();
+    for (i, &(kind, name, value)) in ops.iter().enumerate() {
+        let shard = &mut handles[i % shards];
+        match kind % 4 {
+            0 => shard.add(COUNTER_NAMES[name as usize % COUNTER_NAMES.len()], value),
+            1 => shard.gauge_max(GAUGE_NAMES[name as usize % GAUGE_NAMES.len()], value),
+            2 => shard.observe("segment.len", value),
+            _ => {
+                let span = shard.start();
+                clock.advance(value);
+                let stage = Stage::ALL[name as usize % Stage::ALL.len()];
+                shard.end(stage, span);
+            }
+        }
+    }
+    drop(handles);
+    recorder.report()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn json_round_trip_is_lossless(
+        shards in 1usize..4,
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), 0u64..1_000_000_000), 0..64),
+    ) {
+        let report = record_run(shards, &ops);
+        let rendered = report.render_json();
+        let back = RunReport::from_json(&rendered).expect("own output validates");
+        prop_assert_eq!(&back, &report);
+        // Re-rendering the parsed report is byte-identical: the schema has
+        // one canonical serialization.
+        prop_assert_eq!(back.render_json(), rendered);
+    }
+
+    #[test]
+    fn every_sink_renders_and_chrome_trace_is_parseable(
+        shards in 1usize..4,
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), 0u64..1_000_000), 0..48),
+    ) {
+        let report = record_run(shards, &ops);
+        let text = report.render_text();
+        prop_assert!(text.starts_with("== run report =="));
+        // The chrome trace export must itself be JSON our parser accepts.
+        // Timestamps are decimal microseconds (the one float in any sink)
+        // and nothing else in the document contains a '.', so deleting
+        // dots turns them into integers without touching the structure.
+        let trace = report.render_chrome_trace();
+        prop_assert!(trace.contains("\"traceEvents\""));
+        let no_floats = trace.replace('.', "");
+        prop_assert!(json::parse(no_floats.trim()).is_ok(), "{trace}");
+    }
+}

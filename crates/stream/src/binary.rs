@@ -24,8 +24,8 @@ use trace_reduce::{scoped_workers, MethodConfig, Reducer};
 
 use crate::error::StreamError;
 use crate::parser::AppItem;
-use crate::reduce::{reduce_selected_ranks, StreamReduction, StreamStats};
-use crate::shard::reduce_trace_file;
+use crate::reduce::{reduce_selected_ranks_obs, StreamReduction, StreamStats};
+use crate::shard::reduce_trace_file_obs;
 use crate::source::AppItemSource;
 
 /// [`AppItemSource`] over a chunked binary container.
@@ -57,6 +57,12 @@ impl<R: Read> ContainerSource<R> {
     pub fn peak_chunk_bytes(&self) -> usize {
         self.inner.peak_chunk_bytes()
     }
+
+    /// Attaches an observability shard to the underlying chunk reader, so
+    /// chunk reads record `chunk_io`/`compress` spans and counters.
+    pub fn set_obs(&mut self, obs: trace_obs::ObsShard) {
+        self.inner.set_obs(obs);
+    }
 }
 
 impl<R: Read> AppItemSource for ContainerSource<R> {
@@ -80,15 +86,32 @@ pub fn reduce_container_stream<R: Read>(
     config: MethodConfig,
     reader: R,
 ) -> Result<StreamReduction, StreamError> {
+    reduce_container_stream_obs(config, reader, &trace_obs::Recorder::disabled())
+}
+
+/// [`reduce_container_stream`] with observability: the chunk reader records
+/// per-chunk `chunk_io`/`compress` spans, the reduction loop records
+/// per-rank `rank` spans, and the final [`StreamStats`] drain into
+/// `recorder`.  With a disabled recorder this is exactly
+/// [`reduce_container_stream`].
+pub fn reduce_container_stream_obs<R: Read>(
+    config: MethodConfig,
+    reader: R,
+    recorder: &trace_obs::Recorder,
+) -> Result<StreamReduction, StreamError> {
+    let mut obs = recorder.shard();
     let mut source = ContainerSource::new(reader)?;
+    source.set_obs(recorder.shard());
     let Some(preamble) = source.preamble().cloned() else {
         return Err(StreamError::Container(ContainerError::UnexpectedChunk {
             expected: "a PREAMBLE chunk",
             found: "no preamble before the first rank section",
         }));
     };
-    let (ranks, mut stats) = reduce_selected_ranks(config, &mut source, |_| true)?;
+    let (ranks, mut stats) = reduce_selected_ranks_obs(config, &mut source, |_| true, &mut obs)?;
     stats.peak_chunk_bytes = source.peak_chunk_bytes();
+    stats.record_into(&mut obs);
+    obs.finish();
     Ok(StreamReduction {
         reduced: ReducedAppTrace {
             name: preamble.name,
@@ -109,9 +132,22 @@ pub fn reduce_container_file(
     path: impl AsRef<Path>,
     shards: usize,
 ) -> Result<StreamReduction, StreamError> {
+    reduce_container_file_obs(config, path, shards, &trace_obs::Recorder::disabled())
+}
+
+/// [`reduce_container_file`] with observability: every worker's chunk
+/// reader and reduction loop record into their own recorder shards, and
+/// the merged [`StreamStats`] drain into `recorder` once.  With a disabled
+/// recorder this is exactly [`reduce_container_file`].
+pub fn reduce_container_file_obs(
+    config: MethodConfig,
+    path: impl AsRef<Path>,
+    shards: usize,
+    recorder: &trace_obs::Recorder,
+) -> Result<StreamReduction, StreamError> {
     let path = path.as_ref();
     if shards <= 1 {
-        return reduce_container_stream(config, BufReader::new(File::open(path)?));
+        return reduce_container_stream_obs(config, BufReader::new(File::open(path)?), recorder);
     }
 
     let mut file = File::open(path)?;
@@ -152,6 +188,7 @@ pub fn reduce_container_file(
     scoped_workers(workers, |worker| {
         let result = (|| {
             let file = File::open(path)?;
+            let mut obs = recorder.shard();
             let mut out: Vec<(usize, ReducedRankTrace)> = Vec::new();
             let mut stats = StreamStats::default();
             for (section_index, entry) in index
@@ -165,12 +202,14 @@ pub fn reduce_container_file(
                 let mut handle = &file;
                 handle.seek(SeekFrom::Start(entry.offset))?;
                 let mut source = ContainerSource::section(BufReader::new(handle), entry.offset);
+                source.set_obs(recorder.shard());
                 let (ranks, mut section_stats) =
-                    reduce_selected_ranks(config, &mut source, |_| true)?;
+                    reduce_selected_ranks_obs(config, &mut source, |_| true, &mut obs)?;
                 section_stats.peak_chunk_bytes = source.peak_chunk_bytes();
                 stats.absorb(&section_stats);
                 out.extend(ranks.into_iter().map(|(_, rank)| (section_index, rank)));
             }
+            obs.finish();
             Ok((out, stats))
         })();
         // lint:allow(indexing) -- worker < workers == slots.len() by construction
@@ -194,6 +233,10 @@ pub fn reduce_container_file(
         all.iter().enumerate().all(|(i, (index, _))| i == *index),
         "every indexed section is reduced exactly once"
     );
+
+    let mut obs = recorder.shard();
+    stats.record_into(&mut obs);
+    obs.finish();
 
     Ok(StreamReduction {
         reduced: ReducedAppTrace {
@@ -252,16 +295,33 @@ pub fn reduce_any_file(
     path: impl AsRef<Path>,
     shards: usize,
 ) -> Result<(StreamReduction, TraceInputKind), StreamError> {
+    reduce_any_file_obs(config, path, shards, &trace_obs::Recorder::disabled())
+}
+
+/// [`reduce_any_file`] with observability, threading `recorder` through
+/// whichever driver the magic bytes select.  With a disabled recorder this
+/// is exactly [`reduce_any_file`] — same dispatch, bit-identical output.
+pub fn reduce_any_file_obs(
+    config: MethodConfig,
+    path: impl AsRef<Path>,
+    shards: usize,
+    recorder: &trace_obs::Recorder,
+) -> Result<(StreamReduction, TraceInputKind), StreamError> {
     let path = path.as_ref();
     let kind = detect_input(path)?;
     let reduction = match kind {
-        TraceInputKind::Text => reduce_trace_file(config, path, shards)?,
-        TraceInputKind::ContainerV2 => reduce_container_file(config, path, shards)?,
+        TraceInputKind::Text => reduce_trace_file_obs(config, path, shards, recorder)?,
+        TraceInputKind::ContainerV2 => reduce_container_file_obs(config, path, shards, recorder)?,
         TraceInputKind::BinaryV1 => {
+            let mut obs = recorder.shard();
+            let span = obs.start();
             let bytes = std::fs::read(path)?;
             let app =
                 trace_model::codec::decode_app_trace(&bytes).map_err(ContainerError::Codec)?;
-            let reduced = Reducer::new(config).reduce_app(&app);
+            obs.end(trace_obs::Stage::Parse, span);
+            // The matching counters drain inside `reduce_app_obs`; the
+            // stream-level stats drain below.
+            let (reduced, matching) = Reducer::new(config).reduce_app_obs(&app, recorder);
             let segments: usize = app.ranks.iter().map(|r| r.segment_instance_count()).sum();
             let stats = StreamStats {
                 ranks: app.rank_count(),
@@ -272,8 +332,26 @@ pub fn reduce_any_file(
                 // Monolithic: every segment (and the whole file) resident.
                 peak_resident_segments: segments,
                 peak_chunk_bytes: bytes.len(),
+                matching,
                 ..StreamStats::default()
             };
+            if obs.is_enabled() {
+                use trace_obs::names;
+                obs.add(names::STREAM_RANKS, stats.ranks as u64);
+                obs.add(names::STREAM_EVENTS, stats.events as u64);
+                obs.add(names::STREAM_SEGMENTS, stats.segments as u64);
+                obs.add(names::STREAM_STORED, stats.stored as u64);
+                obs.add(names::STREAM_EXECS, stats.execs as u64);
+                obs.gauge_max(
+                    names::STREAM_PEAK_RESIDENT_SEGMENTS,
+                    stats.peak_resident_segments as u64,
+                );
+                obs.gauge_max(
+                    names::STREAM_PEAK_CHUNK_BYTES,
+                    stats.peak_chunk_bytes as u64,
+                );
+            }
+            obs.finish();
             StreamReduction { reduced, stats }
         }
     };

@@ -60,11 +60,14 @@ pub mod shard;
 pub mod source;
 
 pub use binary::{
-    detect_input, reduce_any_file, reduce_container_file, reduce_container_stream, ContainerSource,
-    TraceInputKind,
+    detect_input, reduce_any_file, reduce_any_file_obs, reduce_container_file,
+    reduce_container_file_obs, reduce_container_stream, reduce_container_stream_obs,
+    ContainerSource, TraceInputKind,
 };
 pub use error::StreamError;
 pub use parser::{AppItem, StreamParser};
-pub use reduce::{reduce_stream, StreamReduction, StreamStats};
-pub use shard::{reduce_stream_sharded, reduce_trace_file};
+pub use reduce::{reduce_stream, reduce_stream_obs, StreamReduction, StreamStats};
+pub use shard::{
+    reduce_stream_sharded, reduce_stream_sharded_obs, reduce_trace_file, reduce_trace_file_obs,
+};
 pub use source::AppItemSource;

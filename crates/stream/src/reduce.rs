@@ -71,6 +71,33 @@ impl StreamStats {
         self.peak_chunk_bytes = self.peak_chunk_bytes.max(other.peak_chunk_bytes);
         self.matching.absorb(&other.matching);
     }
+
+    /// Drains these counters into an observability shard under the
+    /// canonical `stream.*` (and nested `match.*`) metric names.  Call once
+    /// on the merged total — not per worker — so sharded drivers don't
+    /// double-count.
+    pub fn record_into(&self, obs: &mut trace_obs::ObsShard) {
+        if !obs.is_enabled() {
+            return;
+        }
+        use trace_obs::names;
+        obs.add(names::STREAM_RANKS, self.ranks as u64);
+        obs.add(names::STREAM_EVENTS, self.events as u64);
+        obs.add(names::STREAM_SEGMENTS, self.segments as u64);
+        obs.add(names::STREAM_STORED, self.stored as u64);
+        obs.add(names::STREAM_EXECS, self.execs as u64);
+        obs.add(names::STREAM_ORPHAN_EVENTS, self.orphan_events as u64);
+        obs.add(
+            names::STREAM_UNTERMINATED_SEGMENTS,
+            self.unterminated_segments as u64,
+        );
+        obs.gauge_max(
+            names::STREAM_PEAK_RESIDENT_SEGMENTS,
+            self.peak_resident_segments as u64,
+        );
+        obs.gauge_max(names::STREAM_PEAK_CHUNK_BYTES, self.peak_chunk_bytes as u64);
+        self.matching.record_into(obs);
+    }
 }
 
 /// The outcome of a streaming reduction: the reduced trace plus the
@@ -87,10 +114,17 @@ pub struct StreamReduction {
 /// skipping the rest, and returns `(index, reduced rank)` pairs in stream
 /// order together with the instrumentation counters.  The source may be
 /// the text parser or the binary container reader — the loop is identical.
-pub(crate) fn reduce_selected_ranks<S: AppItemSource>(
+///
+/// Each processed rank section is bracketed by a
+/// [`trace_obs::Stage::Rank`] span (the streaming loop fuses parse,
+/// segment and match per record, so the rank is the finest honestly
+/// separable unit — two clock reads per rank, nothing per record).  With a
+/// disabled shard the reduction is identical — recording never steers.
+pub(crate) fn reduce_selected_ranks_obs<S: AppItemSource>(
     config: MethodConfig,
     parser: &mut S,
     mut take: impl FnMut(usize) -> bool,
+    obs: &mut trace_obs::ObsShard,
 ) -> Result<(Vec<(usize, ReducedRankTrace)>, StreamStats), StreamError> {
     let mut out: Vec<(usize, ReducedRankTrace)> = Vec::new();
     let mut stats = StreamStats::default();
@@ -102,7 +136,12 @@ pub(crate) fn reduce_selected_ranks<S: AppItemSource>(
     // threaded from rank to rank, so the matching loop stays allocation
     // free however many ranks flow past.
     let mut scratch = MatchScratch::new();
-    let mut active: Option<(usize, OnlineSegmenter, OnlineRankReducer)> = None;
+    let mut active: Option<(
+        usize,
+        OnlineSegmenter,
+        OnlineRankReducer,
+        trace_obs::SpanStart,
+    )> = None;
 
     while let Some(item) = parser.next_item()? {
         match item {
@@ -114,13 +153,14 @@ pub(crate) fn reduce_selected_ranks<S: AppItemSource>(
                         index,
                         OnlineSegmenter::new(),
                         OnlineRankReducer::with_scratch(config, rank, std::mem::take(&mut scratch)),
+                        obs.start(),
                     ));
                 } else {
                     parser.skip_current_rank()?;
                 }
             }
             AppItem::Record(record) => {
-                let (_, segmenter, reducer) = active
+                let (_, segmenter, reducer, _) = active
                     .as_mut()
                     .expect("records only arrive inside a processed rank");
                 if matches!(record, TraceRecord::Event(_)) {
@@ -128,7 +168,7 @@ pub(crate) fn reduce_selected_ranks<S: AppItemSource>(
                 }
                 if let Some(segment) = segmenter.push(&record) {
                     stats.segments += 1;
-                    reducer.push_segment(segment);
+                    reducer.push_segment_obs(segment, obs);
                 }
                 let resident = stored_retained
                     + reducer.stored_count()
@@ -136,12 +176,12 @@ pub(crate) fn reduce_selected_ranks<S: AppItemSource>(
                 stats.peak_resident_segments = stats.peak_resident_segments.max(resident);
             }
             AppItem::RankEnd(_) => {
-                let (index, mut segmenter, mut reducer) = active
+                let (index, mut segmenter, mut reducer, span) = active
                     .take()
                     .expect("END_RANK only arrives inside a processed rank");
                 if let Some(segment) = segmenter.finish() {
                     stats.segments += 1;
-                    reducer.push_segment(segment);
+                    reducer.push_segment_obs(segment, obs);
                 }
                 let seg_stats = segmenter.stats();
                 stats.orphan_events += seg_stats.orphan_events;
@@ -152,6 +192,7 @@ pub(crate) fn reduce_selected_ranks<S: AppItemSource>(
                 stored_retained += reduced.stored_count();
                 stats.peak_resident_segments = stats.peak_resident_segments.max(stored_retained);
                 stats.ranks += 1;
+                obs.end(trace_obs::Stage::Rank, span);
                 out.push((index, reduced));
             }
         }
@@ -172,9 +213,24 @@ pub fn reduce_stream<R: BufRead>(
     config: MethodConfig,
     reader: R,
 ) -> Result<StreamReduction, StreamError> {
+    reduce_stream_obs(config, reader, &trace_obs::Recorder::disabled())
+}
+
+/// [`reduce_stream`] with observability: records per-rank
+/// [`trace_obs::Stage::Rank`] spans and drains the final [`StreamStats`]
+/// into `recorder`.  With a disabled recorder this is exactly
+/// [`reduce_stream`] — the reduced output is bit-identical either way.
+pub fn reduce_stream_obs<R: BufRead>(
+    config: MethodConfig,
+    reader: R,
+    recorder: &trace_obs::Recorder,
+) -> Result<StreamReduction, StreamError> {
+    let mut obs = recorder.shard();
     let mut parser = StreamParser::new(reader)?;
     let tables = parser.tables().clone();
-    let (ranks, stats) = reduce_selected_ranks(config, &mut parser, |_| true)?;
+    let (ranks, stats) = reduce_selected_ranks_obs(config, &mut parser, |_| true, &mut obs)?;
+    stats.record_into(&mut obs);
+    obs.finish();
     Ok(StreamReduction {
         reduced: ReducedAppTrace {
             name: tables.name,

@@ -21,13 +21,13 @@ use trace_reduce::{scoped_workers, MethodConfig};
 
 use crate::error::StreamError;
 use crate::parser::StreamParser;
-use crate::reduce::{reduce_selected_ranks, reduce_stream, StreamReduction, StreamStats};
+use crate::reduce::{reduce_selected_ranks_obs, reduce_stream_obs, StreamReduction, StreamStats};
 
 /// Reduces a trace stream with `shards` worker threads, each reading its
 /// own source from `open(worker_index)`.
 ///
 /// All readers must yield the same bytes; `shards <= 1` falls back to the
-/// single-pass [`reduce_stream`].
+/// single-pass [`crate::reduce_stream`].
 pub fn reduce_stream_sharded<R, F>(
     config: MethodConfig,
     shards: usize,
@@ -37,8 +37,26 @@ where
     R: BufRead,
     F: Fn(usize) -> io::Result<R> + Sync,
 {
+    reduce_stream_sharded_obs(config, shards, open, &trace_obs::Recorder::disabled())
+}
+
+/// [`reduce_stream_sharded`] with observability: each worker records
+/// per-rank [`trace_obs::Stage::Rank`] spans into its own recorder shard,
+/// and the merged [`StreamStats`] are drained into `recorder` once at the
+/// end (so counters are never double-counted).  With a disabled recorder
+/// this is exactly [`reduce_stream_sharded`].
+pub fn reduce_stream_sharded_obs<R, F>(
+    config: MethodConfig,
+    shards: usize,
+    open: F,
+    recorder: &trace_obs::Recorder,
+) -> Result<StreamReduction, StreamError>
+where
+    R: BufRead,
+    F: Fn(usize) -> io::Result<R> + Sync,
+{
     if shards <= 1 {
-        return reduce_stream(config, open(0)?);
+        return reduce_stream_obs(config, open(0)?, recorder);
     }
 
     type WorkerOut = (Vec<(usize, ReducedRankTrace)>, StreamStats, TraceTables);
@@ -47,10 +65,16 @@ where
 
     scoped_workers(shards, |worker| {
         let result = (|| {
+            let mut obs = recorder.shard();
             let mut parser = StreamParser::new(open(worker)?)?;
             let tables = parser.tables().clone();
-            let (ranks, stats) =
-                reduce_selected_ranks(config, &mut parser, |index| index % shards == worker)?;
+            let (ranks, stats) = reduce_selected_ranks_obs(
+                config,
+                &mut parser,
+                |index| index % shards == worker,
+                &mut obs,
+            )?;
+            obs.finish();
             Ok((ranks, stats, tables))
         })();
         *slots[worker].lock() = Some(result);
@@ -74,6 +98,10 @@ where
         "every rank section is reduced exactly once"
     );
 
+    let mut obs = recorder.shard();
+    stats.record_into(&mut obs);
+    obs.finish();
+
     Ok(StreamReduction {
         reduced: ReducedAppTrace {
             name: tables.name,
@@ -92,10 +120,24 @@ pub fn reduce_trace_file(
     path: impl AsRef<Path>,
     shards: usize,
 ) -> Result<StreamReduction, StreamError> {
+    reduce_trace_file_obs(config, path, shards, &trace_obs::Recorder::disabled())
+}
+
+/// [`reduce_trace_file`] with observability (see
+/// [`reduce_stream_sharded_obs`]).
+pub fn reduce_trace_file_obs(
+    config: MethodConfig,
+    path: impl AsRef<Path>,
+    shards: usize,
+    recorder: &trace_obs::Recorder,
+) -> Result<StreamReduction, StreamError> {
     let path = path.as_ref();
-    reduce_stream_sharded(config, shards.max(1), |_| {
-        File::open(path).map(BufReader::new)
-    })
+    reduce_stream_sharded_obs(
+        config,
+        shards.max(1),
+        |_| File::open(path).map(BufReader::new),
+        recorder,
+    )
 }
 
 #[cfg(test)]

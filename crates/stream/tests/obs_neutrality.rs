@@ -1,0 +1,131 @@
+//! Acceptance test: observability is behaviour-neutral (ISSUE 8).
+//!
+//! For every paper method and every reduction driver — sequential
+//! in-memory, parallel in-memory, streaming, sharded streaming and
+//! container streaming — the reduced trace produced with an enabled
+//! recorder must be bit-identical to the one produced with recording off.
+//! The comparison is on the *encoded bytes*, not just `PartialEq`, so even
+//! an ordering or serialization drift would fail.  Each enabled run is
+//! also asserted to have actually recorded (non-empty report), so the
+//! neutrality claim is never vacuous.
+
+use std::io::Cursor;
+
+use trace_container::{encode_app_container, ChunkSpec};
+use trace_model::codec::encode_reduced_trace;
+use trace_model::ReducedAppTrace;
+use trace_obs::Recorder;
+use trace_reduce::{reduce_app_parallel_obs, Method, MethodConfig, Reducer};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+use trace_stream::{reduce_container_stream_obs, reduce_stream_obs, reduce_stream_sharded_obs};
+
+/// A reduction driver: one way of running a method over the workload.
+type Driver<'a> = Box<dyn Fn(&Recorder) -> ReducedAppTrace + 'a>;
+
+/// Runs `drive` twice — recording off, then on — and returns both reduced
+/// traces plus the enabled run's report emptiness.
+fn both_states(drive: impl Fn(&Recorder) -> ReducedAppTrace) -> (Vec<u8>, Vec<u8>, bool) {
+    let off = drive(&Recorder::disabled());
+    let enabled = Recorder::enabled();
+    let on = drive(&enabled);
+    (
+        encode_reduced_trace(&off),
+        encode_reduced_trace(&on),
+        enabled.report().is_empty(),
+    )
+}
+
+#[test]
+fn recording_never_changes_the_reduction_for_any_method_or_driver() {
+    let app = Workload::new(WorkloadKind::DynLoadBalance, SizePreset::Tiny).generate();
+    let text = trace_format::write_app_trace(&app).into_bytes();
+    let container = encode_app_container(&app, ChunkSpec::with_segments(8));
+
+    for method in Method::ALL {
+        let config = MethodConfig::with_default_threshold(method);
+        let reducer = Reducer::new(config);
+        let drivers: Vec<(&str, Driver)> = vec![
+            (
+                "sequential",
+                Box::new(|rec| reducer.reduce_app_obs(&app, rec).0),
+            ),
+            (
+                "parallel",
+                Box::new(|rec| reduce_app_parallel_obs(&reducer, &app, 4, rec).0),
+            ),
+            (
+                "streaming",
+                Box::new(|rec| {
+                    reduce_stream_obs(config, Cursor::new(text.as_slice()), rec)
+                        .unwrap()
+                        .reduced
+                }),
+            ),
+            (
+                "sharded",
+                Box::new(|rec| {
+                    reduce_stream_sharded_obs(config, 3, |_| Ok(Cursor::new(text.clone())), rec)
+                        .unwrap()
+                        .reduced
+                }),
+            ),
+            (
+                "container",
+                Box::new(|rec| {
+                    reduce_container_stream_obs(config, Cursor::new(container.as_slice()), rec)
+                        .unwrap()
+                        .reduced
+                }),
+            ),
+        ];
+        for (driver, drive) in drivers {
+            let (off, on, report_empty) = both_states(drive);
+            assert_eq!(
+                off, on,
+                "{method} / {driver}: recording changed the reduced bytes"
+            );
+            assert!(
+                !report_empty,
+                "{method} / {driver}: the enabled run recorded nothing — the \
+                 neutrality assertion would be vacuous"
+            );
+        }
+    }
+}
+
+#[test]
+fn enabled_reports_carry_the_drained_pipeline_counters() {
+    let app = Workload::new(WorkloadKind::LateSender, SizePreset::Tiny).generate();
+    let text = trace_format::write_app_trace(&app).into_bytes();
+    let config = MethodConfig::with_default_threshold(Method::AvgWave);
+
+    let recorder = Recorder::enabled();
+    let reduction = reduce_stream_obs(config, Cursor::new(text.as_slice()), &recorder).unwrap();
+    let report = recorder.report();
+
+    // The unified registry mirrors the legacy stats structs exactly —
+    // counters are drained once, not once per shard.
+    assert_eq!(
+        report.counters.get("stream.events").copied(),
+        Some(reduction.stats.events as u64)
+    );
+    assert_eq!(
+        report.counters.get("stream.stored").copied(),
+        Some(reduction.stats.stored as u64)
+    );
+    assert_eq!(
+        report.counters.get("match.comparisons").copied(),
+        Some(reduction.stats.matching.comparisons as u64)
+    );
+    assert_eq!(
+        report.gauges.get("stream.peak_resident_segments").copied(),
+        Some(reduction.stats.peak_resident_segments as u64)
+    );
+    // One Rank span per rank section streamed.
+    let rank_spans = report
+        .spans
+        .iter()
+        .filter(|s| s.stage == trace_obs::Stage::Rank)
+        .count();
+    assert_eq!(rank_spans, reduction.stats.ranks);
+}

@@ -123,6 +123,36 @@ fn justified_allow_suppresses_and_is_inventoried() {
 }
 
 #[test]
+fn audited_wall_clock_allow_suppresses_but_unjustified_reads_still_fire() {
+    // The `trace_obs::clock` pattern: justified allows keep the one audited
+    // monotonic source lintable — silent, but inventoried for review.
+    let findings = lint_source(&fixture("wall_clock_allowed.rs"), DETERMINISM);
+    assert!(
+        findings.violations.is_empty(),
+        "audited clock must pass under determinism rules: {:?}",
+        findings.violations
+    );
+    let clock_allows: Vec<_> = findings
+        .allows
+        .iter()
+        .filter(|a| a.rule == "wall_clock")
+        .collect();
+    assert_eq!(clock_allows.len(), 2, "both audited sites are inventoried");
+    assert!(clock_allows
+        .iter()
+        .all(|a| a.justification.contains("audited")));
+
+    // The same crate classification still rejects a bare clock read — the
+    // allow is per-site, not per-crate.
+    let findings = lint_source(&fixture("wall_clock.rs"), DETERMINISM);
+    assert!(
+        findings.violations.iter().any(|v| v.rule == "wall_clock"),
+        "unjustified wall-clock reads must keep failing: {:?}",
+        findings.violations
+    );
+}
+
+#[test]
 fn clean_fixture_is_silent_on_every_surface() {
     for class in [LIB, DECODE, DETERMINISM] {
         let findings = lint_source(&fixture("clean.rs"), class);

@@ -1,0 +1,19 @@
+// Fixture: the audited clock pattern from `trace_obs::clock` — a justified
+// `lint:allow(wall_clock)` keeps the monotonic source in a determinism
+// crate, silently, while landing in the allow inventory for review.
+pub struct MonotonicClock {
+    origin: std::time::Instant, // lint:allow(wall_clock) -- the audited monotonic time source
+}
+
+impl MonotonicClock {
+    pub fn new() -> Self {
+        MonotonicClock {
+            // lint:allow(wall_clock) -- audited origin stamp; only differences are reported
+            origin: std::time::Instant::now(),
+        }
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}

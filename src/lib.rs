@@ -20,6 +20,8 @@
 //!   (`.trc` v2) with CRC-checked chunks and a seekable index footer.
 //! * [`trace_compress`] — per-chunk compression codecs for the container:
 //!   trace-aware column transforms and a self-contained LZ byte backend.
+//! * [`trace_obs`] — self-instrumentation: unified metrics registry, stage
+//!   span timers and machine-readable run reports (text/JSON/chrome-trace).
 
 pub use trace_analysis as analysis;
 pub use trace_clustering as clustering;
@@ -28,6 +30,7 @@ pub use trace_container as container;
 pub use trace_eval as eval;
 pub use trace_format as format;
 pub use trace_model as model;
+pub use trace_obs as obs;
 pub use trace_reduce as reduce;
 pub use trace_sampling as sampling;
 pub use trace_sim as sim;
