@@ -1,0 +1,51 @@
+//! Cost of turning a reduced trace into analysis output (`trace_report`).
+//!
+//! The report runs after the reduction, so it is never on the hot path —
+//! but it reconstructs and re-diagnoses the trace, so its cost scales with
+//! trace size and should stay a small multiple of the reduction itself.
+//! This bench measures model construction (the expensive part) and each
+//! sink separately.  Size the workload with
+//! `TRACE_REPRO_PRESET=paper|small|tiny` (default tiny so CI stays fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trace_bench::preset_from_env;
+use trace_reduce::{Method, MethodConfig, Reducer};
+use trace_report::{build_model, render_chrome_trace, render_html, render_text, ReportOptions};
+use trace_sim::{SizePreset, Workload, WorkloadKind};
+
+fn bench_report_generation(c: &mut Criterion) {
+    let preset = preset_from_env(SizePreset::Tiny);
+    let workload = Workload::new(WorkloadKind::DynLoadBalance, preset);
+    eprintln!(
+        "[report] generating and reducing {} at {preset:?} preset...",
+        workload.name()
+    );
+    let app = workload.generate();
+    let config = MethodConfig::with_default_threshold(Method::RelDiff);
+    let reduced = Reducer::new(config).reduce_app(&app);
+    let options = ReportOptions {
+        method: config,
+        ..ReportOptions::default()
+    };
+    let model = build_model(&reduced, Some(&app), None, &options);
+
+    let mut group = c.benchmark_group("report/generation");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("build_model"), |b| {
+        b.iter(|| build_model(&reduced, Some(&app), None, &options))
+    });
+    group.bench_function(BenchmarkId::from_parameter("render_text"), |b| {
+        b.iter(|| render_text(&model))
+    });
+    group.bench_function(BenchmarkId::from_parameter("render_html"), |b| {
+        b.iter(|| render_html(&model))
+    });
+    group.bench_function(BenchmarkId::from_parameter("render_chrome"), |b| {
+        b.iter(|| render_chrome_trace(&reduced))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_report_generation);
+criterion_main!(benches);

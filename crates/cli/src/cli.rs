@@ -72,6 +72,163 @@ impl Invocation {
     }
 }
 
+/// Binary-output flags shared by every command that writes `.trc` files
+/// (`generate`, `reduce`, `convert`).
+pub const BINARY_OUTPUT_FLAGS: &[&str] = &["codec", "chunk-segments", "v1"];
+
+/// Observability flags shared by the instrumented commands.
+pub const OBS_FLAGS: &[&str] = &["obs", "obs-out", "obs-format"];
+
+/// Declarative flag specification for one subcommand: the flags it owns
+/// plus any shared flag groups it participates in.  `commands::run`
+/// rejects anything not listed here instead of silently ignoring it, so
+/// every flag an implementation reads must appear in [`COMMAND_SPECS`].
+#[derive(Clone, Copy, Debug)]
+pub struct CommandSpec {
+    /// Canonical subcommand name.
+    pub name: &'static str,
+    /// Flags specific to this subcommand, in usage order.
+    pub own: &'static [&'static str],
+    /// Shared flag groups (e.g. [`BINARY_OUTPUT_FLAGS`], [`OBS_FLAGS`]).
+    pub groups: &'static [&'static [&'static str]],
+}
+
+impl CommandSpec {
+    /// True if the subcommand accepts `flag`.
+    pub fn allows(&self, flag: &str) -> bool {
+        self.own.contains(&flag) || self.groups.iter().any(|group| group.contains(&flag))
+    }
+
+    /// All accepted flags: own flags first, then each group in order.
+    pub fn flags(&self) -> Vec<&'static str> {
+        let mut flags: Vec<&'static str> = self.own.to_vec();
+        for group in self.groups {
+            flags.extend_from_slice(group);
+        }
+        flags
+    }
+}
+
+/// The flag table for every `trace-tools` subcommand.
+pub const COMMAND_SPECS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "help",
+        own: &[],
+        groups: &[],
+    },
+    CommandSpec {
+        name: "list",
+        own: &[],
+        groups: &[],
+    },
+    CommandSpec {
+        name: "generate",
+        own: &["workload", "preset", "out"],
+        groups: &[BINARY_OUTPUT_FLAGS, OBS_FLAGS],
+    },
+    CommandSpec {
+        name: "reduce",
+        own: &[
+            "in",
+            "out",
+            "method",
+            "threshold",
+            "stream",
+            "shards",
+            "report",
+        ],
+        groups: &[BINARY_OUTPUT_FLAGS, OBS_FLAGS],
+    },
+    CommandSpec {
+        name: "sample",
+        own: &["in", "out", "policy", "seed"],
+        groups: &[],
+    },
+    CommandSpec {
+        name: "reconstruct",
+        own: &["in", "out"],
+        groups: &[],
+    },
+    CommandSpec {
+        name: "convert",
+        own: &["in", "out", "container"],
+        groups: &[BINARY_OUTPUT_FLAGS, OBS_FLAGS],
+    },
+    CommandSpec {
+        name: "analyze",
+        own: &["in"],
+        groups: &[],
+    },
+    CommandSpec {
+        name: "report",
+        own: &[
+            "in",
+            "full",
+            "run-report",
+            "method",
+            "threshold",
+            "divergence-threshold",
+            "html",
+            "chrome",
+        ],
+        groups: &[],
+    },
+    CommandSpec {
+        name: "evaluate",
+        own: &["workload", "method", "threshold", "preset"],
+        groups: &[],
+    },
+    CommandSpec {
+        name: "cluster",
+        own: &["in", "k", "algorithm", "out"],
+        groups: &[],
+    },
+    CommandSpec {
+        name: "extension-study",
+        own: &["workload", "preset"],
+        groups: &[],
+    },
+];
+
+/// Looks up the spec for a subcommand; `--help`/`-h` alias `help`.
+/// `None` means the subcommand itself is unknown (reported by the
+/// dispatcher, not as a flag error).
+pub fn command_spec(command: &str) -> Option<&'static CommandSpec> {
+    let canonical = match command {
+        "--help" | "-h" => "help",
+        other => other,
+    };
+    COMMAND_SPECS.iter().find(|spec| spec.name == canonical)
+}
+
+/// Rejects flags the subcommand does not define, listing the valid ones.
+pub fn check_flags(invocation: &Invocation) -> Result<(), String> {
+    let Some(spec) = command_spec(&invocation.command) else {
+        return Ok(()); // unknown subcommand: reported by the dispatcher
+    };
+    for flag in invocation.options.keys() {
+        if !spec.allows(flag) {
+            let valid = if spec.own.is_empty() && spec.groups.is_empty() {
+                "it takes no flags".to_string()
+            } else {
+                format!(
+                    "valid flags: {}",
+                    spec.flags()
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            return Err(format!(
+                "unknown option --{flag} for `{}`; {valid}",
+                invocation.command
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Parses raw command-line arguments (without the program name).
 ///
 /// Flags take the form `--flag value`; a flag followed by another flag (or
@@ -170,5 +327,49 @@ mod tests {
         let err = inv.require("workload").unwrap_err();
         assert!(err.contains("--workload"));
         assert!(err.contains("generate"));
+    }
+
+    #[test]
+    fn specs_are_unique_and_groups_expand() {
+        let mut names: Vec<_> = COMMAND_SPECS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COMMAND_SPECS.len(), "duplicate command spec");
+        for spec in COMMAND_SPECS {
+            let flags = spec.flags();
+            let mut sorted = flags.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), flags.len(), "duplicate flag in {}", spec.name);
+            for flag in &flags {
+                assert!(spec.allows(flag), "{} must allow --{flag}", spec.name);
+            }
+        }
+        let reduce = command_spec("reduce").unwrap();
+        assert!(reduce.allows("codec"), "group flags are honoured");
+        assert!(reduce.allows("obs-format"));
+        assert!(!reduce.allows("policy"));
+    }
+
+    #[test]
+    fn help_aliases_resolve_and_unknown_commands_do_not() {
+        assert!(command_spec("--help").is_some());
+        assert!(command_spec("-h").is_some());
+        assert!(command_spec("no-such-command").is_none());
+    }
+
+    #[test]
+    fn check_flags_lists_the_valid_set() {
+        let inv = Invocation::new("reduce", &[("bogus", "1")]);
+        let err = check_flags(&inv).unwrap_err();
+        assert!(err.contains("unknown option --bogus"), "{err}");
+        assert!(err.contains("--threshold"), "{err}");
+        assert!(err.contains("--codec"), "{err}");
+        let inv = Invocation::new("list", &[("bogus", "")]);
+        let err = check_flags(&inv).unwrap_err();
+        assert!(err.contains("takes no flags"), "{err}");
+        // Unknown subcommands pass: the dispatcher reports those.
+        let inv = Invocation::new("no-such-command", &[("anything", "")]);
+        assert!(check_flags(&inv).is_ok());
     }
 }

@@ -10,7 +10,7 @@ use trace_sim::{SizePreset, Workload, WorkloadKind};
 
 use trace_container::{ChunkSpec, Codec};
 
-use crate::cli::Invocation;
+use crate::cli::{check_flags, Invocation};
 use crate::io::{
     load_app_trace, load_app_trace_obs, load_reduced_trace, store_app_trace, store_reduced_trace,
     store_reduced_trace_obs, BinaryFormat,
@@ -31,12 +31,22 @@ subcommands:
                                          format (text, binary v1, container v2)
                                          is autodetected by magic bytes, and
                                          v2 containers shard by index footer
+             [--report FILE]             also write a self-contained HTML
+                                         analysis report of the reduction
   sample     --in FILE --out FILE        sampling-based reduction
              --policy every:N|random:F|adaptive:E [--seed S]
   reconstruct --in REDUCED --out FILE    rebuild an approximate full trace
   convert    --in FILE --out FILE        convert between binary (.trc) and text (.txt)
              [binary output flags]
   analyze    --in FILE                   KOJAK-style wait-state diagnosis
+  report     --in REDUCED                analysis report of a reduced trace:
+             [--full FILE]               per-rank divergence, region trie,
+             [--run-report FILE]         match quality; --full adds compression
+             [--method M [--threshold T]] numbers, --run-report embeds pipeline
+             [--divergence-threshold S]  metrics from an --obs-out JSON report
+             [--html FILE]               write a self-contained HTML report
+             [--chrome FILE]             write the reduced timeline as a
+                                         chrome://tracing JSON file
   evaluate   --workload W --method M     run the paper's four criteria
              [--threshold T] [--preset P]
   cluster    --in FILE --k N             inter-process clustering of the ranks
@@ -61,87 +71,6 @@ observability flags (generate, reduce, convert):
 file formats are chosen by extension: .txt/.trctxt = text, anything else = binary
 (binary reads autodetect monolithic v1 and chunked v2 containers by magic)"
         .to_string()
-}
-
-/// The flags each subcommand accepts; `None` means the subcommand itself is
-/// unknown (reported by `run`).  Every flag an implementation reads must be
-/// listed here — `run` rejects anything else instead of silently ignoring
-/// it.
-fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
-    Some(match command {
-        "help" | "--help" | "-h" | "list" => &[],
-        "generate" => &[
-            "workload",
-            "preset",
-            "out",
-            "codec",
-            "chunk-segments",
-            "v1",
-            "obs",
-            "obs-out",
-            "obs-format",
-        ],
-        "reduce" => &[
-            "in",
-            "out",
-            "method",
-            "threshold",
-            "stream",
-            "shards",
-            "codec",
-            "chunk-segments",
-            "v1",
-            "obs",
-            "obs-out",
-            "obs-format",
-        ],
-        "sample" => &["in", "out", "policy", "seed"],
-        "reconstruct" => &["in", "out"],
-        "convert" => &[
-            "in",
-            "out",
-            "container",
-            "chunk-segments",
-            "codec",
-            "v1",
-            "obs",
-            "obs-out",
-            "obs-format",
-        ],
-        "analyze" => &["in"],
-        "evaluate" => &["workload", "method", "threshold", "preset"],
-        "cluster" => &["in", "k", "algorithm", "out"],
-        "extension-study" => &["workload", "preset"],
-        _ => return None,
-    })
-}
-
-/// Rejects flags the subcommand does not define, listing the valid ones.
-fn check_flags(invocation: &Invocation) -> Result<(), String> {
-    let Some(allowed) = allowed_flags(&invocation.command) else {
-        return Ok(()); // unknown subcommand: reported by the dispatcher
-    };
-    for flag in invocation.options.keys() {
-        if !allowed.contains(&flag.as_str()) {
-            let valid = if allowed.is_empty() {
-                "it takes no flags".to_string()
-            } else {
-                format!(
-                    "valid flags: {}",
-                    allowed
-                        .iter()
-                        .map(|f| format!("--{f}"))
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )
-            };
-            return Err(format!(
-                "unknown option --{flag} for `{}`; {valid}",
-                invocation.command
-            ));
-        }
-    }
-    Ok(())
 }
 
 fn parse_preset(raw: Option<&str>) -> Result<SizePreset, String> {
@@ -480,6 +409,17 @@ fn cmd_reduce_stream(invocation: &Invocation) -> Result<String, String> {
              `--container` for true streaming",
         );
     }
+    if invocation.has("report") {
+        let run = obs.as_ref().map(|_| recorder.report());
+        write_reduce_report(
+            invocation.require("report")?,
+            &result.reduced,
+            None,
+            Some(method_config),
+            run,
+            &mut message,
+        )?;
+    }
     emit_obs(&obs, &recorder, &mut message)?;
     Ok(message)
 }
@@ -528,6 +468,21 @@ fn cmd_reduce(invocation: &Invocation) -> Result<String, String> {
         reduced.degree_of_matching(),
         out.display()
     );
+    if invocation.has("report") {
+        let method = match config.method {
+            ExtendedMethod::Paper(method) => Some(MethodConfig::new(method, config.threshold)),
+            _ => None,
+        };
+        let run = obs.as_ref().map(|_| recorder.report());
+        write_reduce_report(
+            invocation.require("report")?,
+            &reduced,
+            Some(&app),
+            method,
+            run,
+            &mut message,
+        )?;
+    }
     emit_obs(&obs, &recorder, &mut message)?;
     Ok(message)
 }
@@ -601,6 +556,90 @@ fn cmd_analyze(invocation: &Invocation) -> Result<String, String> {
         app.total_events(),
         diagnosis.render_chart()
     ))
+}
+
+/// Parses the report tunables shared by `report` and `reduce --report`.
+fn report_options(invocation: &Invocation) -> Result<trace_report::ReportOptions, String> {
+    let mut options = trace_report::ReportOptions::default();
+    if let Some(name) = invocation.get("method") {
+        let method = trace_reduce::Method::by_name(name).ok_or_else(|| {
+            let known: Vec<&str> = trace_reduce::Method::ALL
+                .into_iter()
+                .map(|m| m.name())
+                .collect();
+            format!(
+                "unknown method {name:?}; paper methods: {}",
+                known.join(", ")
+            )
+        })?;
+        options.method = MethodConfig::with_default_threshold(method);
+    }
+    if let Some(threshold) = invocation.get_f64("threshold")? {
+        options.method.threshold = threshold;
+    }
+    if let Some(threshold) = invocation.get_f64("divergence-threshold")? {
+        if threshold.is_nan() || threshold <= 0.0 {
+            return Err("--divergence-threshold must be positive".to_string());
+        }
+        options.divergence_threshold = threshold;
+    }
+    Ok(options)
+}
+
+/// `report`: analysis report over an already-reduced trace.
+fn cmd_report(invocation: &Invocation) -> Result<String, String> {
+    let input = Path::new(invocation.require("in")?);
+    let reduced = load_reduced_trace(input)?;
+    let original = if invocation.has("full") {
+        Some(load_app_trace(Path::new(invocation.require("full")?))?)
+    } else {
+        None
+    };
+    let run = if invocation.has("run-report") {
+        let path = invocation.require("run-report")?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Some(trace_obs::RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?)
+    } else {
+        None
+    };
+    let options = report_options(invocation)?;
+    let model = trace_report::build_model(&reduced, original.as_ref(), run.as_ref(), &options);
+    let mut message = trace_report::render_text(&model);
+    if invocation.has("html") {
+        let path = invocation.require("html")?;
+        std::fs::write(path, trace_report::render_html(&model))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        message.push_str(&format!("\nhtml report -> {path}"));
+    }
+    if invocation.has("chrome") {
+        let path = invocation.require("chrome")?;
+        std::fs::write(path, trace_report::render_chrome_trace(&reduced))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        message.push_str(&format!("\nchrome trace -> {path}"));
+    }
+    Ok(message)
+}
+
+/// `reduce --report FILE`: writes the self-contained HTML analysis report
+/// for a reduction that just ran, reusing its method for the divergence
+/// kernels and its recorder (when `--obs` was given) for pipeline metrics.
+fn write_reduce_report(
+    path: &str,
+    reduced: &trace_model::ReducedAppTrace,
+    original: Option<&trace_model::AppTrace>,
+    method: Option<MethodConfig>,
+    run: Option<trace_obs::RunReport>,
+    message: &mut String,
+) -> Result<(), String> {
+    let mut options = trace_report::ReportOptions::default();
+    if let Some(method) = method {
+        options.method = method;
+    }
+    let model = trace_report::build_model(reduced, original, run.as_ref(), &options);
+    std::fs::write(path, trace_report::render_html(&model))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    message.push_str(&format!("\nanalysis report -> {path}"));
+    Ok(())
 }
 
 fn cmd_evaluate(invocation: &Invocation) -> Result<String, String> {
@@ -729,6 +768,7 @@ pub fn run(invocation: &Invocation) -> Result<String, String> {
         "reconstruct" => cmd_reconstruct(invocation),
         "convert" => cmd_convert(invocation),
         "analyze" => cmd_analyze(invocation),
+        "report" => cmd_report(invocation),
         "evaluate" => cmd_evaluate(invocation),
         "cluster" => cmd_cluster(invocation),
         "extension-study" => cmd_extension_study(invocation),
@@ -1438,6 +1478,82 @@ mod tests {
         assert!(err.contains("unknown option --obs"), "{err}");
 
         cleanup(&[&trace, &reduced]);
+    }
+
+    #[test]
+    fn report_subcommand_renders_all_three_sinks() {
+        let trace = temp_path("report_in.trc");
+        let reduced = temp_path("report_reduced.trc");
+        let obs_json = temp_path("report_obs.json");
+        let html = temp_path("report.html");
+        let chrome = temp_path("report_chrome.json");
+        let inline = temp_path("report_inline.html");
+
+        run(&Invocation::new(
+            "generate",
+            &[
+                ("workload", "late_sender"),
+                ("preset", "tiny"),
+                ("out", trace.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        // `reduce --report` writes the HTML report alongside the trace.
+        let out = run(&Invocation::new(
+            "reduce",
+            &[
+                ("in", trace.to_str().unwrap()),
+                ("out", reduced.to_str().unwrap()),
+                ("method", "relDiff"),
+                ("obs-out", obs_json.to_str().unwrap()),
+                ("report", inline.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("analysis report ->"), "{out}");
+        let inline_html = std::fs::read_to_string(&inline).unwrap();
+        assert!(inline_html.contains("<!DOCTYPE html>"), "html preamble");
+        assert!(
+            inline_html.contains("id=\"pipeline\""),
+            "obs run must embed pipeline metrics"
+        );
+
+        // The standalone subcommand: text to stdout, HTML + chrome files.
+        let out = run(&Invocation::new(
+            "report",
+            &[
+                ("in", reduced.to_str().unwrap()),
+                ("full", trace.to_str().unwrap()),
+                ("run-report", obs_json.to_str().unwrap()),
+                ("html", html.to_str().unwrap()),
+                ("chrome", chrome.to_str().unwrap()),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("== trace report:"), "{out}");
+        assert!(out.contains("divergent ranks:"), "{out}");
+        assert!(out.contains("region trie"), "{out}");
+        assert!(out.contains("file size:"), "--full adds compression");
+        assert!(out.contains("pipeline stages"), "--run-report adds metrics");
+
+        let html_text = std::fs::read_to_string(&html).unwrap();
+        assert!(html_text.contains("id=\"report-data\""), "JSON island");
+        assert!(html_text.contains("id=\"divergent-ranks\""), "{html_text}");
+        assert!(
+            !html_text.contains("http://") && !html_text.contains("https://"),
+            "self-contained: no external assets"
+        );
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        let events = trace_obs::chrome::parse(&chrome_text).unwrap();
+        assert!(!events.is_empty(), "reduced timeline has events");
+        assert!(events.iter().all(|e| e.cat == "reduced"));
+
+        // Unknown flags on `report` list the valid set.
+        let err = run(&Invocation::new("report", &[("in", "x"), ("bogus", "1")])).unwrap_err();
+        assert!(err.contains("unknown option --bogus"), "{err}");
+        assert!(err.contains("--divergence-threshold"), "{err}");
+
+        cleanup(&[&trace, &reduced, &obs_json, &html, &chrome, &inline]);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod clock;
 pub mod json;
 pub mod metrics;
@@ -37,6 +38,7 @@ pub mod names;
 pub mod recorder;
 pub mod report;
 
+pub use chrome::ChromeEvent;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use metrics::{Histogram, MetricSet};
 pub use recorder::{ObsShard, Recorder, SpanRecord, SpanStart, Stage, MAX_SPANS_PER_SHARD};

@@ -17,6 +17,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::chrome::{self, ChromeEvent};
 use crate::json::{self, JsonValue};
 use crate::metrics::{Histogram, MetricSet};
 use crate::recorder::{SpanRecord, Stage};
@@ -401,30 +402,24 @@ impl RunReport {
 
     /// Renders the recorded spans as chrome://tracing "trace event" JSON
     /// (also readable by Perfetto): complete (`ph: "X"`) events, one `tid`
-    /// per recorder shard, timestamps in microseconds.
+    /// per recorder shard, timestamps in microseconds.  Emission goes
+    /// through the shared writer in [`crate::chrome`], the same one the
+    /// reduced-timeline export uses.
     pub fn render_chrome_trace(&self) -> String {
-        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-        for (i, span) in self.spans.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"pipeline\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
-                span.stage.name(),
-                span.shard,
-                format_us(span.start_ns),
-                format_us(span.dur_ns),
-            ));
-        }
-        out.push_str("]}\n");
-        out
+        let events: Vec<ChromeEvent> = self
+            .spans
+            .iter()
+            .map(|span| ChromeEvent {
+                name: span.stage.name().to_string(),
+                cat: "pipeline".to_string(),
+                pid: 1,
+                tid: u64::from(span.shard),
+                ts_ns: span.start_ns,
+                dur_ns: span.dur_ns,
+            })
+            .collect();
+        chrome::render(&events)
     }
-}
-
-/// Nanoseconds as a sub-microsecond-exact decimal microsecond count —
-/// chrome trace timestamps are microseconds.  Pure integer formatting.
-fn format_us(ns: u64) -> String {
-    format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
 /// Pretty-prints a nanosecond duration with integer arithmetic only.

@@ -1,0 +1,324 @@
+//! Per-rank divergence detection over stored representatives.
+//!
+//! The reducer stores one representative per matched segment class *per
+//! rank*, so in an SPMD run the same [`SegmentKey`] (call context plus
+//! event shape) usually appears on every rank with near-identical
+//! measurements.  A rank whose representatives drift away from its peers —
+//! a slow node, a perturbed network link, an imbalanced domain — is
+//! exactly what the paper's perturbation study looks for, and this module
+//! surfaces it from the *reduced* trace alone.
+//!
+//! Scoring works per shared key.  Each participating rank gets a profile:
+//! the representation-weighted mean of its representatives' measurement
+//! vectors (`[duration, e0.start, e0.end, …]`, the paper's comparison
+//! vector).  The cross-rank baseline is the element-wise **median** of the
+//! profiles, so with three or more ranks a single outlier cannot drag the
+//! baseline toward itself.  A rank's score for the key is the Chebyshev
+//! distance from its profile to the baseline, normalised by the largest
+//! absolute element of either vector — a scale-free "worst component
+//! relative error" in `[0, ~1]` for same-magnitude vectors.  The rank's
+//! overall score is the maximum over its shared keys, and ranks whose
+//! score exceeds the configured threshold are flagged.
+//!
+//! Alongside the distance score, each rank's first representative for a
+//! key is checked against every peer's via the configured similarity
+//! kernel ([`segments_match_cached`]) — the same accept/reject decision
+//! the reducer itself makes.  A representative that matches *no* peer
+//! counts as a kernel mismatch, tying the report's verdicts to the
+//! paper's own match semantics rather than to a new ad-hoc metric.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+use trace_model::stats::chebyshev_distance;
+use trace_model::{ReducedAppTrace, Segment, SegmentKey};
+use trace_reduce::{segments_match_cached, MatchStats, MethodConfig, SegmentFeatures};
+
+/// Divergence verdict for a single rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankDivergence {
+    /// The rank this row describes.
+    pub rank: u32,
+    /// Number of shared segment keys this rank participated in.
+    pub keys_compared: usize,
+    /// Worst normalised Chebyshev distance from the cross-rank baseline.
+    pub max_score: f64,
+    /// Context name of the key behind `max_score`, when any key scored.
+    pub worst_context: Option<String>,
+    /// Representatives that matched no peer under the similarity kernel.
+    pub kernel_mismatches: usize,
+    /// True when `max_score` exceeds the configured threshold.
+    pub flagged: bool,
+}
+
+/// Cross-rank divergence analysis of a reduced trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DivergenceReport {
+    /// Label of the similarity method used for kernel verdicts.
+    pub method_label: String,
+    /// Score threshold above which a rank is flagged.
+    pub threshold: f64,
+    /// Segment keys present on at least two ranks.
+    pub shared_keys: usize,
+    /// Per-rank verdicts, ascending by rank.
+    pub ranks: Vec<RankDivergence>,
+}
+
+impl DivergenceReport {
+    /// Ranks whose score exceeded the threshold, ascending.
+    pub fn divergent_ranks(&self) -> Vec<u32> {
+        self.ranks
+            .iter()
+            .filter(|r| r.flagged)
+            .map(|r| r.rank)
+            .collect()
+    }
+
+    /// True if any rank was flagged.
+    pub fn any_flagged(&self) -> bool {
+        self.ranks.iter().any(|r| r.flagged)
+    }
+}
+
+/// Weighted measurement profile of one rank's representatives for a key.
+struct Profile<'a> {
+    sum: Vec<f64>,
+    weight: f64,
+    first: &'a Segment,
+}
+
+/// Analyzes cross-rank divergence of `reduced` under `method`, flagging
+/// ranks whose score exceeds `threshold`.
+pub fn analyze(
+    reduced: &ReducedAppTrace,
+    method: &MethodConfig,
+    threshold: f64,
+) -> DivergenceReport {
+    let mut by_key: BTreeMap<SegmentKey, BTreeMap<u32, Profile<'_>>> = BTreeMap::new();
+    for rank in &reduced.ranks {
+        for stored in &rank.stored {
+            let vector = stored.segment.measurement_vector();
+            let weight = f64::from(stored.represented.max(1));
+            let per_rank = by_key.entry(stored.segment.key()).or_default();
+            match per_rank.entry(rank.rank.as_u32()) {
+                Entry::Occupied(mut occupied) => {
+                    let profile = occupied.get_mut();
+                    for (acc, value) in profile.sum.iter_mut().zip(&vector) {
+                        *acc += value * weight;
+                    }
+                    profile.weight += weight;
+                }
+                Entry::Vacant(vacant) => {
+                    vacant.insert(Profile {
+                        sum: vector.iter().map(|value| value * weight).collect(),
+                        weight,
+                        first: &stored.segment,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut rows: BTreeMap<u32, RankDivergence> = reduced
+        .ranks
+        .iter()
+        .map(|rank| {
+            let id = rank.rank.as_u32();
+            (
+                id,
+                RankDivergence {
+                    rank: id,
+                    keys_compared: 0,
+                    max_score: 0.0,
+                    worst_context: None,
+                    kernel_mismatches: 0,
+                    flagged: false,
+                },
+            )
+        })
+        .collect();
+
+    let mut shared_keys = 0usize;
+    let mut stats = MatchStats::default();
+    for (key, per_rank) in &by_key {
+        if per_rank.len() < 2 {
+            continue;
+        }
+        shared_keys += 1;
+        let context = reduced.contexts.name_or_unknown(key.context);
+
+        let profiles: Vec<(u32, Vec<f64>)> = per_rank
+            .iter()
+            .map(|(rank, profile)| {
+                let mean = profile.sum.iter().map(|v| v / profile.weight).collect();
+                (*rank, mean)
+            })
+            .collect();
+        let baseline = elementwise_median(&profiles);
+
+        for (rank, profile) in &profiles {
+            let scale = profile
+                .iter()
+                .chain(baseline.iter())
+                .fold(0.0_f64, |acc, v| acc.max(v.abs()));
+            let distance = chebyshev_distance(profile, &baseline);
+            let score = if scale > 0.0 { distance / scale } else { 0.0 };
+            if let Some(row) = rows.get_mut(rank) {
+                row.keys_compared += 1;
+                if score > row.max_score {
+                    row.max_score = score;
+                    row.worst_context = Some(context.to_string());
+                }
+            }
+        }
+
+        let features: Vec<(u32, SegmentFeatures)> = per_rank
+            .iter()
+            .map(|(rank, profile)| (*rank, SegmentFeatures::for_config(method, profile.first)))
+            .collect();
+        for (i, (rank, mine)) in features.iter().enumerate() {
+            let matched = features.iter().enumerate().any(|(j, (_, peer))| {
+                i != j && segments_match_cached(method, mine, peer, &mut stats)
+            });
+            if !matched {
+                if let Some(row) = rows.get_mut(rank) {
+                    row.kernel_mismatches += 1;
+                }
+            }
+        }
+    }
+
+    let mut ranks: Vec<RankDivergence> = rows.into_values().collect();
+    for row in &mut ranks {
+        row.flagged = row.max_score > threshold;
+    }
+    DivergenceReport {
+        method_label: method.label(),
+        threshold,
+        shared_keys,
+        ranks,
+    }
+}
+
+/// Element-wise median across equal-length profiles (same segment shape,
+/// so the reducer guarantees equal measurement-vector lengths).
+fn elementwise_median(profiles: &[(u32, Vec<f64>)]) -> Vec<f64> {
+    let len = profiles
+        .iter()
+        .map(|(_, vector)| vector.len())
+        .min()
+        .unwrap_or(0);
+    let mut baseline = Vec::with_capacity(len);
+    for i in 0..len {
+        let mut column: Vec<f64> = profiles
+            .iter()
+            .filter_map(|(_, vector)| vector.get(i))
+            .copied()
+            .collect();
+        column.sort_by(|a, b| a.total_cmp(b));
+        let n = column.len();
+        let median = if n % 2 == 1 {
+            column.get(n / 2).copied().unwrap_or(0.0)
+        } else {
+            let lo = column.get(n / 2 - 1).copied().unwrap_or(0.0);
+            let hi = column.get(n / 2).copied().unwrap_or(0.0);
+            (lo + hi) / 2.0
+        };
+        baseline.push(median);
+    }
+    baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{
+        ContextId, ContextTable, Event, Rank, ReducedRankTrace, RegionId, RegionTable, SegmentExec,
+        StoredSegment, Time,
+    };
+    use trace_reduce::Method;
+
+    fn segment(context: ContextId, scale: u64) -> Segment {
+        Segment {
+            context,
+            start: Time::ZERO,
+            end: Time::from_nanos(1_000 * scale),
+            events: vec![Event::compute(
+                RegionId(0),
+                Time::ZERO,
+                Time::from_nanos(400 * scale),
+            )],
+        }
+    }
+
+    fn synthetic(scales: &[u64]) -> ReducedAppTrace {
+        let mut contexts = ContextTable::new();
+        let main = contexts.intern("main");
+        let mut regions = RegionTable::new();
+        regions.intern("compute");
+        let ranks = scales
+            .iter()
+            .enumerate()
+            .map(|(i, &scale)| ReducedRankTrace {
+                rank: Rank(i as u32),
+                stored: vec![StoredSegment {
+                    id: 0,
+                    segment: segment(main, scale),
+                    represented: 3,
+                }],
+                execs: vec![SegmentExec {
+                    segment: 0,
+                    start: Time::ZERO,
+                }],
+            })
+            .collect();
+        ReducedAppTrace {
+            name: "synthetic".to_string(),
+            regions,
+            contexts,
+            ranks,
+        }
+    }
+
+    #[test]
+    fn identical_ranks_report_no_divergence() {
+        let reduced = synthetic(&[1, 1, 1, 1]);
+        let report = analyze(
+            &reduced,
+            &MethodConfig::with_default_threshold(Method::RelDiff),
+            0.25,
+        );
+        assert!(!report.any_flagged());
+        assert!(report.ranks.iter().all(|r| r.max_score == 0.0));
+        assert_eq!(report.shared_keys, 1);
+    }
+
+    #[test]
+    fn perturbed_rank_is_flagged() {
+        // relDiff's default threshold is 0.8, so an 8x slowdown (relative
+        // difference 0.875) fails the kernel as well as the score.
+        let reduced = synthetic(&[1, 1, 8, 1]);
+        let report = analyze(
+            &reduced,
+            &MethodConfig::with_default_threshold(Method::RelDiff),
+            0.25,
+        );
+        assert_eq!(report.divergent_ranks(), vec![2]);
+        let row = &report.ranks[2];
+        assert!(row.max_score > 0.25);
+        assert!(row.kernel_mismatches > 0);
+        assert_eq!(row.worst_context.as_deref(), Some("main"));
+    }
+
+    #[test]
+    fn single_rank_traces_have_no_shared_keys() {
+        let reduced = synthetic(&[1]);
+        let report = analyze(
+            &reduced,
+            &MethodConfig::with_default_threshold(Method::RelDiff),
+            0.25,
+        );
+        assert_eq!(report.shared_keys, 0);
+        assert!(!report.any_flagged());
+    }
+}

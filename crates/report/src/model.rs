@@ -1,0 +1,221 @@
+//! The analysis model every sink renders from.
+//!
+//! [`build_model`] takes the reduced trace (always), plus optionally the
+//! original full trace (for compression/fidelity numbers that need both
+//! sides) and a [`trace_obs::RunReport`] from the run that produced the
+//! reduction (for pipeline metrics).  All derived analysis — divergence,
+//! region trie, severity diagnosis of the reconstruction — happens here
+//! once, so the HTML, chrome and text sinks cannot disagree about the
+//! numbers they show.
+
+use trace_analysis::diagnose;
+use trace_eval::file_size_percent;
+use trace_model::{AppTrace, ReducedAppTrace};
+use trace_obs::{RunReport, Stage};
+use trace_reduce::{Method, MethodConfig};
+
+use crate::divergence::{self, DivergenceReport};
+use crate::trie::RegionTrie;
+
+/// Tunables for model construction.
+#[derive(Clone, Debug)]
+pub struct ReportOptions {
+    /// Similarity method used for cross-rank kernel verdicts.
+    pub method: MethodConfig,
+    /// Divergence score above which a rank is flagged.
+    pub divergence_threshold: f64,
+    /// Fraction of total time a wait state must exceed to be listed as
+    /// significant (passed to `Diagnosis::significant_wait_states`).
+    pub wait_fraction: f64,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            method: MethodConfig::with_default_threshold(Method::RelDiff),
+            divergence_threshold: 0.25,
+            wait_fraction: 0.05,
+        }
+    }
+}
+
+/// Reduction statistics for one rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankSummary {
+    /// The rank.
+    pub rank: u32,
+    /// Stored representative segments.
+    pub stored: usize,
+    /// Segment executions in the log.
+    pub execs: usize,
+    /// Executions that matched an existing representative.
+    pub matches: usize,
+    /// Degree of matching (Section 4.3.2).
+    pub degree_of_matching: f64,
+}
+
+/// Numbers that need the original trace alongside the reduction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressionSummary {
+    /// Reduced trace size as a percentage of the full trace (the paper's
+    /// file-size criterion).
+    pub file_size_percent: f64,
+    /// Events in the full trace.
+    pub full_events: usize,
+    /// Ranks in the full trace.
+    pub full_ranks: usize,
+}
+
+/// Per-stage pipeline timing from a [`RunReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Stage name (`parse`, `match`, …).
+    pub stage: &'static str,
+    /// Number of recorded spans.
+    pub spans: u64,
+    /// Total time across spans, in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Pipeline metrics carried over from the observability layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineSummary {
+    /// All counters, in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Stage timings, in pipeline order; stages with no spans are omitted.
+    pub stages: Vec<StageSummary>,
+}
+
+/// A significant wait state from the severity diagnosis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WaitState {
+    /// Metric abbreviation (`LS`, `WB`, …).
+    pub metric: &'static str,
+    /// Region name.
+    pub region: String,
+    /// Total time in the state across ranks, in milliseconds.
+    pub total_ms: f64,
+}
+
+/// Everything the sinks render.
+#[derive(Clone, Debug)]
+pub struct ReportModel {
+    /// Name of the analyzed trace.
+    pub trace_name: String,
+    /// Label of the similarity method used for divergence verdicts.
+    pub method_label: String,
+    /// Number of ranks.
+    pub rank_count: usize,
+    /// Stored representatives across ranks.
+    pub total_stored: usize,
+    /// Segment executions across ranks.
+    pub total_execs: usize,
+    /// Application-wide degree of matching.
+    pub degree_of_matching: f64,
+    /// Per-rank reduction statistics.
+    pub ranks: Vec<RankSummary>,
+    /// Cross-rank divergence verdicts.
+    pub divergence: DivergenceReport,
+    /// Region/callpath trie of the reduced timeline.
+    pub trie: RegionTrie,
+    /// ASCII severity chart of the reconstructed trace
+    /// ([`trace_analysis::Diagnosis::render_chart`]).
+    pub severity_chart: String,
+    /// Wait states above the significance cutoff, worst first.
+    pub significant_waits: Vec<WaitState>,
+    /// Present when the original trace was supplied.
+    pub compression: Option<CompressionSummary>,
+    /// Present when a pipeline run report was supplied.
+    pub pipeline: Option<PipelineSummary>,
+}
+
+/// Builds the analysis model for `reduced`.
+///
+/// `original` enables the compression summary; `run` carries the pipeline
+/// metrics of the reduce that produced this trace.
+pub fn build_model(
+    reduced: &ReducedAppTrace,
+    original: Option<&AppTrace>,
+    run: Option<&RunReport>,
+    options: &ReportOptions,
+) -> ReportModel {
+    let reconstructed = reduced.reconstruct();
+    let diagnosis = diagnose(&reconstructed);
+    let significant_waits = diagnosis
+        .significant_wait_states(options.wait_fraction)
+        .into_iter()
+        .map(|entry| WaitState {
+            metric: entry.metric.abbreviation(),
+            region: entry.region.clone(),
+            total_ms: entry.total_ms(),
+        })
+        .collect();
+    let ranks = reduced
+        .ranks
+        .iter()
+        .map(|rank| RankSummary {
+            rank: rank.rank.as_u32(),
+            stored: rank.stored_count(),
+            execs: rank.exec_count(),
+            matches: rank.match_count(),
+            degree_of_matching: rank.degree_of_matching(),
+        })
+        .collect();
+    ReportModel {
+        trace_name: reduced.name.clone(),
+        method_label: options.method.label(),
+        rank_count: reduced.rank_count(),
+        total_stored: reduced.total_stored(),
+        total_execs: reduced.total_execs(),
+        degree_of_matching: reduced.degree_of_matching(),
+        ranks,
+        divergence: divergence::analyze(reduced, &options.method, options.divergence_threshold),
+        trie: RegionTrie::build(reduced, &diagnosis),
+        severity_chart: diagnosis.render_chart(),
+        significant_waits,
+        compression: original.map(|app| CompressionSummary {
+            file_size_percent: file_size_percent(app, reduced),
+            full_events: app.total_events(),
+            full_ranks: app.rank_count(),
+        }),
+        pipeline: run.map(pipeline_summary),
+    }
+}
+
+fn pipeline_summary(run: &RunReport) -> PipelineSummary {
+    let counters = run
+        .counters
+        .iter()
+        .map(|(name, value)| (name.clone(), *value))
+        .collect();
+    let stages = Stage::ALL
+        .iter()
+        .filter_map(|stage| {
+            let snapshot = run.histograms.get(stage.histogram_name())?;
+            if snapshot.count == 0 {
+                return None;
+            }
+            Some(StageSummary {
+                stage: stage.name(),
+                spans: snapshot.count,
+                total_ns: snapshot.sum,
+                max_ns: snapshot.max,
+            })
+        })
+        .collect();
+    PipelineSummary { counters, stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_use_the_paper_method() {
+        let options = ReportOptions::default();
+        assert_eq!(options.method.method, Method::RelDiff);
+        assert!(options.divergence_threshold > 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! chrome://tracing export of the *reduced* timeline.
+//!
+//! Each [`trace_model::SegmentExec`] entry becomes one complete (`"ph":
+//! "X"`) event: the slice starts at the execution's recorded start time
+//! and lasts the representative's duration — the exact approximation the
+//! reconstruction replays, visualised.  Ranks map to chrome's `pid` axis
+//! so chrome://tracing groups the timeline per rank.
+//!
+//! Serialisation goes through [`trace_obs::chrome::render`], the same
+//! writer the pipeline-span export uses, so the two chrome exports of
+//! this workspace cannot drift apart in format.
+
+use trace_model::ReducedAppTrace;
+use trace_obs::chrome::{self, ChromeEvent};
+
+/// Builds the reduced-timeline events, ordered by rank then execution log.
+pub fn reduced_timeline(reduced: &ReducedAppTrace) -> Vec<ChromeEvent> {
+    let mut events = Vec::with_capacity(reduced.total_execs());
+    for rank in &reduced.ranks {
+        for exec in &rank.execs {
+            let Some(stored) = rank.stored_segment(exec.segment) else {
+                continue;
+            };
+            events.push(ChromeEvent {
+                name: reduced
+                    .contexts
+                    .name_or_unknown(stored.segment.context)
+                    .to_string(),
+                cat: "reduced".to_string(),
+                pid: u64::from(rank.rank.as_u32()),
+                tid: 0,
+                ts_ns: exec.start.as_nanos(),
+                dur_ns: stored.segment.end.as_nanos(),
+            });
+        }
+    }
+    events
+}
+
+/// Renders the reduced timeline as a chrome://tracing JSON document.
+pub fn render_chrome_trace(reduced: &ReducedAppTrace) -> String {
+    chrome::render(&reduced_timeline(reduced))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{
+        ContextTable, Event, Rank, ReducedRankTrace, RegionId, RegionTable, Segment, SegmentExec,
+        StoredSegment, Time,
+    };
+
+    fn fixture() -> ReducedAppTrace {
+        let mut contexts = ContextTable::new();
+        let main = contexts.intern("main");
+        let mut regions = RegionTable::new();
+        regions.intern("compute");
+        let rank = ReducedRankTrace {
+            rank: Rank(3),
+            stored: vec![StoredSegment {
+                id: 0,
+                segment: Segment {
+                    context: main,
+                    start: Time::ZERO,
+                    end: Time::from_nanos(2_500),
+                    events: vec![Event::compute(
+                        RegionId(0),
+                        Time::ZERO,
+                        Time::from_nanos(2_500),
+                    )],
+                },
+                represented: 2,
+            }],
+            execs: vec![
+                SegmentExec {
+                    segment: 0,
+                    start: Time::from_nanos(1_000),
+                },
+                SegmentExec {
+                    segment: 0,
+                    start: Time::from_nanos(5_000),
+                },
+            ],
+        };
+        ReducedAppTrace {
+            name: "fixture".to_string(),
+            regions,
+            contexts,
+            ranks: vec![rank],
+        }
+    }
+
+    #[test]
+    fn one_event_per_execution_with_rank_as_pid() {
+        let events = reduced_timeline(&fixture());
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.pid == 3 && e.cat == "reduced"));
+        assert_eq!(events[0].ts_ns, 1_000);
+        assert_eq!(events[1].ts_ns, 5_000);
+        assert!(events.iter().all(|e| e.dur_ns == 2_500));
+    }
+
+    #[test]
+    fn chrome_document_round_trips_through_the_shared_reader() {
+        let rendered = render_chrome_trace(&fixture());
+        let parsed = chrome::parse(&rendered).expect("valid chrome trace");
+        assert_eq!(parsed, reduced_timeline(&fixture()));
+    }
+}

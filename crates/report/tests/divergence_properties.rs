@@ -1,0 +1,122 @@
+//! Property tests for the per-rank divergence scorer: across randomly
+//! sized runs with realistic per-rank jitter, an unperturbed run must
+//! never flag anyone, and a run where exactly one rank is slowed down by
+//! a large factor must flag exactly that rank.
+
+use proptest::prelude::*;
+use trace_model::{
+    ContextId, ContextTable, Event, Rank, ReducedAppTrace, ReducedRankTrace, RegionId, RegionTable,
+    Segment, SegmentExec, StoredSegment, Time,
+};
+use trace_reduce::{Method, MethodConfig};
+use trace_report::divergence::analyze;
+
+const DIVERGENCE_THRESHOLD: f64 = 0.25;
+
+fn segment(context: ContextId, base_ns: u64, factor: f64) -> Segment {
+    let duration = ((base_ns as f64) * factor).round().max(1.0) as u64;
+    Segment {
+        context,
+        start: Time::ZERO,
+        end: Time::from_nanos(duration),
+        events: vec![Event::compute(
+            RegionId(0),
+            Time::ZERO,
+            Time::from_nanos((duration * 2) / 5),
+        )],
+    }
+}
+
+/// One rank per entry in `factors`; every rank executes the same two
+/// structural segment keys (`main`, `main.loop`) with its timings scaled
+/// by its factor, which is exactly the SPMD shape the scorer targets.
+fn synthetic(factors: &[f64]) -> ReducedAppTrace {
+    let mut contexts = ContextTable::new();
+    let main = contexts.intern("main");
+    let inner = contexts.intern("main.loop");
+    let mut regions = RegionTable::new();
+    regions.intern("compute");
+    let ranks = factors
+        .iter()
+        .enumerate()
+        .map(|(i, &factor)| ReducedRankTrace {
+            rank: Rank(i as u32),
+            stored: vec![
+                StoredSegment {
+                    id: 0,
+                    segment: segment(main, 1_000_000, factor),
+                    represented: 2,
+                },
+                StoredSegment {
+                    id: 1,
+                    segment: segment(inner, 250_000, factor),
+                    represented: 1,
+                },
+            ],
+            execs: vec![
+                SegmentExec {
+                    segment: 0,
+                    start: Time::ZERO,
+                },
+                SegmentExec {
+                    segment: 1,
+                    start: Time::from_nanos(2_000_000),
+                },
+            ],
+        })
+        .collect();
+    ReducedAppTrace {
+        name: "property".to_string(),
+        regions,
+        contexts,
+        ranks,
+    }
+}
+
+fn config() -> MethodConfig {
+    MethodConfig::with_default_threshold(Method::RelDiff)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-rank jitter of up to ±2% is normal SPMD noise and must stay far
+    /// below the flagging threshold for every rank.
+    #[test]
+    fn unperturbed_runs_flag_nobody(
+        jitters in prop::collection::vec(0.98f64..1.02, 3..9),
+    ) {
+        let reduced = synthetic(&jitters);
+        let report = analyze(&reduced, &config(), DIVERGENCE_THRESHOLD);
+        prop_assert_eq!(report.shared_keys, 2);
+        prop_assert!(!report.any_flagged(), "flagged: {:?}", report.divergent_ranks());
+        prop_assert!(report.ranks.iter().all(|r| r.max_score < DIVERGENCE_THRESHOLD));
+    }
+
+    /// Slowing one rank down by 4–16x on top of the same jitter must flag
+    /// exactly that rank, with the worst score attributed to a real context.
+    #[test]
+    fn the_perturbed_rank_and_only_it_is_flagged(
+        jitters in prop::collection::vec(0.98f64..1.02, 3..9),
+        victim_seed in 0usize..64,
+        slowdown in 4.0f64..16.0,
+    ) {
+        let victim = victim_seed % jitters.len();
+        let mut factors = jitters;
+        if let Some(f) = factors.get_mut(victim) {
+            *f *= slowdown;
+        }
+        let reduced = synthetic(&factors);
+        let report = analyze(&reduced, &config(), DIVERGENCE_THRESHOLD);
+        prop_assert_eq!(report.divergent_ranks(), vec![victim as u32]);
+        let row = report.ranks.get(victim).expect("row per rank");
+        prop_assert!(row.flagged);
+        prop_assert!(row.max_score > DIVERGENCE_THRESHOLD);
+        prop_assert!(row.worst_context.is_some());
+        // An 8x+ slowdown also fails the relDiff kernel itself (relative
+        // difference >= 0.875 against the 0.8 default threshold).
+        if slowdown >= 8.5 {
+            prop_assert!(row.kernel_mismatches > 0);
+        }
+    }
+}

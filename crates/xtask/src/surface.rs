@@ -41,6 +41,7 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "stream",
     "clustering",
     "obs",
+    "report",
 ];
 
 /// Binary-interface crates exempt from the stdout/exit hygiene rules.
@@ -57,6 +58,8 @@ pub const DECODE_SURFACE: &[&str] = &[
     "crates/stream/src/binary.rs",
     "crates/trace-model/src/codec/",
     "crates/obs/src/json.rs",
+    "crates/obs/src/chrome.rs",
+    "crates/report/src/",
 ];
 
 /// Classifies a workspace-relative `.rs` path, or returns `None` when the
@@ -145,6 +148,12 @@ mod tests {
         // The run-report JSON parser reads files from disk — untrusted.
         assert!(class("crates/obs/src/json.rs").unwrap().decode_surface);
         assert!(!class("crates/obs/src/recorder.rs").unwrap().decode_surface);
+        // The shared chrome-trace reader parses foreign JSON documents.
+        assert!(class("crates/obs/src/chrome.rs").unwrap().decode_surface);
+        // The report crate consumes reduced traces and run reports from
+        // disk, so the whole src tree is decode surface.
+        assert!(class("crates/report/src/html.rs").unwrap().decode_surface);
+        assert!(class("crates/report/src/lib.rs").unwrap().decode_surface);
     }
 
     #[test]
@@ -155,6 +164,12 @@ mod tests {
         // The observability crate holds the sole audited clock: keeping it
         // under the determinism rules makes every new time read a lint hit.
         assert!(class("crates/obs/src/clock.rs").unwrap().determinism);
+        // Report sinks promise byte-identical output across runs/drivers.
+        assert!(
+            class("crates/report/src/divergence.rs")
+                .unwrap()
+                .determinism
+        );
         assert!(class("crates/cli/src/main.rs").unwrap().bin_crate);
         assert!(class("crates/xtask/src/main.rs").unwrap().bin_crate);
         assert!(!class("crates/eval/src/lib.rs").unwrap().bin_crate);

@@ -22,6 +22,8 @@
 //!   trace-aware column transforms and a self-contained LZ byte backend.
 //! * [`trace_obs`] — self-instrumentation: unified metrics registry, stage
 //!   span timers and machine-readable run reports (text/JSON/chrome-trace).
+//! * [`trace_report`] — reduced-trace analysis reports: per-rank divergence,
+//!   region trie, HTML / chrome://tracing / text sinks.
 
 pub use trace_analysis as analysis;
 pub use trace_clustering as clustering;
@@ -32,6 +34,7 @@ pub use trace_format as format;
 pub use trace_model as model;
 pub use trace_obs as obs;
 pub use trace_reduce as reduce;
+pub use trace_report as report;
 pub use trace_sampling as sampling;
 pub use trace_sim as sim;
 pub use trace_stream as stream;
